@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Figure 5 (tag-array size sweep)."""
+
+from conftest import run_once
+
+from repro.experiments import format_fig5, run_fig5
+
+
+def test_fig5_tag_array_sweep(benchmark, params, report):
+    result = run_once(benchmark, run_fig5, params)
+    report(format_fig5(result))

@@ -1,0 +1,10 @@
+"""Benchmark: scale-robustness of the reproduction's conclusions."""
+
+from conftest import run_once
+
+from repro.experiments.robustness import format_robustness, run_robustness
+
+
+def test_scale_robustness(benchmark, params, report):
+    result = run_once(benchmark, run_robustness, params)
+    report(format_robustness(result))

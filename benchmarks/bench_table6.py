@@ -1,0 +1,10 @@
+"""Benchmark: regenerate paper Table 6 (data-allocation selectivity)."""
+
+from conftest import run_once
+
+from repro.experiments import format_table6, run_table6
+
+
+def test_table6_selectivity(benchmark, params, report):
+    result = run_once(benchmark, run_table6, params)
+    report(format_table6(result))

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper and prints its
+rows (also appended to ``benchmarks/results.txt``).  Scale the runs with the
+environment variables ``REPRO_WORKLOADS`` (default 6), ``REPRO_REFS``
+(default 25000), ``REPRO_SCALE`` (default 32).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import ExperimentParams
+
+RESULTS_FILE = Path(__file__).parent / "results.txt"
+
+
+@pytest.fixture(scope="session")
+def params() -> ExperimentParams:
+    base = ExperimentParams(
+        n_workloads=int(os.environ.get("REPRO_WORKLOADS", 6)),
+        n_refs=int(os.environ.get("REPRO_REFS", 25_000)),
+        scale=int(os.environ.get("REPRO_SCALE", 32)),
+        seed=int(os.environ.get("REPRO_SEED", 2013)),
+    )
+    return base
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Print a result block and persist it to benchmarks/results.txt."""
+
+    def _report(text: str) -> None:
+        block = "\n" + text + "\n"
+        print(block)
+        with RESULTS_FILE.open("a") as fh:
+            fh.write(block)
+
+    RESULTS_FILE.write_text("")  # fresh file per session
+    return _report
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Capacity planning: how small can the SLLC get without losing performance?
+
+This is the paper's headline use case ("downsizing"): sweep reuse-cache
+configurations against conventional caches of 4/8/16 MB and report, for each
+conventional design point, the cheapest reuse cache that matches it within a
+tolerance — together with the storage savings from the exact Table 2 cost
+model.
+"""
+
+from repro import LLCSpec, SystemConfig, build_mix_suite, conventional_cost, reuse_cache_cost, run_workload
+
+TOLERANCE = 0.01  # match within 1%
+
+RC_CANDIDATES = [
+    (2, 0.5), (4, 0.5), (4, 1), (8, 1), (8, 2), (8, 4), (16, 8),
+]
+CONV_TARGETS = [4, 8, 16]
+
+
+def mean_performance(spec: LLCSpec, workloads) -> float:
+    total = 0.0
+    for wl in workloads:
+        total += run_workload(SystemConfig(llc=spec), wl).performance
+    return total / len(workloads)
+
+
+def storage_kbits(spec: LLCSpec) -> float:
+    if spec.kind == "conventional":
+        return conventional_cost(spec.size_mb).total_kbits
+    return reuse_cache_cost(spec.tag_mbeq, spec.data_mb).total_kbits
+
+
+def main() -> None:
+    workloads = build_mix_suite(n_mixes=4, n_refs=20_000)
+    print(f"evaluating over {len(workloads)} workloads ...")
+
+    rc_perf = {}
+    for tag, data in RC_CANDIDATES:
+        spec = LLCSpec.reuse(tag, data)
+        rc_perf[spec.label] = (spec, mean_performance(spec, workloads))
+        print(f"  {spec.label:<10} perf {rc_perf[spec.label][1]:.3f}")
+
+    for size in CONV_TARGETS:
+        conv = LLCSpec.conventional(size, "lru")
+        target = mean_performance(conv, workloads)
+        conv_bits = storage_kbits(conv)
+        print(f"\nconventional {size} MB LRU: perf {target:.3f}, "
+              f"{conv_bits:.0f} Kbits")
+        matches = [
+            (label, spec, perf)
+            for label, (spec, perf) in rc_perf.items()
+            if perf >= target * (1 - TOLERANCE)
+        ]
+        if not matches:
+            print("  no reuse cache candidate matches — add larger candidates")
+            continue
+        label, spec, perf = min(matches, key=lambda m: storage_kbits(m[1]))
+        bits = storage_kbits(spec)
+        print(f"  cheapest match: {label} (perf {perf:.3f}), "
+              f"{bits:.0f} Kbits = {bits / conv_bits:.1%} of the storage "
+              f"({1 - bits / conv_bits:.0%} saved)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Extend the library: plug a custom replacement policy into the reuse cache.
+
+The paper notes (Section 6) that NRR is not sacred — any policy that
+identifies soon-to-be-referenced lines can govern the tag or data array.
+This example registers a custom tag policy (a signature-less SHiP flavour:
+protect lines by a small saturating reuse counter instead of NRR's single
+bit), selects it through ``LLCSpec.reuse(tag_policy=...)`` and compares it
+against stock NRR on one workload.
+"""
+
+from repro import EXAMPLE_MIX, LLCSpec, SystemConfig, build_workload, run_workload
+from repro.replacement import POLICIES, ReplacementPolicy
+
+
+class ReuseCounterPolicy(ReplacementPolicy):
+    """Protect lines by a 2-bit reuse counter (a SHiP-like confidence)."""
+
+    name = "reuse2bit"
+
+    def __init__(self, num_sets, assoc, rng=None):
+        super().__init__(num_sets, assoc, rng)
+        self._count = [[0] * assoc for _ in range(num_sets)]
+
+    def on_fill(self, set_idx, way, thread=0):
+        self._count[set_idx][way] = 0
+
+    def on_hit(self, set_idx, way, thread=0):
+        counters = self._count[set_idx]
+        if counters[way] < 3:
+            counters[way] += 1
+
+    def on_invalidate(self, set_idx, way):
+        self._count[set_idx][way] = 0
+
+    def victim(self, set_idx, candidates):
+        self._check_candidates(candidates)
+        counters = self._count[set_idx]
+        lowest = min(counters[w] for w in candidates)
+        pool = [w for w in candidates if counters[w] == lowest]
+        # age the rest so stale confidence decays
+        for w in range(self.assoc):
+            if counters[w] > 0:
+                counters[w] -= 1
+        return pool[0] if len(pool) == 1 else self.rng.choice(pool)
+
+
+def main() -> None:
+    # Register the policy; every LLCSpec resolves names through this table.
+    POLICIES[ReuseCounterPolicy.name] = ReuseCounterPolicy
+
+    workload = build_workload(EXAMPLE_MIX, n_refs=25_000, seed=5)
+    base = run_workload(SystemConfig(llc=LLCSpec.conventional(8, "lru")), workload)
+
+    print("RC-4/1 speedup over the 8 MB LRU baseline:")
+    for tag_policy in ("nrr", "reuse2bit"):
+        spec = LLCSpec.reuse(4, 1, tag_policy=tag_policy)
+        run = run_workload(SystemConfig(llc=spec), workload)
+        print(f"  tag policy {tag_policy:<10}: {run.performance / base.performance:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: compare a reuse cache against the conventional baseline.
+
+Builds one multiprogrammed 8-application workload, runs it on the paper's
+baseline (conventional 8 MB LRU SLLC) and on the headline reuse cache
+RC-4/1 (4 MBeq tag array, 1 MB data array — 16.7 % of the baseline's
+storage), and reports speedup and cache behaviour.
+"""
+
+from repro import (
+    EXAMPLE_MIX,
+    LLCSpec,
+    SystemConfig,
+    build_workload,
+    conventional_cost,
+    reuse_cache_cost,
+    run_workload,
+)
+
+
+def main() -> None:
+    # The paper's example workload: gcc, mcf, povray, leslie3d, h264ref,
+    # lbm, namd, gcc (Section 2, footnote 1).
+    workload = build_workload(EXAMPLE_MIX, n_refs=30_000, seed=7)
+
+    baseline_cfg = SystemConfig(llc=LLCSpec.conventional(8, "lru"))
+    reuse_cfg = SystemConfig(llc=LLCSpec.reuse(4, 1))
+
+    print(f"workload: {workload.name}")
+    print("running conventional 8 MB LRU baseline ...")
+    base = run_workload(baseline_cfg, workload)
+    print("running reuse cache RC-4/1 ...")
+    rc = run_workload(reuse_cfg, workload)
+
+    speedup = rc.performance / base.performance
+    print()
+    print(f"baseline aggregate IPC : {base.performance:.3f}")
+    print(f"RC-4/1 aggregate IPC   : {rc.performance:.3f}")
+    print(f"speedup                : {speedup:.3f}")
+
+    stats = rc.llc_stats
+    print()
+    print("reuse cache behaviour:")
+    print(f"  tag fills (lines seen)        : {stats['tag_fills']}")
+    print(f"  data fills (lines kept)       : {stats['data_fills']}")
+    print(f"  lines never entered data array: {stats['fraction_not_entered']:.1%}")
+    print(f"  reuse detections (TO hits)    : {stats['to_hits']}")
+    print(f"  second memory fetches         : {stats['reuse_reloads']}")
+
+    conv_bits = conventional_cost(8).total_kbits
+    rc_bits = reuse_cache_cost(4, 1).total_kbits
+    print()
+    print(f"storage: {rc_bits:.0f} Kbits vs {conv_bits:.0f} Kbits "
+          f"({rc_bits / conv_bits:.1%} of the baseline)")
+
+
+if __name__ == "__main__":
+    main()

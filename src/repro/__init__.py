@@ -1,0 +1,100 @@
+"""repro — a reproduction of "The Reuse Cache: Downsizing the Shared
+Last-Level Cache" (Albericio, Ibáñez, Viñals, Llabería; MICRO 2013).
+
+The package provides:
+
+* :class:`~repro.core.reuse_cache.ReuseCache` — the paper's decoupled
+  tag/data SLLC with selective (reuse-driven) data allocation;
+* baselines: a conventional inclusive SLLC with pluggable replacement
+  (LRU, NRU, NRR, TA-DRRIP, ...) and the NCID architecture;
+* an eight-core CMP timing simulator with private L1/L2 caches, a banked
+  SLLC, a crossbar and a DDR3 memory model;
+* synthetic SPEC-like and parallel workload generators;
+* metrics (liveness, hit distributions, MPKI, speedups), the exact
+  hardware-cost model of Table 2 and a latency surrogate for Table 3;
+* experiment drivers reproducing every table and figure of the paper
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import LLCSpec, SystemConfig, run_workload, build_workload
+
+    workload = build_workload(["mcf", "gcc"] * 4, n_refs=50_000, seed=1)
+    base = run_workload(SystemConfig(llc=LLCSpec.conventional(8)), workload)
+    rc = run_workload(SystemConfig(llc=LLCSpec.reuse(4, 1)), workload)
+    print("speedup:", rc.performance / base.performance)
+"""
+
+from .cache import ConventionalLLC, NCIDCache, PrivateHierarchy
+from .coherence import Event, State
+from .core import (
+    ReuseCache,
+    SRAMLatencyModel,
+    conventional_cost,
+    figure8_storage_kbits,
+    reuse_cache_cost,
+    table2,
+    table3,
+)
+from .dram import DDR3Config, DDR3Memory
+from .hierarchy import LLCSpec, RunResult, System, SystemConfig, run_workload
+from .metrics import GenerationLog, GenerationRecorder, geomean, mpki, quartiles, speedup
+from .workloads import (
+    EXAMPLE_MIX,
+    PARALLEL_APPS,
+    SPEC_APPS,
+    SPEC_PROFILES,
+    Trace,
+    Workload,
+    build_mix_suite,
+    build_workload,
+    generate_parallel_workload,
+    generate_trace,
+    load_workload,
+    make_mixes,
+    save_workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReuseCache",
+    "ConventionalLLC",
+    "NCIDCache",
+    "PrivateHierarchy",
+    "State",
+    "Event",
+    "DDR3Config",
+    "DDR3Memory",
+    "LLCSpec",
+    "SystemConfig",
+    "System",
+    "RunResult",
+    "run_workload",
+    "GenerationRecorder",
+    "GenerationLog",
+    "speedup",
+    "mpki",
+    "geomean",
+    "quartiles",
+    "conventional_cost",
+    "reuse_cache_cost",
+    "table2",
+    "table3",
+    "figure8_storage_kbits",
+    "SRAMLatencyModel",
+    "Trace",
+    "Workload",
+    "SPEC_APPS",
+    "SPEC_PROFILES",
+    "PARALLEL_APPS",
+    "EXAMPLE_MIX",
+    "build_workload",
+    "build_mix_suite",
+    "make_mixes",
+    "generate_trace",
+    "generate_parallel_workload",
+    "save_workload",
+    "load_workload",
+    "__version__",
+]

@@ -1,0 +1,164 @@
+"""Command-line interface: regenerate any table/figure of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig5 --workloads 8 --refs 30000
+    python -m repro table6 --scale 32 --seed 7
+    python -m repro all
+
+Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
+for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+
+from . import experiments as ex
+from .experiments import ExperimentParams
+
+#: experiment name -> (runner, formatter, needs_params)
+EXPERIMENTS = {
+    "fig1a": (ex.run_fig1a, ex.format_fig1a, True),
+    "fig1b": (ex.run_fig1b, ex.format_fig1b, True),
+    "table2": (ex.run_table2, ex.format_table2, False),
+    "table3": (ex.run_table3, ex.format_table3, False),
+    "table5": (ex.run_table5, ex.format_table5, True),
+    "table6": (ex.run_table6, ex.format_table6, True),
+    "fig4": (ex.run_fig4, ex.format_fig4, True),
+    "fig5": (ex.run_fig5, ex.format_fig5, True),
+    "fig6": (ex.run_fig6, ex.format_fig6, True),
+    "fig7": (ex.run_fig7, ex.format_fig7, True),
+    "fig8": (ex.run_fig8, ex.format_fig8, True),
+    "fig9": (ex.run_fig9, ex.format_fig9, True),
+    "fig10": (ex.run_fig10, ex.format_fig10, True),
+    "fig11": (ex.run_fig11, ex.format_fig11, True),
+    "bandwidth": (ex.run_bandwidth, ex.format_bandwidth, True),
+    # extensions beyond the paper's evaluation
+    "zoo": (ex.run_zoo, ex.format_zoo, True),
+    "energy": (ex.run_energy_study, ex.format_energy, True),
+    "traffic": (ex.run_traffic, ex.format_traffic, True),
+    "opt": (ex.run_opt_bound, ex.format_opt_bound, True),
+    "prefetch": (ex.run_prefetch, ex.format_prefetch, True),
+    "robustness": (ex.run_robustness, ex.format_robustness, True),
+    "mlp": (ex.run_mlp, ex.format_mlp, True),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'The Reuse Cache' (MICRO 2013).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list'), or 'all', or 'list'",
+    )
+    defaults = ExperimentParams()
+    parser.add_argument("--workloads", type=int, default=defaults.n_workloads,
+                        help="number of multiprogrammed mixes")
+    parser.add_argument("--refs", type=int, default=defaults.n_refs,
+                        help="memory references per core")
+    parser.add_argument("--scale", type=int, default=defaults.scale,
+                        help="capacity divisor (1 = paper-size caches)")
+    parser.add_argument("--seed", type=int, default=defaults.seed)
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also dump the raw result dict as JSON (figure data for plotting)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also append everything printed to FILE (report capture)",
+    )
+    return parser
+
+
+class _Tee:
+    """Duplicate stdout writes into a file (for ``--out`` report capture)."""
+
+    def __init__(self, stream, fh):
+        self._stream = stream
+        self._fh = fh
+
+    def write(self, text):
+        self._stream.write(text)
+        self._fh.write(text)
+
+    def flush(self):
+        self._stream.flush()
+        self._fh.flush()
+
+
+def _jsonable(obj):
+    """Best-effort conversion of experiment results to JSON-safe values."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(dataclasses.asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    return str(obj)
+
+
+def run_one(name: str, params: ExperimentParams, json_path=None) -> None:
+    """Run one experiment, print its rows, optionally dump JSON."""
+    runner, formatter, needs_params = EXPERIMENTS[name]
+    start = time.time()
+    result = runner(params) if needs_params else runner()
+    print(formatter(result))
+    print(f"[{name}: {time.time() - start:.1f}s]\n")
+    if json_path:
+        with open(json_path, "w") as fh:
+            json.dump({name: _jsonable(result)}, fh, indent=2)
+        print(f"wrote {json_path}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            print(f"  {name}")
+        return 0
+    params = ExperimentParams(
+        n_workloads=args.workloads,
+        n_refs=args.refs,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    out_fh = open(args.out, "a") if args.out else None
+    original_stdout = sys.stdout
+    if out_fh:
+        sys.stdout = _Tee(original_stdout, out_fh)
+    try:
+        if args.experiment == "all":
+            for name in EXPERIMENTS:
+                run_one(name, params)
+            return 0
+        if args.experiment not in EXPERIMENTS:
+            print(f"unknown experiment {args.experiment!r}; try 'list'",
+                  file=sys.stderr)
+            return 2
+        run_one(args.experiment, params, json_path=args.json)
+        return 0
+    finally:
+        if out_fh:
+            sys.stdout = original_stdout
+            out_fh.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

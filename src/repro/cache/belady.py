@@ -1,0 +1,74 @@
+"""Belady's OPT: offline optimal replacement for bound studies.
+
+OPT evicts the resident line whose next use lies furthest in the future.
+It is not implementable in hardware (it needs the future) but bounds what
+any replacement policy — including the reuse cache's selective allocation —
+could achieve at a given capacity.  The bound here is *fully associative*
+OPT, which is an upper bound for any set-associative organisation of the
+same capacity.
+
+The implementation is the standard two-pass algorithm: a reverse scan
+precomputes each access's next-use index, then a forward scan keeps the
+resident set in a lazy max-heap keyed by next use.  Complexity is
+O(N log C) for N accesses and capacity C.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+def next_use_indices(trace) -> list:
+    """For each access, the index of the next access to the same line
+    (``len(trace)`` when there is none)."""
+    n = len(trace)
+    next_use = [n] * n
+    last_seen = {}
+    for i in range(n - 1, -1, -1):
+        addr = trace[i]
+        next_use[i] = last_seen.get(addr, n)
+        last_seen[addr] = i
+    return next_use
+
+
+def belady_hits(trace, capacity: int) -> int:
+    """Number of hits OPT achieves on ``trace`` with ``capacity`` lines."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    n = len(trace)
+    next_use = next_use_indices(trace)
+    resident = {}  # addr -> current next-use index
+    heap = []  # (-next_use, addr), lazily invalidated
+    hits = 0
+    for i, addr in enumerate(trace):
+        nu = next_use[i]
+        if addr in resident:
+            hits += 1
+            resident[addr] = nu
+            heapq.heappush(heap, (-nu, addr))
+            continue
+        if len(resident) >= capacity:
+            # A line never used again (next use == n) is always the top of
+            # the heap if one exists; otherwise the furthest-future line.
+            while True:
+                neg_nu, victim = heapq.heappop(heap)
+                if resident.get(victim) == -neg_nu:
+                    break  # a live heap entry
+            # Bypass optimisation: if the incoming line's next use is even
+            # further than the chosen victim's, keeping the victim is at
+            # least as good (classic OPT admits bypass at the LLC).
+            if -neg_nu < nu:
+                resident[victim] = -neg_nu
+                heapq.heappush(heap, (neg_nu, victim))
+                continue
+            del resident[victim]
+        resident[addr] = nu
+        heapq.heappush(heap, (-nu, addr))
+    return hits
+
+
+def belady_hit_ratio(trace, capacity: int) -> float:
+    """OPT hit ratio on ``trace`` (0.0 for an empty trace)."""
+    if not len(trace):
+        return 0.0
+    return belady_hits(trace, capacity) / len(trace)

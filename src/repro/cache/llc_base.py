@@ -1,0 +1,142 @@
+"""Common interface of all shared last-level cache models.
+
+The CMP system drives every SLLC variant (conventional, reuse cache, NCID)
+through three entry points:
+
+* :meth:`BaseLLC.access` — a demand GETS/GETX from a core whose private
+  caches missed;
+* :meth:`BaseLLC.upgrade` — an UPG from a core writing a clean private copy;
+* :meth:`BaseLLC.notify_private_eviction` — a PUTS/PUTX when a private L2
+  evicts a line.
+
+``access`` returns an :class:`LLCAccess` describing where the data came from
+and which side effects the system must apply (DRAM traffic, coherence
+invalidations of the same line in other cores, and inclusion-driven
+back-invalidations of SLLC victim lines).
+
+Addresses given to an LLC are *bank-local* line addresses: the system strips
+the bank-interleaving bits before calling in, so each bank instance is an
+independent cache over its own address space.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class LLCAccess:
+    """Outcome of one SLLC access (see module docstring)."""
+
+    __slots__ = ("source", "dram_reads", "writebacks", "coherence_invals", "inclusion_invals")
+
+    def __init__(
+        self,
+        source: str,
+        dram_reads: int = 0,
+        writebacks=(),
+        coherence_invals=(),
+        inclusion_invals=(),
+    ):
+        #: 'llc' (served by the data array), 'peer' (cache-to-cache from
+        #: another core's private cache) or 'dram'
+        self.source = source
+        self.dram_reads = dram_reads
+        #: line addresses of writebacks the SLLC itself issues (dirty victims)
+        self.writebacks = writebacks
+        #: core ids that must invalidate their private copy of the
+        #: *requested* line (GETX/UPG)
+        self.coherence_invals = coherence_invals
+        #: (core, line_addr) private copies of SLLC *victim* lines that must
+        #: be back-invalidated to preserve inclusion
+        self.inclusion_invals = inclusion_invals
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (
+            f"LLCAccess({self.source}, rd={self.dram_reads}, wb={self.writebacks}, "
+            f"coh={self.coherence_invals}, incl={self.inclusion_invals})"
+        )
+
+
+class _NullRecorder:
+    """Recorder stub used when no generation tracking is requested."""
+
+    __slots__ = ()
+
+    def on_fill(self, addr, now):
+        pass
+
+    def on_hit(self, addr, now):
+        pass
+
+    def on_evict(self, addr, now):
+        pass
+
+
+NULL_RECORDER = _NullRecorder()
+
+
+class BaseLLC:
+    """Base class holding the statistics shared by all SLLC models."""
+
+    kind = "base"
+
+    def __init__(self, num_cores: int, rng: random.Random | None = None):
+        self.num_cores = num_cores
+        self.rng = rng if rng is not None else random.Random(0)
+        #: generation recorder for liveness / hit-distribution metrics;
+        #: replaced via :meth:`attach_recorder`
+        self.recorder = NULL_RECORDER
+        # aggregate counters
+        self.accesses = 0
+        self.data_hits = 0  # served by the SLLC data array
+        self.tag_misses = 0  # line absent even from the tag array
+        self.upgrades = 0
+        self.prefetches = 0
+        self.tag_fills = 0
+        self.data_fills = 0
+        # per-core demand misses (accesses that had to touch DRAM)
+        self.core_accesses = [0] * num_cores
+        self.core_dram_fetches = [0] * num_cores
+
+    def attach_recorder(self, recorder) -> None:
+        """Install a generation recorder (see :mod:`repro.metrics`)."""
+        self.recorder = recorder
+
+    # -- interface -------------------------------------------------------------
+    def access(self, addr: int, core: int, is_write: bool, now: int) -> LLCAccess:
+        """Demand GETS/GETX; subclasses implement the organisation."""
+        raise NotImplementedError
+
+    def upgrade(self, addr: int, core: int) -> tuple:
+        """Handle an UPG; returns core ids to invalidate."""
+        raise NotImplementedError
+
+    def prefetch(self, addr: int, core: int, now: int) -> LLCAccess:
+        """Handle a prefetch GETS on behalf of ``core``.
+
+        Unlike a demand access, a prefetch must not *promote* replacement
+        state: the paper (Section 6) assigns prefetched lines a priority as
+        low as non-reused data.  Subclasses override; the default treats it
+        as unsupported.
+        """
+        raise NotImplementedError
+
+    def notify_private_eviction(self, addr: int, core: int, dirty: bool):
+        """Handle a PUTS/PUTX; returns line addresses to write back to DRAM."""
+        raise NotImplementedError
+
+    # -- introspection -----------------------------------------------------------
+    def resident_data_lines(self):
+        """Iterable of line addresses currently held in the data array."""
+        raise NotImplementedError
+
+    def stats(self) -> dict:
+        """Aggregate counters of this SLLC instance."""
+        return {
+            "accesses": self.accesses,
+            "data_hits": self.data_hits,
+            "tag_misses": self.tag_misses,
+            "upgrades": self.upgrades,
+            "tag_fills": self.tag_fills,
+            "data_fills": self.data_fills,
+        }

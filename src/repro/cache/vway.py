@@ -1,0 +1,174 @@
+"""The V-way cache [Qureshi, Thompson, Patt — ISCA 2005].
+
+The other decoupled tag/data design the paper discusses (Section 6): the
+tag array holds **twice** the entries of the data array (doubling each
+set's ways), breaking the rigid set-to-data binding so a hot set can hold
+more lines than its share of the data array — "demand-based associativity
+via global replacement".
+
+Contrast with the reuse cache:
+
+* **allocation is non-selective** — every miss allocates tag *and* data, so
+  the data array must equal the conventional capacity to avoid losses;
+* a tag without data is simply *invalid*: reclaiming a data entry for
+  another set invalidates the previous holder's tag entirely (no TO state,
+  no reuse memory);
+* data replacement is global Reuse Replacement (2-bit counters).
+
+Structurally it reuses the decoupled fwd/rev pointer machinery of
+:class:`repro.core.reuse_cache.ReuseCache` with a fully associative data
+array, overriding allocation so data is assigned on every fill.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..cache.llc_base import LLCAccess
+from ..core.reuse_cache import ReuseCache, _INV, _M, _S
+from ..utils import require_power_of_two
+
+
+class VWayCache(ReuseCache):
+    """V-way SLLC: doubled tags, global data replacement, demand allocation."""
+
+    kind = "vway"
+
+    #: tag entries per data entry (the original evaluates 2x)
+    tag_ratio = 2
+
+    def __init__(
+        self,
+        data_lines: int,
+        base_assoc: int = 16,
+        num_cores: int = 8,
+        rng: random.Random | None = None,
+    ):
+        require_power_of_two(data_lines, "data_lines")
+        super().__init__(
+            tag_lines=self.tag_ratio * data_lines,
+            tag_assoc=self.tag_ratio * base_assoc,  # same sets as conventional
+            data_lines=data_lines,
+            data_assoc="full",
+            num_cores=num_cores,
+            tag_policy="nru",
+            data_policy="reuse_repl",
+            rng=rng,
+        )
+
+    # -- allocation: every miss gets tag AND data ------------------------------------
+    def _tag_miss(self, addr, set_idx, core, now) -> LLCAccess:
+        self.tag_misses += 1
+        self.core_dram_fetches[core] += 1
+        writebacks = ()
+        inclusion_invals = ()
+        way = self.tags.free_way(set_idx)
+        if way is None:
+            # Set full: evict a tag from this set (frees its data too).
+            way, writebacks, inclusion_invals = self._evict_tag(set_idx, now)
+        self.tags.install(set_idx, way, addr)
+        self._state[set_idx][way] = _S
+        self._fwd[set_idx][way] = -1
+        self._to_count[set_idx][way] = 0
+        self.directory.set_only(set_idx, way, core)
+        self.tag_repl.on_fill(set_idx, way, core)
+        self.tag_fills += 1
+        wb2, invals2 = self._allocate_data_globally(addr, set_idx, way, now)
+        return LLCAccess(
+            "dram",
+            dram_reads=1,
+            writebacks=writebacks + wb2,
+            inclusion_invals=inclusion_invals + invals2,
+        )
+
+    def _allocate_data_globally(self, addr, tag_set, tag_way, now):
+        """Assign a data entry; a global victim's *tag* is invalidated."""
+        dset = addr & self._dmask  # 0: fully associative
+        rev = self._rev[dset]
+        writebacks = ()
+        inclusion_invals = ()
+        dway = None
+        for w in range(self.data_assoc):
+            if rev[w] is None:
+                dway = w
+                break
+        if dway is None:
+            dway = self.data_repl.victim(dset, list(range(self.data_assoc)))
+            writebacks, inclusion_invals = self._invalidate_data_holder(dset, dway, now)
+        rev[dway] = (tag_set, tag_way)
+        self._d_addr[dset][dway] = addr
+        self._d_dirty[dset][dway] = False
+        self._fwd[tag_set][tag_way] = dway
+        self.data_repl.on_fill(dset, dway)
+        self.data_fills += 1
+        self.recorder.on_fill(addr, now)
+        return writebacks, inclusion_invals
+
+    def _invalidate_data_holder(self, dset, dway, now):
+        """Reclaim a data entry: the owning tag becomes fully invalid."""
+        tag_set, tag_way = self._rev[dset][dway]
+        victim_addr = self._d_addr[dset][dway]
+        self.recorder.on_evict(victim_addr, now)
+        writebacks = (victim_addr,) if self._d_dirty[dset][dway] else ()
+        self._rev[dset][dway] = None
+        self._d_addr[dset][dway] = None
+        self._d_dirty[dset][dway] = False
+        self.data_repl.on_invalidate(dset, dway)
+        # invalidate the tag (V-way has no tag-only residency)
+        self.tags.evict(tag_set, tag_way)
+        sharers = self.directory.sharers(tag_set, tag_way)
+        inclusion_invals = tuple((c, victim_addr) for c in sharers)
+        self.directory.clear(tag_set, tag_way)
+        self._state[tag_set][tag_way] = _INV
+        self._fwd[tag_set][tag_way] = -1
+        self.tag_repl.on_invalidate(tag_set, tag_way)
+        return writebacks, inclusion_invals
+
+    def _evict_tag(self, set_idx, now):
+        """In-set tag eviction (set ran out of virtual ways)."""
+        directory = self.directory
+        candidates = self.tags.valid_ways(set_idx)
+        unshared = [w for w in candidates if not directory.in_private_caches(set_idx, w)]
+        way = self.tag_repl.victim(set_idx, unshared if unshared else candidates)
+        victim_addr = self.tags.evict(set_idx, way)
+        writebacks = ()
+        if self._fwd[set_idx][way] >= 0:
+            dset = victim_addr & self._dmask
+            dway = self._fwd[set_idx][way]
+            writebacks = (victim_addr,) if self._d_dirty[dset][dway] else ()
+            self.recorder.on_evict(victim_addr, now)
+            self._rev[dset][dway] = None
+            self._d_addr[dset][dway] = None
+            self._d_dirty[dset][dway] = False
+            self.data_repl.on_invalidate(dset, dway)
+        sharers = directory.sharers(set_idx, way)
+        inclusion_invals = tuple((c, victim_addr) for c in sharers)
+        directory.clear(set_idx, way)
+        self._state[set_idx][way] = _INV
+        self._fwd[set_idx][way] = -1
+        self.tag_repl.on_invalidate(set_idx, way)
+        return way, writebacks, inclusion_invals
+
+    def prefetch(self, addr: int, core: int, now: int) -> LLCAccess:
+        """V-way prefetch: a non-selective design allocates on prefetch too
+        (no tag-only residency exists), without promoting replacement state."""
+        self.prefetches += 1
+        set_idx, way = self.tags.lookup(addr)
+        if way is not None:
+            self.directory.add(set_idx, way, core)
+            return LLCAccess("llc")
+        res = self._tag_miss(addr, set_idx, core, now)
+        self.tag_misses -= 1  # not a demand miss
+        self.core_dram_fetches[core] -= 1
+        return res
+
+    def check_no_tag_only_states(self) -> bool:
+        """V-way invariant: every valid tag has a data entry."""
+        for tset in range(self.tags.num_sets):
+            for tway in range(self.tag_assoc):
+                if self.tags.addrs[tset][tway] is not None:
+                    if self._fwd[tset][tway] < 0:
+                        return False
+                    if self._state[tset][tway] not in (_S, _M):
+                        return False
+        return True

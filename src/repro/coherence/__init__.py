@@ -1,0 +1,31 @@
+"""Coherence support: TO-MSI states, executable protocol table, directory."""
+
+from .directory import Directory
+from .extended import (
+    XProtocolError,
+    XState,
+    XTransition,
+    apply_extended,
+    legal_events_extended,
+    stable_states,
+)
+from .protocol import ProtocolError, Transition, apply, legal_events
+from .states import TAG_DATA_STATES, TAG_ONLY_STATES, Event, State
+
+__all__ = [
+    "State",
+    "Event",
+    "TAG_DATA_STATES",
+    "TAG_ONLY_STATES",
+    "Transition",
+    "ProtocolError",
+    "apply",
+    "legal_events",
+    "Directory",
+    "XState",
+    "XTransition",
+    "XProtocolError",
+    "apply_extended",
+    "legal_events_extended",
+    "stable_states",
+]

@@ -1,0 +1,178 @@
+"""TO-MOSI: the full decoupled coherence protocol (paper footnote 2).
+
+The paper evaluates with an MSI-MOSI protocol of seven stable states plus
+"three additional stable states to track the tag-only situations"; Figure 3
+shows only the simplified TO-MSI teaching version (see
+:mod:`repro.coherence.protocol`).  This module provides the complete,
+ownership-aware table for a single-CMP inclusive SLLC.  Stable states:
+
+tag+data group (a data-array entry exists):
+
+* ``S``  — clean; memory up to date; any number of clean private copies;
+* ``O``  — the data-array copy is the *newest* in the system (memory
+  stale); private copies, if any, are clean;
+* ``M``  — memory stale and a single private owner may hold a copy newer
+  than the data array's.
+
+tag-only group (no data-array entry — the reuse cache's additions):
+
+* ``TS`` — memory up to date; any number of clean private copies;
+* ``TE`` — memory up to date; exactly one private, clean-exclusive copy
+  (the state a first access creates);
+* ``TM`` — memory stale; a single private owner holds the only valid copy.
+
+plus ``I``.  The directory's presence vector augments the state with *who*
+the sharers/owner are.
+
+Key structural properties (tested in ``tests/test_coherence_extended.py``):
+
+* data-array entries are allocated **only** by demand GETS/GETX on a
+  tag-only state (reuse detection) — never on first access;
+* the newest copy of a line is never silently dropped: every transition
+  that could lose it either writes memory back or keeps an owner;
+* a tag replacement always finishes at ``I``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from .states import Event
+
+
+class XState(Enum):
+    """Stable states of the full TO-MOSI protocol."""
+
+    I = "I"
+    S = "S"
+    O = "O"  # noqa: E741 - the canonical MOSI name
+    M = "M"
+    TS = "TS"
+    TE = "TE"
+    TM = "TM"
+
+    @property
+    def has_data(self) -> bool:
+        """True for the tag+data group (S/O/M)."""
+        return self in (XState.S, XState.O, XState.M)
+
+    @property
+    def tag_only(self) -> bool:
+        """True for the tag-only group (TS/TE/TM)."""
+        return self in (XState.TS, XState.TE, XState.TM)
+
+    @property
+    def memory_stale(self) -> bool:
+        """True when main memory does not hold the newest data."""
+        return self in (XState.O, XState.M, XState.TM)
+
+
+@dataclass(frozen=True)
+class XTransition:
+    """Outcome of one event on one stable state."""
+
+    next_state: XState
+    allocates_data: bool = False
+    deallocates_data: bool = False
+    writeback_to_memory: bool = False
+    writeback_to_data_array: bool = False
+    #: data is supplied by the private owner (cache-to-cache)
+    owner_supplies_data: bool = False
+
+
+class XProtocolError(Exception):
+    """Raised for an event that is illegal in the given stable state."""
+
+
+_T = XTransition
+_TABLE = {
+    # -- invalid: first access allocates a tag only -----------------------------
+    (XState.I, Event.GETS): _T(XState.TE),
+    (XState.I, Event.GETX): _T(XState.TM),
+    # -- TS: tag-only, clean ------------------------------------------------------
+    (XState.TS, Event.GETS): _T(XState.S, allocates_data=True),
+    (XState.TS, Event.GETX): _T(XState.M, allocates_data=True),
+    (XState.TS, Event.UPG): _T(XState.TM),
+    (XState.TS, Event.PUTS): _T(XState.TS),
+    (XState.TS, Event.TAG_REPL): _T(XState.I),
+    # -- TE: tag-only, one clean-exclusive private copy -----------------------------
+    (XState.TE, Event.GETS): _T(
+        XState.S, allocates_data=True, owner_supplies_data=True
+    ),
+    (XState.TE, Event.GETX): _T(
+        XState.M, allocates_data=True, owner_supplies_data=True
+    ),
+    # the exclusive holder takes ownership to write (E -> M privately)
+    (XState.TE, Event.UPG): _T(XState.TM),
+    (XState.TE, Event.PUTS): _T(XState.TS),
+    # an E copy may have been dirtied silently; its eviction carries data
+    (XState.TE, Event.PUTX): _T(XState.TS, writeback_to_memory=True),
+    (XState.TE, Event.TAG_REPL): _T(XState.I),
+    # -- TM: tag-only, private owner holds the only valid copy ----------------------
+    (XState.TM, Event.GETS): _T(
+        XState.O, allocates_data=True, owner_supplies_data=True
+    ),
+    (XState.TM, Event.GETX): _T(
+        XState.M, allocates_data=True, owner_supplies_data=True
+    ),
+    # the owner's eviction always carries data (no PUTS from ownership:
+    # the protocol cannot tell a clean owner from a dirty one, so owners
+    # must downgrade with a data-carrying PUTX)
+    (XState.TM, Event.PUTX): _T(XState.TS, writeback_to_memory=True),
+    # back-invalidating the owner flushes its dirty copy to memory
+    (XState.TM, Event.TAG_REPL): _T(XState.I, writeback_to_memory=True),
+    # -- S: tag+data, clean ----------------------------------------------------------
+    (XState.S, Event.GETS): _T(XState.S),
+    (XState.S, Event.GETX): _T(XState.M),
+    (XState.S, Event.UPG): _T(XState.M),
+    (XState.S, Event.PUTS): _T(XState.S),
+    (XState.S, Event.PUTX): _T(XState.O, writeback_to_data_array=True),
+    (XState.S, Event.DATA_REPL): _T(XState.TS, deallocates_data=True),
+    (XState.S, Event.TAG_REPL): _T(XState.I, deallocates_data=True),
+    # -- O: tag+data, data array owns the newest copy ---------------------------------
+    (XState.O, Event.GETS): _T(XState.O),
+    (XState.O, Event.GETX): _T(XState.M),
+    (XState.O, Event.UPG): _T(XState.M),
+    (XState.O, Event.PUTS): _T(XState.O),
+    (XState.O, Event.PUTX): _T(XState.O, writeback_to_data_array=True),
+    (XState.O, Event.DATA_REPL): _T(
+        XState.TS, deallocates_data=True, writeback_to_memory=True
+    ),
+    (XState.O, Event.TAG_REPL): _T(
+        XState.I, deallocates_data=True, writeback_to_memory=True
+    ),
+    # -- M: tag+data, a private owner may hold a newer copy ----------------------------
+    (XState.M, Event.GETS): _T(XState.O, owner_supplies_data=True,
+                               writeback_to_data_array=True),
+    (XState.M, Event.GETX): _T(XState.M),
+    (XState.M, Event.PUTS): _T(XState.O),
+    (XState.M, Event.PUTX): _T(XState.O, writeback_to_data_array=True),
+    # the owner keeps the newest copy; the stale data-array copy is dropped
+    (XState.M, Event.DATA_REPL): _T(XState.TM, deallocates_data=True),
+    # back-invalidation flushes the owner; the LLC copy is stale
+    (XState.M, Event.TAG_REPL): _T(
+        XState.I, deallocates_data=True, writeback_to_memory=True
+    ),
+}
+
+
+def apply_extended(state: XState, event: Event) -> XTransition:
+    """Apply ``event`` in ``state``; raises XProtocolError when illegal."""
+    try:
+        return _TABLE[(state, event)]
+    except KeyError:
+        raise XProtocolError(
+            f"event {event.value} is illegal in state {state.value}"
+        ) from None
+
+
+def legal_events_extended(state: XState):
+    """Events legal in ``state``, sorted by name."""
+    return sorted((e for (s, e) in _TABLE if s is state), key=lambda e: e.value)
+
+
+def stable_states():
+    """All stable states; 7 in total — the tag-only group contributes the
+    three states the paper says the reuse cache adds."""
+    return list(XState)

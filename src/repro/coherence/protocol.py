@@ -1,0 +1,98 @@
+"""Executable transition table for the TO-MSI example protocol (paper Fig. 3).
+
+This is a *functional* rendering of the state machine: given a stable state
+and an event it yields the next stable state plus the data-array actions the
+transition implies.  The operational SLLC models in :mod:`repro.core` and
+:mod:`repro.cache` implement the same behaviour inline for speed; this table
+is the specification they are tested against.
+
+Transitions (paper Fig. 3, Table 1):
+
+* tag-only → tag+data on the first SLLC hit: ``TO --GETS--> S`` and
+  ``TO --GETX--> M`` insert the line into the data array (reuse detected);
+* tag+data → tag-only on a data-array eviction: ``S/M --DataRepl--> TO``;
+* ``I --GETS/GETX--> TO`` allocates a tag without data (selective
+  allocation: the first access never fills the data array);
+* PUTS/PUTX do not move lines between the groups: a dirty writeback in a
+  tag+data state lands in the data array (``S --PUTX--> M``); in TO the
+  writeback is forwarded to memory and the state stays TO;
+* a tag replacement always finishes at I.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .states import Event, State
+
+
+@dataclass(frozen=True)
+class Transition:
+    """Outcome of applying an event to a stable state."""
+
+    next_state: State
+    #: the line enters the data array (reuse detected)
+    allocates_data: bool = False
+    #: the line leaves the data array
+    deallocates_data: bool = False
+    #: dirty data must be written back to main memory
+    writeback_to_memory: bool = False
+    #: dirty data is merged into the SLLC data array
+    writeback_to_data_array: bool = False
+
+
+class ProtocolError(Exception):
+    """Raised for an event that is not legal in the given stable state."""
+
+
+#: (state, event) -> Transition.  PUTX entries assume the evicted private
+#: copy was dirty; PUTS entries assume it was clean.
+_TABLE = {
+    # -- invalid ---------------------------------------------------------------
+    (State.I, Event.GETS): Transition(State.TO),
+    (State.I, Event.GETX): Transition(State.TO),
+    # -- tag-only ----------------------------------------------------------------
+    (State.TO, Event.GETS): Transition(State.S, allocates_data=True),
+    (State.TO, Event.GETX): Transition(State.M, allocates_data=True),
+    # UPG in TO: the writer already holds the data; ownership moves to it and
+    # the SLLC keeps only the (possibly stale) tag.
+    (State.TO, Event.UPG): Transition(State.TO),
+    (State.TO, Event.PUTS): Transition(State.TO),
+    (State.TO, Event.PUTX): Transition(State.TO, writeback_to_memory=True),
+    (State.TO, Event.TAG_REPL): Transition(State.I),
+    # -- shared (tag+data, clean) ----------------------------------------------
+    (State.S, Event.GETS): Transition(State.S),
+    (State.S, Event.GETX): Transition(State.M),
+    (State.S, Event.UPG): Transition(State.M),
+    (State.S, Event.PUTS): Transition(State.S),
+    (State.S, Event.PUTX): Transition(State.M, writeback_to_data_array=True),
+    (State.S, Event.DATA_REPL): Transition(State.TO, deallocates_data=True),
+    (State.S, Event.TAG_REPL): Transition(State.I, deallocates_data=True),
+    # -- modified (tag+data, dirty) ----------------------------------------------
+    (State.M, Event.GETS): Transition(State.M),
+    (State.M, Event.GETX): Transition(State.M),
+    (State.M, Event.UPG): Transition(State.M),
+    (State.M, Event.PUTS): Transition(State.M),
+    (State.M, Event.PUTX): Transition(State.M, writeback_to_data_array=True),
+    (State.M, Event.DATA_REPL): Transition(
+        State.TO, deallocates_data=True, writeback_to_memory=True
+    ),
+    (State.M, Event.TAG_REPL): Transition(
+        State.I, deallocates_data=True, writeback_to_memory=True
+    ),
+}
+
+
+def apply(state: State, event: Event) -> Transition:
+    """Apply ``event`` to stable ``state``; raises ProtocolError if illegal."""
+    try:
+        return _TABLE[(state, event)]
+    except KeyError:
+        raise ProtocolError(f"event {event.value} is illegal in state {state.value}") from None
+
+
+def legal_events(state: State):
+    """Events legal in ``state`` (sorted by name, for tests/docs)."""
+    return sorted(
+        (e for (s, e) in _TABLE if s is state), key=lambda e: e.value
+    )

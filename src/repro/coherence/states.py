@@ -1,0 +1,63 @@
+"""Coherence states and events for the TO-MSI protocol family (paper Fig. 3).
+
+The reuse cache needs states that describe a line whose *tag* is resident in
+the SLLC while its *data* is not — the "tag-only" (TO) group.  This module
+defines the stable states and events of the simplified TO-MSI protocol the
+paper uses as its running example (Table 1), shared by the executable
+protocol table in :mod:`repro.coherence.protocol` and the operational SLLC
+models.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class State(Enum):
+    """Stable states of the TO-MSI protocol (paper Table 1a)."""
+
+    #: invalid / not present
+    I = "I"
+    #: unmodified, memory up to date, data present in the data array
+    S = "S"
+    #: modified, memory stale, data present in the data array
+    M = "M"
+    #: tag resident, no data-array entry (memory up to date *or* stale —
+    #: a private cache may hold a dirty copy)
+    TO = "TO"
+
+    @property
+    def has_data(self) -> bool:
+        """True for the tag+data group (paper Table 1a, "Data" column)."""
+        return self in (State.S, State.M)
+
+    @property
+    def tag_resident(self) -> bool:
+        """True for every state except I."""
+        return self is not State.I
+
+
+class Event(Enum):
+    """Protocol events (paper Table 1b)."""
+
+    #: data read or fetch request from a private cache
+    GETS = "GETS"
+    #: write request (read-for-ownership)
+    GETX = "GETX"
+    #: upgrade request (write to a clean shared private copy)
+    UPG = "UPG"
+    #: clean eviction notification from a private cache
+    PUTS = "PUTS"
+    #: dirty eviction notification from a private cache
+    PUTX = "PUTX"
+    #: eviction in the SLLC data array
+    DATA_REPL = "DataRepl"
+    #: eviction of the SLLC tag entry itself
+    TAG_REPL = "TagRepl"
+
+
+#: states whose lines occupy a data-array entry
+TAG_DATA_STATES = (State.S, State.M)
+
+#: states occupying only a tag-array entry
+TAG_ONLY_STATES = (State.TO,)

@@ -1,0 +1,23 @@
+"""The paper's contribution: the reuse cache and its cost/latency models."""
+
+from .cost_model import (
+    CostBreakdown,
+    conventional_cost,
+    figure8_storage_kbits,
+    reuse_cache_cost,
+    table2,
+)
+from .latency_model import LatencyComparison, SRAMLatencyModel, table3
+from .reuse_cache import ReuseCache
+
+__all__ = [
+    "ReuseCache",
+    "CostBreakdown",
+    "conventional_cost",
+    "reuse_cache_cost",
+    "table2",
+    "figure8_storage_kbits",
+    "SRAMLatencyModel",
+    "LatencyComparison",
+    "table3",
+]

@@ -1,0 +1,196 @@
+"""Exact hardware-cost accounting (paper Table 2 and Figure 8 labels).
+
+The paper counts the storage bits of conventional and reuse caches for an
+eight-core CMP with 40-bit physical addresses and 64 B lines:
+
+* a conventional 16-way cache tag entry holds a 21-bit tag, 4-bit coherence
+  state, 8-bit full-map presence vector and 1 replacement bit (NRU), and
+  each data entry holds 512 data bits;
+* a reuse-cache tag entry adds one coherence-state bit (the protocol
+  roughly doubles its stable states) and a forward pointer; each data entry
+  adds a valid bit, a replacement bit (NRU/Clock) and a reverse pointer.
+
+Pointer widths follow Section 3.3: the forward pointer selects the data-array
+way; the reverse pointer selects the tag way plus the tag-index bits not
+implied by the data index.  This module reproduces Table 2 exactly and the
+Kbit labels of Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..utils import ilog2
+
+#: paper assumptions
+PHYS_ADDR_BITS = 40
+LINE_BYTES = 64
+LINE_BITS = LINE_BYTES * 8  # 512
+NUM_CORES = 8
+CONV_STATE_BITS = 4
+PRESENCE_BITS = NUM_CORES
+REPL_BITS = 1  # NRU / NRR / Clock: one bit per line
+#: the TO-MSI/TO-MOSI protocol roughly doubles the stable states: +1 bit
+EXTRA_STATE_BITS = 1
+
+
+def lines_of_mb(size_mb: float) -> int:
+    """Number of 64 B lines in ``size_mb`` megabytes."""
+    result = int(round(size_mb * (1 << 20) / LINE_BYTES))
+    if result <= 0:
+        raise ValueError(f"non-positive capacity {size_mb} MB")
+    return result
+
+
+def tag_bits(num_sets: int) -> int:
+    """Address tag width: physical address minus set-index and offset bits."""
+    return PHYS_ADDR_BITS - ilog2(num_sets) - ilog2(LINE_BYTES)
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Bit counts of one cache organisation (one column of Table 2)."""
+
+    label: str
+    tag_entry_bits: int
+    data_entry_bits: int
+    tag_entries: int
+    data_entries: int
+    fields: dict
+
+    @property
+    def tag_array_kbits(self) -> float:
+        """Tag-array storage in Kbits."""
+        return self.tag_entry_bits * self.tag_entries / 1024
+
+    @property
+    def data_array_kbits(self) -> float:
+        """Data-array storage in Kbits."""
+        return self.data_entry_bits * self.data_entries / 1024
+
+    @property
+    def total_kbits(self) -> float:
+        """Total storage in Kbits (the Table 2 bottom line)."""
+        return self.tag_array_kbits + self.data_array_kbits
+
+    def reduction_vs(self, other: "CostBreakdown") -> float:
+        """Fractional storage reduction relative to ``other``."""
+        return 1.0 - self.total_kbits / other.total_kbits
+
+
+def conventional_cost(size_mb: float, assoc: int = 16, label: str | None = None) -> CostBreakdown:
+    """Bits of a conventional cache (Table 2, 'Conv. 8M-16way' column)."""
+    entries = lines_of_mb(size_mb)
+    num_sets = entries // assoc
+    fields = {
+        "tag": tag_bits(num_sets),
+        "coherence": CONV_STATE_BITS,
+        "full_map_vector": PRESENCE_BITS,
+        "replacement": REPL_BITS,
+    }
+    tag_entry = sum(fields.values())
+    return CostBreakdown(
+        label or f"conv-{size_mb:g}MB",
+        tag_entry_bits=tag_entry,
+        data_entry_bits=LINE_BITS,
+        tag_entries=entries,
+        data_entries=entries,
+        fields=fields,
+    )
+
+
+def reuse_cache_cost(
+    tag_mbeq: float,
+    data_mb: float,
+    tag_assoc: int = 16,
+    data_assoc="full",
+    label: str | None = None,
+) -> CostBreakdown:
+    """Bits of a reuse cache RC-``tag_mbeq``/``data_mb`` (Table 2 columns).
+
+    ``data_assoc`` is ``"full"`` or a way count.  Pointer widths follow
+    Section 3.3: with a fully associative data array the forward pointer
+    addresses any of the data entries and the reverse pointer any tag entry;
+    in the set-associative organisation the forward pointer is the data way
+    and the reverse pointer is the tag way plus the excess tag-index bits.
+    """
+    tag_entries = lines_of_mb(tag_mbeq)
+    data_entries = lines_of_mb(data_mb)
+    tag_sets = tag_entries // tag_assoc
+    if data_assoc == "full":
+        data_ways = data_entries
+        data_sets = 1
+    else:
+        data_ways = int(data_assoc)
+        data_sets = data_entries // data_ways
+
+    fwd_ptr = ilog2(data_ways)
+    rev_ptr = ilog2(tag_assoc) + (ilog2(tag_sets) - ilog2(data_sets))
+
+    tag_fields = {
+        "tag": tag_bits(tag_sets),
+        "coherence": CONV_STATE_BITS + EXTRA_STATE_BITS,
+        "full_map_vector": PRESENCE_BITS,
+        "replacement": REPL_BITS,
+        "fwd_pointer": fwd_ptr,
+    }
+    data_fields = {
+        "data": LINE_BITS,
+        "valid": 1,
+        "replacement": REPL_BITS,
+        "rev_pointer": rev_ptr,
+    }
+    suffix = "FA" if data_assoc == "full" else f"{data_ways}w"
+    return CostBreakdown(
+        label or f"RC-{tag_mbeq:g}/{data_mb:g}-{suffix}",
+        tag_entry_bits=sum(tag_fields.values()),
+        data_entry_bits=sum(data_fields.values()),
+        tag_entries=tag_entries,
+        data_entries=data_entries,
+        fields={**{f"tag.{k}": v for k, v in tag_fields.items()},
+                **{f"data.{k}": v for k, v in data_fields.items()}},
+    )
+
+
+def table2() -> dict:
+    """The three columns of paper Table 2."""
+    return {
+        "conv-8MB": conventional_cost(8),
+        "RC-4/1-FA": reuse_cache_cost(4, 1, data_assoc="full"),
+        "RC-4/1-16w": reuse_cache_cost(4, 1, data_assoc=16),
+    }
+
+
+def figure8_storage_kbits() -> dict:
+    """Storage (Kbits) of every configuration labelled in Figure 8."""
+    return {
+        "RC-16/8": reuse_cache_cost(16, 8).total_kbits,
+        "RC-8/4": reuse_cache_cost(8, 4).total_kbits,
+        "RC-8/2": reuse_cache_cost(8, 2).total_kbits,
+        "RC-4/1": reuse_cache_cost(4, 1).total_kbits,
+        "RC-4/0.5": reuse_cache_cost(4, 0.5).total_kbits,
+        "conv-4MB": conventional_cost(4).total_kbits,
+        "conv-8MB": conventional_cost(8).total_kbits,
+        "conv-16MB": conventional_cost(16).total_kbits,
+        # DRRIP replaces the 1-bit NRU metadata with 2-bit RRPVs
+        "conv-4MB-drrip": _drrip_cost(4),
+        "conv-8MB-drrip": _drrip_cost(8),
+        "conv-16MB-drrip": _drrip_cost(16),
+    }
+
+
+def _drrip_cost(size_mb: float) -> float:
+    base = conventional_cost(size_mb)
+    extra_kbits = base.tag_entries * 1 / 1024  # one extra replacement bit
+    return base.total_kbits + extra_kbits
+
+
+def ways_per_kbit_summary(breakdown: CostBreakdown) -> str:
+    """Human-readable rendering of one Table 2 column."""
+    lines = [f"{breakdown.label}:"]
+    for key, value in breakdown.fields.items():
+        lines.append(f"  {key:<22}{value:>4} bits")
+    lines.append(f"  tag entry   {breakdown.tag_entry_bits:>6} bits x {breakdown.tag_entries}")
+    lines.append(f"  data entry  {breakdown.data_entry_bits:>6} bits x {breakdown.data_entries}")
+    lines.append(f"  total       {breakdown.total_kbits:>10.0f} Kbits")
+    return "\n".join(lines)

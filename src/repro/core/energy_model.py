@@ -1,0 +1,106 @@
+"""SLLC + DRAM energy model (the paper's motivation, Section 1).
+
+The paper motivates downsizing with manufacturing cost **and power**: dead
+lines burn leakage, and a 6x smaller SLLC burns proportionally less.  This
+model quantifies that trade-off for simulated runs.  Like the latency
+surrogate it is analytical (CACTI is unavailable offline), with clearly
+stated scaling laws and 32 nm-plausible constants:
+
+* **dynamic energy** per array access grows with the square root of the
+  array size (bitline/wordline lengths scale with the array's linear
+  dimension);
+* **leakage power** is proportional to the number of bits;
+* **DRAM access energy** is a per-line constant (activation + I/O).
+
+The interesting qualitative result this exposes: the reuse cache cuts SLLC
+leakage by ~6x and data-array dynamic energy, at the price of extra DRAM
+fetch energy for reloaded lines — and still comes out well ahead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import math
+
+from .cost_model import CostBreakdown, conventional_cost, reuse_cache_cost
+
+#: core clock (Hz) used to convert cycles to seconds (DDR3-1333 systems of
+#: the paper's era clocked cores near 2.66 GHz, 4x the 667 MHz bus)
+CORE_CLOCK_HZ = 2.66e9
+
+#: dynamic energy coefficient: J per access per sqrt(bit)
+DYN_COEFF = 1.0e-14
+#: leakage power per bit (W) — ~1 W for an 8 MB array at 32 nm
+LEAK_PER_BIT = 1.5e-8
+#: DRAM energy per 64 B line transfer (J): activation + IO
+DRAM_LINE_ENERGY = 20e-9
+
+
+def dynamic_energy_per_access(array_bits: float) -> float:
+    """Dynamic energy (J) of one access to an array of ``array_bits``."""
+    if array_bits <= 0:
+        raise ValueError(f"array size must be positive, got {array_bits}")
+    return DYN_COEFF * math.sqrt(array_bits)
+
+
+def leakage_power(array_bits: float) -> float:
+    """Static power (W) of an array of ``array_bits``."""
+    return LEAK_PER_BIT * array_bits
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy (J) of one simulated run, by component."""
+
+    label: str
+    tag_dynamic: float
+    data_dynamic: float
+    leakage: float
+    dram: float
+
+    @property
+    def sllc_total(self) -> float:
+        """SLLC-side energy: dynamic plus leakage."""
+        return self.tag_dynamic + self.data_dynamic + self.leakage
+
+    @property
+    def total(self) -> float:
+        """Total energy including DRAM."""
+        return self.sllc_total + self.dram
+
+
+def _arrays_of(spec) -> CostBreakdown:
+    if spec.kind == "conventional":
+        return conventional_cost(spec.size_mb)
+    if spec.kind == "reuse":
+        return reuse_cache_cost(spec.tag_mbeq, spec.data_mb, data_assoc=spec.data_assoc)
+    raise ValueError(f"energy model supports conventional/reuse, not {spec.kind!r}")
+
+
+def run_energy(spec, run_result) -> EnergyBreakdown:
+    """Energy of one :class:`~repro.hierarchy.system.RunResult`.
+
+    Counts at full (unscaled) array sizes: scaled simulations report the
+    same per-access event counts per committed instruction, and the energy
+    question ("what does the full-size organisation burn") is about the
+    real arrays.
+    """
+    cost = _arrays_of(spec)
+    tag_bits = cost.tag_entry_bits * cost.tag_entries
+    data_bits = cost.data_entry_bits * cost.data_entries
+
+    stats = run_result.llc_stats
+    tag_accesses = stats["accesses"] + stats.get("upgrades", 0)
+    data_accesses = stats["data_hits"] + stats["data_fills"]
+    dram_ops = run_result.dram_stats["reads"] + run_result.dram_stats["writes"]
+
+    seconds = max(run_result.cycles) / CORE_CLOCK_HZ if run_result.cycles else 0.0
+
+    return EnergyBreakdown(
+        label=spec.label,
+        tag_dynamic=tag_accesses * dynamic_energy_per_access(tag_bits),
+        data_dynamic=data_accesses * dynamic_energy_per_access(data_bits),
+        leakage=(leakage_power(tag_bits) + leakage_power(data_bits)) * seconds,
+        dram=dram_ops * DRAM_LINE_ENERGY,
+    )

@@ -1,0 +1,464 @@
+"""The reuse cache: a decoupled tag/data SLLC with selective allocation.
+
+This is the paper's contribution (Section 3).  The tag array is sized like a
+conventional cache of ``x`` MB ("x MBeq") while the data array holds far
+fewer entries; the two are linked by forward pointers (tag entry → data way)
+and reverse pointers (data entry → tag set/way).
+
+Allocation policy (reuse locality):
+
+* **tag miss** → allocate a tag-only entry (state ``TO``); the line is
+  fetched from memory straight into the requesting core's private caches and
+  *no* data-array entry is allocated;
+* **hit on a TO tag** → *reuse detected*: the line is fetched again (from
+  memory, or from a peer private cache if the directory shows one) and this
+  time a data-array entry is allocated (state ``S`` or ``M``);
+* **hit on a tag with data** → served by the data array.
+
+Replacement is specialised per array: the tag array uses NRR (one bit per
+line) and never victimises lines resident in private caches unless forced,
+preserving directory inclusion; the data array uses recency — NRU for
+set-associative organisations and Clock for the fully associative one
+(``data_assoc="full"``), exactly the paper's low-cost choices.  Evicting a
+data entry (``DataRepl``) demotes its tag to ``TO`` via the reverse pointer;
+evicting a tag with data frees both.
+
+States are stored as small ints for speed; :meth:`ReuseCache.state_of`
+exposes them as :class:`repro.coherence.State` for tests and tools.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..cache.llc_base import BaseLLC, LLCAccess
+from ..cache.set_assoc import TagStore
+from ..coherence.directory import Directory
+from ..coherence.states import State
+from ..replacement import make_policy
+from ..utils import require_power_of_two
+
+# integer state encoding for the hot path
+_INV, _TO, _S, _M = 0, 1, 2, 3
+_STATE_ENUM = {_INV: State.I, _TO: State.TO, _S: State.S, _M: State.M}
+
+
+class ReuseCache(BaseLLC):
+    """Decoupled tag/data SLLC storing only reused lines in the data array."""
+
+    kind = "reuse"
+
+    def __init__(
+        self,
+        tag_lines: int,
+        tag_assoc: int,
+        data_lines: int,
+        data_assoc="full",
+        num_cores: int = 8,
+        tag_policy: str = "nrr",
+        data_policy: str | None = None,
+        reuse_threshold: int = 1,
+        rng: random.Random | None = None,
+    ):
+        super().__init__(num_cores, rng)
+        require_power_of_two(tag_lines, "tag_lines")
+        require_power_of_two(data_lines, "data_lines")
+        if data_lines > tag_lines:
+            raise ValueError(
+                f"data array ({data_lines}) cannot exceed tag array ({tag_lines})"
+            )
+        if tag_lines % tag_assoc:
+            raise ValueError(f"{tag_lines} tags not divisible into {tag_assoc} ways")
+
+        self.tag_lines = tag_lines
+        self.tag_assoc = tag_assoc
+        self.data_lines = data_lines
+        if data_assoc == "full":
+            self.data_assoc = data_lines
+        else:
+            self.data_assoc = int(data_assoc)
+        if data_lines % self.data_assoc:
+            raise ValueError(
+                f"{data_lines} data entries not divisible into {self.data_assoc} ways"
+            )
+        self.data_sets = data_lines // self.data_assoc
+        tag_sets = tag_lines // tag_assoc
+        if self.data_sets > tag_sets:
+            raise ValueError(
+                "data array cannot have more sets than the tag array "
+                f"({self.data_sets} > {tag_sets}); raise data associativity"
+            )
+        self._dmask = self.data_sets - 1
+
+        if reuse_threshold < 0:
+            raise ValueError(f"reuse_threshold must be >= 0, got {reuse_threshold}")
+        #: number of *reuses* (tag hits in TO) required before the data
+        #: array accepts the line.  1 = the paper's design (second access);
+        #: 0 = allocate on first touch (a non-selective decoupled cache);
+        #: k>1 = stricter selectivity (needs a k-th re-reference).
+        self.reuse_threshold = reuse_threshold
+
+        self.tags = TagStore(tag_sets, tag_assoc)
+        self.directory = Directory(tag_sets, tag_assoc, num_cores)
+        self._state = [[_INV] * tag_assoc for _ in range(tag_sets)]
+        self._fwd = [[-1] * tag_assoc for _ in range(tag_sets)]  # data way or -1
+        # per-tag count of observed reuses while tag-only (saturating)
+        self._to_count = [[0] * tag_assoc for _ in range(tag_sets)]
+
+        da = self.data_assoc
+        # reverse pointer: (tag_set, tag_way) or None
+        self._rev = [[None] * da for _ in range(self.data_sets)]
+        self._d_addr = [[None] * da for _ in range(self.data_sets)]
+        self._d_dirty = [[False] * da for _ in range(self.data_sets)]
+
+        self.tag_policy_name = tag_policy
+        self.tag_repl = make_policy(tag_policy, tag_sets, tag_assoc, rng=self.rng)
+        if data_policy is None:
+            data_policy = "clock" if data_assoc == "full" else "nru"
+        self.data_policy_name = data_policy
+        self.data_repl = make_policy(data_policy, self.data_sets, da, rng=self.rng)
+
+        # reuse-cache-specific counters
+        self.to_hits = 0  # reuse detections (tag hit, no data)
+        self.reuse_reloads = 0  # TO hits that had to re-fetch from memory
+        self.peer_transfers = 0
+
+    # -- demand access -------------------------------------------------------------
+    def access(self, addr: int, core: int, is_write: bool, now: int) -> LLCAccess:
+        """Demand GETS/GETX; dispatches on the tag's stable state."""
+        self.accesses += 1
+        self.core_accesses[core] += 1
+        set_idx, way = self.tags.lookup(addr)
+        if way is None:
+            return self._tag_miss(addr, set_idx, core, now)
+        state = self._state[set_idx][way]
+        if state == _TO:
+            return self._reuse_hit(addr, set_idx, way, core, is_write, now)
+        return self._data_hit(addr, set_idx, way, core, is_write, now)
+
+    def _tag_miss(self, addr, set_idx, core, now) -> LLCAccess:
+        """GETS/GETX on an absent line: allocate tag only (I → TO)."""
+        self.tag_misses += 1
+        self.core_dram_fetches[core] += 1
+        self.tag_repl.on_miss(set_idx, core)
+        writebacks = ()
+        inclusion_invals = ()
+        way = self.tags.free_way(set_idx)
+        if way is None:
+            way, writebacks, inclusion_invals = self._evict_tag(set_idx, now)
+        self.tags.install(set_idx, way, addr)
+        self._state[set_idx][way] = _TO
+        self._fwd[set_idx][way] = -1
+        self._to_count[set_idx][way] = 0
+        self.directory.set_only(set_idx, way, core)
+        self.tag_repl.on_fill(set_idx, way, core)
+        self.tag_fills += 1
+        if self.reuse_threshold == 0:
+            # degenerate non-selective mode: allocate data on first touch
+            writebacks = writebacks + tuple(
+                self._allocate_data(addr, set_idx, way, now)
+            )
+            self._state[set_idx][way] = _S
+        return LLCAccess(
+            "dram",
+            dram_reads=1,
+            writebacks=writebacks,
+            inclusion_invals=inclusion_invals,
+        )
+
+    def _reuse_hit(self, addr, set_idx, way, core, is_write, now) -> LLCAccess:
+        """Hit on a TO tag: reuse detected, allocate a data entry once the
+        line has shown ``reuse_threshold`` reuses."""
+        self.to_hits += 1
+        self.tag_repl.on_hit(set_idx, way, core)
+        counts = self._to_count[set_idx]
+        if counts[way] < 63:  # saturate well above any sensible threshold
+            counts[way] += 1
+        directory = self.directory
+        peers = directory.others(set_idx, way, core)
+        if counts[way] < self.reuse_threshold:
+            # not yet reused enough: serve the private caches, stay tag-only
+            if peers:
+                self.peer_transfers += 1
+                source, dram_reads = "peer", 0
+            else:
+                self.reuse_reloads += 1
+                self.core_dram_fetches[core] += 1
+                source, dram_reads = "dram", 1
+            if is_write:
+                invals = tuple(peers)
+                directory.set_only(set_idx, way, core)
+            else:
+                invals = ()
+                directory.add(set_idx, way, core)
+            return LLCAccess(
+                source, dram_reads=dram_reads, coherence_invals=invals
+            )
+        if peers:
+            # A private cache still holds the line: cache-to-cache transfer,
+            # no memory access needed.
+            self.peer_transfers += 1
+            source, dram_reads = "peer", 0
+        else:
+            # The downside of selective allocation: the line is read from
+            # main memory a second time (paper Section 5.3).
+            self.reuse_reloads += 1
+            self.core_dram_fetches[core] += 1
+            source, dram_reads = "dram", 1
+
+        writebacks = self._allocate_data(addr, set_idx, way, now)
+
+        if is_write:
+            self._state[set_idx][way] = _M
+            invals = tuple(peers)
+            directory.set_only(set_idx, way, core)
+        else:
+            self._state[set_idx][way] = _S
+            invals = ()
+            directory.add(set_idx, way, core)
+        return LLCAccess(
+            source,
+            dram_reads=dram_reads,
+            writebacks=writebacks,
+            coherence_invals=invals,
+        )
+
+    def _data_hit(self, addr, set_idx, way, core, is_write, now) -> LLCAccess:
+        """Hit on a tag in the tag+data group: served by the data array."""
+        self.data_hits += 1
+        self.tag_repl.on_hit(set_idx, way, core)
+        dset = addr & self._dmask
+        self.data_repl.on_hit(dset, self._fwd[set_idx][way], core)
+        self.recorder.on_hit(addr, now)
+        directory = self.directory
+        if is_write:
+            invals = tuple(directory.others(set_idx, way, core))
+            directory.set_only(set_idx, way, core)
+            self._state[set_idx][way] = _M
+            return LLCAccess("llc", coherence_invals=invals)
+        directory.add(set_idx, way, core)
+        return LLCAccess("llc")
+
+    # -- data array management ---------------------------------------------------------
+    def _allocate_data(self, addr, tag_set, tag_way, now):
+        """Install ``addr`` in the data array; returns writeback addresses."""
+        dset = addr & self._dmask
+        rev = self._rev[dset]
+        writebacks = ()
+        dway = None
+        for w in range(self.data_assoc):
+            if rev[w] is None:
+                dway = w
+                break
+        if dway is None:
+            candidates = list(range(self.data_assoc))
+            dway = self.data_repl.victim(dset, candidates)
+            writebacks = self._evict_data(dset, dway, now)
+        rev[dway] = (tag_set, tag_way)
+        self._d_addr[dset][dway] = addr
+        self._d_dirty[dset][dway] = False
+        self._fwd[tag_set][tag_way] = dway
+        self.data_repl.on_fill(dset, dway)
+        self.data_fills += 1
+        self.recorder.on_fill(addr, now)
+        return writebacks
+
+    def _evict_data(self, dset, dway, now):
+        """DataRepl: free a data entry, demoting its tag to TO.
+
+        Returns the writeback addresses (the victim, when dirty)."""
+        tag_set, tag_way = self._rev[dset][dway]
+        victim_addr = self._d_addr[dset][dway]
+        self.recorder.on_evict(victim_addr, now)
+        writebacks = (victim_addr,) if self._d_dirty[dset][dway] else ()
+        self._rev[dset][dway] = None
+        self._d_addr[dset][dway] = None
+        self._d_dirty[dset][dway] = False
+        self.data_repl.on_invalidate(dset, dway)
+        # S/M --DataRepl--> TO: the tag keeps the reuse history.  The reuse
+        # count restarts, so with the paper's threshold of 1 the next hit
+        # reloads the line (as Section 3 specifies).
+        self._state[tag_set][tag_way] = _TO
+        self._fwd[tag_set][tag_way] = -1
+        self._to_count[tag_set][tag_way] = 0
+        return writebacks
+
+    def _evict_tag(self, set_idx, now):
+        """TagRepl: free a tag entry (and its data entry, if any)."""
+        directory = self.directory
+        candidates = self.tags.valid_ways(set_idx)
+        # Protect directory inclusion: prefer victims absent from the
+        # private caches (the paper's NRR rule).  Forced evictions of
+        # private-resident lines back-invalidate.
+        unshared = [w for w in candidates if not directory.in_private_caches(set_idx, w)]
+        way = self.tag_repl.victim(set_idx, unshared if unshared else candidates)
+        victim_addr = self.tags.evict(set_idx, way)
+        writebacks = ()
+        if self._fwd[set_idx][way] >= 0:
+            dset = victim_addr & self._dmask
+            writebacks = self._evict_data(dset, self._fwd[set_idx][way], now)
+        sharers = directory.sharers(set_idx, way)
+        inclusion_invals = tuple((c, victim_addr) for c in sharers)
+        directory.clear(set_idx, way)
+        self._state[set_idx][way] = _INV
+        self._fwd[set_idx][way] = -1
+        self._to_count[set_idx][way] = 0
+        self.tag_repl.on_invalidate(set_idx, way)
+        return way, writebacks, inclusion_invals
+
+    # -- prefetch ----------------------------------------------------------------------
+    def prefetch(self, addr: int, core: int, now: int) -> LLCAccess:
+        """Prefetch GETS: the reuse cache is prefetch-aware *by construction*.
+
+        Following the paper's Section 6 observation, prefetched lines get a
+        priority as low as non-reused data: a prefetched miss allocates a
+        tag-only entry whose NRR bit stays set, and a prefetch that touches
+        a TO tag is *not* taken as a reuse hint — the data array is reserved
+        for demand-detected reuse.
+        """
+        self.prefetches += 1
+        set_idx, way = self.tags.lookup(addr)
+        if way is None:
+            writebacks = ()
+            inclusion_invals = ()
+            free = self.tags.free_way(set_idx)
+            if free is None:
+                free, writebacks, inclusion_invals = self._evict_tag(set_idx, now)
+            self.tags.install(set_idx, free, addr)
+            self._state[set_idx][free] = _TO
+            self._fwd[set_idx][free] = -1
+            self._to_count[set_idx][free] = 0
+            self.directory.set_only(set_idx, free, core)
+            self.tag_repl.on_fill(set_idx, free, core)  # NRR bit set: low prio
+            self.tag_fills += 1
+            return LLCAccess(
+                "dram",
+                dram_reads=1,
+                writebacks=writebacks,
+                inclusion_invals=inclusion_invals,
+            )
+        state = self._state[set_idx][way]
+        self.directory.add(set_idx, way, core)
+        if state == _TO:
+            # no reuse detection, no NRR promotion: data comes from memory
+            # (or a peer) straight into the private cache
+            if self.directory.others(set_idx, way, core):
+                return LLCAccess("peer")
+            return LLCAccess("dram", dram_reads=1)
+        # tag+data: serve from the data array without promoting
+        return LLCAccess("llc")
+
+    # -- coherence upcalls -----------------------------------------------------------
+    def upgrade(self, addr: int, core: int) -> tuple:
+        """UPG: a core writes a private clean copy; invalidate other sharers.
+
+        In ``TO`` the writer already holds the data, so no data-array entry
+        is allocated; the tag records the reuse (NRR bit cleared) and keeps
+        state ``TO`` — memory may now be stale, which ``TO`` permits.
+        """
+        set_idx, way = self.tags.lookup(addr)
+        if way is None:
+            raise KeyError(f"UPG for line {addr:#x} absent from the tag array")
+        self.upgrades += 1
+        self.tag_repl.on_hit(set_idx, way, core)
+        state = self._state[set_idx][way]
+        if state == _S:
+            self._state[set_idx][way] = _M
+        invals = tuple(self.directory.others(set_idx, way, core))
+        self.directory.set_only(set_idx, way, core)
+        return invals
+
+    def notify_private_eviction(self, addr: int, core: int, dirty: bool):
+        """PUTS/PUTX: clear the presence bit; route dirty data appropriately.
+
+        A PUTX on a tag+data line is absorbed by the data array (S → M); on a
+        tag-only line the writeback must go to main memory.  Returns the
+        line addresses to write back to DRAM.
+        """
+        set_idx, way = self.tags.lookup(addr)
+        if way is None:
+            raise KeyError(f"PUT for line {addr:#x} absent from the tag array")
+        self.directory.remove(set_idx, way, core)
+        if not dirty:
+            return ()
+        state = self._state[set_idx][way]
+        if state == _TO:
+            return (addr,)  # writeback forwarded to main memory
+        dset = addr & self._dmask
+        self._d_dirty[dset][self._fwd[set_idx][way]] = True
+        self._state[set_idx][way] = _M
+        return ()
+
+    # -- introspection -----------------------------------------------------------------
+    def state_of(self, addr: int) -> State:
+        """Coherence state of ``addr`` (State.I when the tag is absent)."""
+        set_idx, way = self.tags.lookup(addr)
+        if way is None:
+            return State.I
+        return _STATE_ENUM[self._state[set_idx][way]]
+
+    def resident_data_lines(self):
+        """Line addresses currently held in the data array."""
+        for dset in range(self.data_sets):
+            for addr in self._d_addr[dset]:
+                if addr is not None:
+                    yield addr
+
+    def data_occupancy(self) -> int:
+        """Number of valid data-array entries."""
+        return sum(1 for _ in self.resident_data_lines())
+
+    def fraction_not_entered(self) -> float:
+        """Fraction of tag fills that never allocated a data entry (Table 6)."""
+        if self.tag_fills == 0:
+            return 0.0
+        return 1.0 - self.data_fills / self.tag_fills
+
+    def check_pointer_consistency(self) -> bool:
+        """Invariant (tests): fwd/rev pointers form a bijection and states
+        agree with data residency."""
+        seen = set()
+        for tset in range(self.tags.num_sets):
+            for tway in range(self.tag_assoc):
+                addr = self.tags.addrs[tset][tway]
+                state = self._state[tset][tway]
+                fwd = self._fwd[tset][tway]
+                if addr is None:
+                    if state != _INV or fwd != -1:
+                        return False
+                    continue
+                if state == _INV:
+                    return False
+                if state == _TO:
+                    if fwd != -1:
+                        return False
+                    continue
+                # S/M: must point at a data entry that points back
+                dset = addr & self._dmask
+                if not (0 <= fwd < self.data_assoc):
+                    return False
+                if self._rev[dset][fwd] != (tset, tway):
+                    return False
+                if self._d_addr[dset][fwd] != addr:
+                    return False
+                seen.add((dset, fwd))
+        for dset in range(self.data_sets):
+            for dway in range(self.data_assoc):
+                if (self._rev[dset][dway] is None) != (self._d_addr[dset][dway] is None):
+                    return False
+                if self._rev[dset][dway] is not None and (dset, dway) not in seen:
+                    return False
+        return True
+
+    def stats(self) -> dict:
+        """Counters plus the reuse-cache-specific ones (Table 6 etc.)."""
+        base = super().stats()
+        base.update(
+            {
+                "to_hits": self.to_hits,
+                "reuse_reloads": self.reuse_reloads,
+                "peer_transfers": self.peer_transfers,
+                "fraction_not_entered": self.fraction_not_entered(),
+            }
+        )
+        return base

@@ -1,0 +1,5 @@
+"""Main-memory substrate: DDR3 channel/bank/row-buffer timing."""
+
+from .ddr3 import DDR3Config, DDR3Memory
+
+__all__ = ["DDR3Config", "DDR3Memory"]

@@ -1,0 +1,98 @@
+"""Experiment drivers: one module per table/figure of the paper.
+
+Each driver exposes ``run_<name>(params) -> dict`` and a matching
+``format_<name>`` that renders the paper's rows as text.  Use
+:meth:`ExperimentParams.from_env` to scale runs via ``REPRO_WORKLOADS``,
+``REPRO_REFS``, ``REPRO_SCALE`` and ``REPRO_SEED``.
+"""
+
+from .ablation import (
+    format_ablation,
+    run_allocation_ablation,
+    run_data_policy_ablation,
+    run_tag_policy_ablation,
+)
+from .bandwidth import format_bandwidth, run_bandwidth
+from .common import BASELINE_SPEC, ExperimentParams, SpeedupStudy, format_table
+from .energy import format_energy, run_energy_study
+from .mlp import format_mlp, run_mlp
+from .opt_bound import format_opt_bound, run_opt_bound
+from .prefetch import format_prefetch, run_prefetch
+from .robustness import format_robustness, run_robustness
+from .traffic import format_traffic, run_traffic
+from .zoo import format_zoo, run_zoo
+from .fig1 import format_fig1a, format_fig1b, run_fig1a, run_fig1b
+from .fig4 import format_fig4, run_fig4
+from .fig5 import format_fig5, run_fig5
+from .fig6 import format_fig6, run_fig6
+from .fig7 import format_fig7, run_fig7
+from .fig8 import format_fig8, run_fig8
+from .fig9 import format_fig9, matched_data_assoc, run_fig9
+from .fig10 import format_fig10, run_fig10
+from .fig11 import format_fig11, run_fig11
+from .tables import (
+    format_table2,
+    format_table3,
+    format_table5,
+    format_table6,
+    run_table2,
+    run_table3,
+    run_table5,
+    run_table6,
+)
+
+__all__ = [
+    "ExperimentParams",
+    "SpeedupStudy",
+    "BASELINE_SPEC",
+    "format_table",
+    "run_fig1a",
+    "run_fig1b",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_bandwidth",
+    "run_table2",
+    "run_table3",
+    "run_table5",
+    "run_table6",
+    "format_fig1a",
+    "format_fig1b",
+    "format_fig4",
+    "format_fig5",
+    "format_fig6",
+    "format_fig7",
+    "format_fig8",
+    "format_fig9",
+    "format_fig10",
+    "format_fig11",
+    "format_bandwidth",
+    "format_table2",
+    "format_table3",
+    "format_table5",
+    "format_table6",
+    "matched_data_assoc",
+    "run_tag_policy_ablation",
+    "run_data_policy_ablation",
+    "run_allocation_ablation",
+    "format_ablation",
+    "run_zoo",
+    "format_zoo",
+    "run_energy_study",
+    "format_energy",
+    "run_traffic",
+    "format_traffic",
+    "run_opt_bound",
+    "format_opt_bound",
+    "run_prefetch",
+    "format_prefetch",
+    "run_robustness",
+    "format_robustness",
+    "run_mlp",
+    "format_mlp",
+]

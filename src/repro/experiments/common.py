@@ -1,0 +1,133 @@
+"""Shared experiment infrastructure.
+
+Every figure/table driver takes an :class:`ExperimentParams` controlling the
+workload count, trace length and scale.  Defaults are sized so each driver
+finishes in tens of seconds; the environment variables ``REPRO_WORKLOADS``,
+``REPRO_REFS``, ``REPRO_SCALE`` and ``REPRO_SEED`` raise them towards
+paper-scale runs without touching code.
+
+:class:`SpeedupStudy` evaluates a set of SLLC configurations over a common
+workload suite against the paper's baseline (conventional 8 MB LRU), caching
+the baseline run per workload.  Averages over workloads are arithmetic means
+of per-workload speedups, matching the paper's "average speedup relative to
+the baseline" reporting.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+
+from ..hierarchy.config import LLCSpec, SystemConfig
+from ..hierarchy.system import RunResult, run_workload
+from ..workloads.mixes import build_mix_suite
+
+#: the paper's baseline SLLC
+BASELINE_SPEC = LLCSpec.conventional(8.0, "lru")
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    return int(raw) if raw else default
+
+
+@dataclass(frozen=True)
+class ExperimentParams:
+    """Knobs shared by all experiment drivers."""
+
+    n_workloads: int = 8
+    n_refs: int = 30_000
+    scale: int = 32
+    seed: int = 2013
+    warmup_frac: float = 0.2
+
+    @staticmethod
+    def from_env() -> "ExperimentParams":
+        """Defaults overridden by REPRO_WORKLOADS/REFS/SCALE/SEED."""
+        p = ExperimentParams()
+        return replace(
+            p,
+            n_workloads=_env_int("REPRO_WORKLOADS", p.n_workloads),
+            n_refs=_env_int("REPRO_REFS", p.n_refs),
+            scale=_env_int("REPRO_SCALE", p.scale),
+            seed=_env_int("REPRO_SEED", p.seed),
+        )
+
+    def system_config(self, spec: LLCSpec, **overrides) -> SystemConfig:
+        """A SystemConfig for ``spec`` at this experiment's scale/seed."""
+        return SystemConfig(llc=spec, scale=self.scale, seed=self.seed, **overrides)
+
+    def workloads(self):
+        """The experiment's slice of the paper-style 100-mix suite."""
+        return build_mix_suite(
+            self.n_workloads, self.n_refs, scale=self.scale, seed=self.seed
+        )
+
+
+@dataclass
+class ConfigResult:
+    """Per-configuration outcome of a speedup study."""
+
+    spec: LLCSpec
+    runs: list = field(default_factory=list)
+    speedups: list = field(default_factory=list)
+
+    @property
+    def mean_speedup(self) -> float:
+        """Arithmetic mean of the per-workload speedups."""
+        return sum(self.speedups) / len(self.speedups) if self.speedups else 0.0
+
+
+class SpeedupStudy:
+    """Run many SLLC configurations over one workload suite vs the baseline."""
+
+    def __init__(
+        self,
+        params: ExperimentParams,
+        baseline: LLCSpec = BASELINE_SPEC,
+        record_generations: bool = False,
+        workloads=None,
+    ):
+        self.params = params
+        self.baseline_spec = baseline
+        self.record_generations = record_generations
+        self.workloads = list(workloads) if workloads is not None else params.workloads()
+        self.baseline_runs = [
+            self._run(baseline, wl) for wl in self.workloads
+        ]
+
+    def _run(self, spec: LLCSpec, workload) -> RunResult:
+        config = self.params.system_config(spec)
+        return run_workload(
+            config,
+            workload,
+            record_generations=self.record_generations,
+            warmup_frac=self.params.warmup_frac,
+        )
+
+    def evaluate(self, spec: LLCSpec) -> ConfigResult:
+        """Run ``spec`` on every workload; returns per-workload speedups."""
+        result = ConfigResult(spec)
+        for workload, base in zip(self.workloads, self.baseline_runs):
+            run = self._run(spec, workload)
+            result.runs.append(run)
+            result.speedups.append(run.performance / base.performance)
+        return result
+
+    def evaluate_many(self, specs) -> dict:
+        """label → :class:`ConfigResult` for each spec."""
+        return {spec.label: self.evaluate(spec) for spec in specs}
+
+
+def format_table(headers, rows, title: str | None = None) -> str:
+    """Minimal fixed-width text table used by all drivers."""
+    cols = [headers] + [["" if v is None else str(v) for v in row] for row in rows]
+    widths = [max(len(r[i]) for r in cols) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cols[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Figure 11: parallel applications (Section 5.7).
+
+Five PARSEC/SPLASH-2 applications with >1 MPKI at the baseline SLLC, run
+with reuse caches from RC-8/4 down to RC-4/0.5.  The paper finds only ferret
+losing performance (−1 % to −11 %); canneal and ocean gain more than 10 %
+even with the smallest data arrays.
+"""
+
+from __future__ import annotations
+
+from ..hierarchy.config import LLCSpec
+from ..hierarchy.system import run_workload
+from ..workloads.parallel import PARALLEL_APPS, generate_parallel_workload
+from .common import BASELINE_SPEC, ExperimentParams, format_table
+
+FIG11_SPECS = [
+    LLCSpec.reuse(8, 4),
+    LLCSpec.reuse(8, 2),
+    LLCSpec.reuse(4, 1),
+    LLCSpec.reuse(4, 0.5),
+]
+
+
+def run_fig11(params: ExperimentParams) -> dict:
+    """Parallel-application speedups for the Fig. 11 configurations."""
+    out = {}
+    for app in PARALLEL_APPS:
+        workload = generate_parallel_workload(
+            app, params.n_refs, seed=params.seed, scale=params.scale
+        )
+        base = run_workload(
+            params.system_config(BASELINE_SPEC), workload, warmup_frac=params.warmup_frac
+        )
+        per_spec = {}
+        for spec in FIG11_SPECS:
+            run = run_workload(
+                params.system_config(spec), workload, warmup_frac=params.warmup_frac
+            )
+            per_spec[spec.label] = run.performance / base.performance
+        out[app] = {
+            "speedups": per_spec,
+            "baseline_llc_mpki": sum(base.llc_mpki) / len(base.llc_mpki),
+        }
+    return out
+
+
+def format_fig11(result: dict) -> str:
+    """Render the Fig. 11 rows."""
+    headers = ["app", "LLC MPKI"] + [s.label for s in FIG11_SPECS]
+    rows = []
+    for app, d in result.items():
+        rows.append(
+            [app, f"{d['baseline_llc_mpki']:.1f}"]
+            + [f"{d['speedups'][s.label]:.3f}" for s in FIG11_SPECS]
+        )
+    return format_table(
+        headers, rows, title="Fig. 11: parallel-application speedups vs baseline"
+    )

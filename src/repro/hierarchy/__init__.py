@@ -1,0 +1,14 @@
+"""CMP hierarchy: system configuration and the multi-core timing simulator."""
+
+from .config import LLCSpec, SystemConfig, capacity_lines
+from .system import RunResult, System, build_llc_banks, run_workload
+
+__all__ = [
+    "LLCSpec",
+    "SystemConfig",
+    "capacity_lines",
+    "System",
+    "RunResult",
+    "run_workload",
+    "build_llc_banks",
+]

@@ -1,0 +1,183 @@
+"""System and SLLC configuration (paper Table 4 and Section 5 naming).
+
+Capacities are expressed in the paper's full-size units (KB/MB, 64 B lines)
+and divided by ``SystemConfig.scale`` to obtain tractable simulated
+structures with identical associativities and size *ratios*.  The default
+``scale=32`` maps the 8 MB baseline onto 4096 lines, the 256 KB private L2
+onto 128 lines and the 32 KB L1 onto 16 lines per core.
+
+Reuse-cache configurations use the paper's ``RC-x/y`` naming: a tag array
+equivalent to an ``x`` MB conventional cache ("x MBeq") with a ``y`` MB data
+array, e.g. ``LLCSpec.reuse(4, 1)`` is RC-4/1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..dram.ddr3 import DDR3Config
+from ..utils import is_power_of_two
+
+LINE_BYTES = 64
+
+
+def capacity_lines(size_mb: float, scale: int = 1) -> int:
+    """Number of 64 B lines of a ``size_mb`` structure after scaling."""
+    lines = size_mb * (1 << 20) / LINE_BYTES / scale
+    result = int(round(lines))
+    if result <= 0 or abs(lines - result) > 1e-9:
+        raise ValueError(
+            f"{size_mb} MB does not scale to a whole number of lines at 1/{scale}"
+        )
+    if not is_power_of_two(result):
+        raise ValueError(f"{size_mb} MB at 1/{scale} gives {result} lines (not a power of two)")
+    return result
+
+
+@dataclass(frozen=True)
+class LLCSpec:
+    """What kind of SLLC to build, in paper-level units."""
+
+    kind: str  # 'conventional' | 'reuse' | 'ncid'
+    #: conventional: total capacity; decoupled kinds: unused
+    size_mb: float = 8.0
+    #: conventional replacement policy ('lru', 'drrip', 'nrr', ...)
+    policy: str = "lru"
+    #: decoupled kinds: tag array equivalent (MBeq) and data capacity (MB)
+    tag_mbeq: float = 8.0
+    data_mb: float = 4.0
+    #: reuse cache data-array organisation: 'full' or a way count
+    data_assoc: object = "full"
+    #: reuse cache replacement overrides (None = the paper's NRR tags and
+    #: Clock/NRU data); accepts any name registered in repro.replacement
+    tag_policy: str | None = None
+    data_policy: str | None = None
+    #: reuses required before a data entry is allocated (1 = the paper)
+    reuse_threshold: int = 1
+
+    # -- constructors ----------------------------------------------------------
+    @staticmethod
+    def conventional(size_mb: float, policy: str = "lru") -> "LLCSpec":
+        """A conventional inclusive SLLC of ``size_mb`` megabytes."""
+        return LLCSpec(kind="conventional", size_mb=size_mb, policy=policy)
+
+    @staticmethod
+    def reuse(
+        tag_mbeq: float,
+        data_mb: float,
+        data_assoc="full",
+        tag_policy: str | None = None,
+        data_policy: str | None = None,
+        reuse_threshold: int = 1,
+    ) -> "LLCSpec":
+        """A reuse cache RC-``tag_mbeq``/``data_mb`` (paper naming)."""
+        return LLCSpec(
+            kind="reuse",
+            tag_mbeq=tag_mbeq,
+            data_mb=data_mb,
+            data_assoc=data_assoc,
+            tag_policy=tag_policy,
+            data_policy=data_policy,
+            reuse_threshold=reuse_threshold,
+        )
+
+    @staticmethod
+    def ncid(tag_mbeq: float, data_mb: float) -> "LLCSpec":
+        """An NCID SLLC with ``tag_mbeq`` tags over ``data_mb`` of data."""
+        return LLCSpec(kind="ncid", tag_mbeq=tag_mbeq, data_mb=data_mb)
+
+    @staticmethod
+    def vway(size_mb: float) -> "LLCSpec":
+        """V-way cache: ``size_mb`` of data, double the tags (Section 6)."""
+        return LLCSpec(kind="vway", size_mb=size_mb, data_mb=size_mb,
+                       tag_mbeq=2 * size_mb)
+
+    @property
+    def label(self) -> str:
+        """Paper-style name: 'conv-8MB-lru', 'RC-8/4', 'NCID-8/1'."""
+
+        def _fmt(x: float) -> str:
+            return f"{x:g}"
+
+        if self.kind == "conventional":
+            return f"conv-{_fmt(self.size_mb)}MB-{self.policy}"
+        if self.kind == "vway":
+            return f"VW-{_fmt(self.size_mb)}MB"
+        prefix = "RC" if self.kind == "reuse" else "NCID"
+        return f"{prefix}-{_fmt(self.tag_mbeq)}/{_fmt(self.data_mb)}"
+
+    def storage_mb(self) -> float:
+        """Data-holding capacity (used for quick sanity reporting only; the
+        exact bit accounting lives in :mod:`repro.core.cost_model`)."""
+        return self.size_mb if self.kind == "conventional" else self.data_mb
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """The eight-core CMP of paper Table 4 (scaled)."""
+
+    llc: LLCSpec = field(default_factory=lambda: LLCSpec.conventional(8.0, "lru"))
+    num_cores: int = 8
+    scale: int = 32
+
+    # private caches (full-size units)
+    l1_kb: int = 32
+    l1_assoc: int = 4
+    l2_kb: int = 256
+    l2_assoc: int = 8
+
+    # SLLC organisation
+    llc_banks: int = 4
+    llc_assoc: int = 16
+
+    # latencies (processor cycles)
+    l2_latency: int = 7
+    llc_latency: int = 10
+    xbar_latency: int = 4
+    #: extra cycles of a cache-to-cache (peer) transfer beyond the SLLC visit
+    peer_latency: int = 11
+
+    #: sequential-prefetch degree: on each private (L2) demand miss, the
+    #: next ``prefetch_degree`` lines are prefetched into the L2 (0 = off).
+    #: The reuse cache handles prefetched lines at low priority by
+    #: construction (paper Section 6).
+    prefetch_degree: int = 0
+
+    #: core model: 'inorder' (the paper's blocking cores) or 'overlap' —
+    #: a miss whose predecessor completed within ``mlp_window`` committed
+    #: instructions overlaps with it (a simple MLP approximation standing
+    #: in for out-of-order cores; extension study, not in the paper)
+    core_model: str = "inorder"
+    mlp_window: int = 32
+
+    dram: DDR3Config = field(default_factory=DDR3Config)
+    seed: int = 0
+
+    # -- derived geometry ----------------------------------------------------------
+    def l1_lines(self) -> int:
+        """Scaled per-core L1 capacity in lines."""
+        return capacity_lines(self.l1_kb / 1024, self.scale)
+
+    def l2_lines(self) -> int:
+        """Scaled per-core L2 capacity in lines."""
+        return capacity_lines(self.l2_kb / 1024, self.scale)
+
+    def with_llc(self, llc: LLCSpec) -> "SystemConfig":
+        """A copy of this config with a different SLLC."""
+        return replace(self, llc=llc)
+
+    def with_dram(self, dram: DDR3Config) -> "SystemConfig":
+        """A copy of this config with a different memory system."""
+        return replace(self, dram=dram)
+
+    def validate(self) -> "SystemConfig":
+        """Sanity-check the geometry; returns self."""
+        if self.core_model not in ("inorder", "overlap"):
+            raise ValueError(f"unknown core_model {self.core_model!r}")
+        if self.num_cores <= 0 or not is_power_of_two(self.llc_banks):
+            raise ValueError("bad core/bank counts")
+        if self.l1_lines() < self.l1_assoc or self.l2_lines() < self.l2_assoc:
+            raise ValueError(
+                f"scale {self.scale} shrinks the private caches below one set"
+            )
+        return self

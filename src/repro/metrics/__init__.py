@@ -1,0 +1,14 @@
+"""Measurement substrate: generation logs, liveness, IPC/MPKI/speedup."""
+
+from .generations import GenerationLog, GenerationRecorder
+from .perf import aggregate_ipc, geomean, mpki, quartiles, speedup
+
+__all__ = [
+    "GenerationRecorder",
+    "GenerationLog",
+    "aggregate_ipc",
+    "speedup",
+    "mpki",
+    "geomean",
+    "quartiles",
+]

@@ -1,0 +1,192 @@
+"""Per-generation data-array bookkeeping for the paper's content analyses.
+
+A *generation* [Kaxiras et al.] is one stay of a line in the (data array of
+the) SLLC: fill → zero or more hits → eviction.  The recorder captures, per
+generation, the fill time, eviction time, number of hits and time of the
+last hit — enough to reconstruct both of the paper's content metrics:
+
+* **live-line fraction over time** (Figs. 1a and 7): a resident line is
+  *live* at time ``t`` if it will still receive a hit before eviction,
+  i.e. ``fill <= t < evict`` and ``last_hit > t``;
+* **hit distribution across loaded lines** (Fig. 1b): the sorted hit counts
+  of all generations, split into equal-population groups.
+
+The recorder activates at the end of the warm-up window; events before
+activation (and events for lines filled before activation) are ignored, so
+all statistics cover the measurement window only, as in the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class GenerationRecorder:
+    """Collects (fill, evict, hits, last_hit) tuples for SLLC data lines."""
+
+    def __init__(self):
+        self.active = False
+        self.start_time = 0
+        self._open = {}  # addr -> [fill_time, hit_count, last_hit_time]
+        self._fills = []
+        self._evicts = []
+        self._hits = []
+        self._last_hits = []
+        self._finalized = False
+
+    # -- events (called by the SLLC) ------------------------------------------
+    def activate(self, now: int) -> None:
+        """Start recording: called at the end of warm-up."""
+        self.active = True
+        self.start_time = now
+
+    def on_fill(self, addr: int, now: int) -> None:
+        """A line entered the (data array of the) SLLC."""
+        if self.active:
+            self._open[addr] = [now, 0, now]
+
+    def on_hit(self, addr: int, now: int) -> None:
+        """A resident line was re-referenced."""
+        if self.active:
+            gen = self._open.get(addr)
+            if gen is not None:
+                gen[1] += 1
+                gen[2] = now
+
+    def on_evict(self, addr: int, now: int) -> None:
+        """A resident line was evicted; closes its generation."""
+        if self.active:
+            gen = self._open.pop(addr, None)
+            if gen is not None:
+                self._close(gen, now)
+
+    def _close(self, gen, evict_time: int) -> None:
+        self._fills.append(gen[0])
+        self._evicts.append(evict_time)
+        self._hits.append(gen[1])
+        self._last_hits.append(gen[2] if gen[1] else gen[0])
+
+    # -- finalisation ------------------------------------------------------------
+    def finalize(self, end_time: int) -> "GenerationLog":
+        """Close still-open generations at ``end_time`` and freeze the log.
+
+        Open generations are treated as resident until the end of the run
+        (their eviction time is ``end_time``), matching the paper's
+        end-of-simulation snapshot.
+        """
+        if self._finalized:
+            raise RuntimeError("recorder already finalized")
+        self._finalized = True
+        for gen in self._open.values():
+            self._close(gen, end_time)
+        self._open.clear()
+        return GenerationLog(
+            start_time=self.start_time,
+            end_time=end_time,
+            fills=np.asarray(self._fills, dtype=np.int64),
+            evicts=np.asarray(self._evicts, dtype=np.int64),
+            hits=np.asarray(self._hits, dtype=np.int64),
+            last_hits=np.asarray(self._last_hits, dtype=np.int64),
+        )
+
+
+class GenerationLog:
+    """Frozen generation data with the paper's two content analyses."""
+
+    def __init__(self, start_time, end_time, fills, evicts, hits, last_hits):
+        self.start_time = start_time
+        self.end_time = end_time
+        self.fills = fills
+        self.evicts = evicts
+        self.hits = hits
+        self.last_hits = last_hits
+        # Liveness ends at the last hit; a generation with no hits is dead
+        # from its fill onwards.
+        self._live_ends = np.where(hits > 0, last_hits, fills)
+        self._sorted_fills = np.sort(fills)
+        self._sorted_evicts = np.sort(evicts)
+        self._sorted_live_ends = np.sort(self._live_ends)
+
+    @property
+    def n_generations(self) -> int:
+        """Number of recorded generations."""
+        return len(self.fills)
+
+    # -- Fig. 1a / Fig. 7 --------------------------------------------------------
+    def live_fraction_at(self, t: int) -> float:
+        """Fraction of lines resident at ``t`` that will still be hit."""
+        resident = int(
+            np.searchsorted(self._sorted_fills, t, "right")
+            - np.searchsorted(self._sorted_evicts, t, "right")
+        )
+        if resident <= 0:
+            return 0.0
+        live = int(
+            np.searchsorted(self._sorted_fills, t, "right")
+            - np.searchsorted(self._sorted_live_ends, t, "right")
+        )
+        return live / resident
+
+    def live_fraction_series(self, sample_interval: int):
+        """(times, fractions) sampled every ``sample_interval`` cycles.
+
+        Samples are drawn over the measurement window, skipping the leading
+        edge where the recorder has not yet seen a full population.
+        """
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        times = np.arange(self.start_time + sample_interval, self.end_time, sample_interval)
+        return times, np.array([self.live_fraction_at(int(t)) for t in times])
+
+    def mean_live_fraction(
+        self, sample_interval: int | None = None, trim_tail: float = 0.15
+    ) -> float:
+        """Average live fraction over the window (paper's 'alive fraction').
+
+        The last ``trim_tail`` fraction of the window is excluded: near the
+        end of a finite measurement window, lines whose next hit falls
+        beyond the horizon look dead (right-censoring), which would bias the
+        average low for every configuration.
+        """
+        if self.n_generations == 0:
+            return 0.0
+        span = max(1, self.end_time - self.start_time)
+        if sample_interval is None:
+            sample_interval = max(1, span // 64)
+        times, fracs = self.live_fraction_series(sample_interval)
+        if not len(fracs):
+            return 0.0
+        cutoff = self.end_time - trim_tail * span
+        kept = fracs[times <= cutoff]
+        return float(kept.mean()) if len(kept) else float(fracs.mean())
+
+    # -- Fig. 1b -----------------------------------------------------------------
+    def hit_distribution(self, n_groups: int = 200):
+        """Sorted-group hit shares (Fig. 1b).
+
+        Returns ``(share, avg_hits)``: for each of ``n_groups`` equal-size
+        groups of generations ordered by descending hit count, the fraction
+        of all hits the group received and its mean hits per line.
+        """
+        if n_groups <= 0:
+            raise ValueError("n_groups must be positive")
+        counts = np.sort(self.hits)[::-1]
+        total = counts.sum()
+        groups_share = np.zeros(n_groups)
+        groups_avg = np.zeros(n_groups)
+        if len(counts) == 0:
+            return groups_share, groups_avg
+        bounds = np.linspace(0, len(counts), n_groups + 1).astype(int)
+        for g in range(n_groups):
+            chunk = counts[bounds[g]:bounds[g + 1]]
+            if len(chunk):
+                groups_avg[g] = chunk.mean()
+                if total:
+                    groups_share[g] = chunk.sum() / total
+        return groups_share, groups_avg
+
+    def useful_fraction(self) -> float:
+        """Fraction of loaded lines that received at least one hit."""
+        if self.n_generations == 0:
+            return 0.0
+        return float((self.hits > 0).mean())

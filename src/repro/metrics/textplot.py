@@ -1,0 +1,115 @@
+"""Terminal plotting for the reproduced figures.
+
+The paper's figures are bar charts and line plots; a text-only reproduction
+renders them as ASCII so benchmark output and examples can show *shape*
+(orderings, crossovers, knees) and not just tables.
+
+Two primitives cover every figure in the paper:
+
+* :func:`bar_chart` — labelled horizontal bars (Figs. 4, 7, 8, 9, 11);
+* :func:`line_plot` — multi-series scatter/line over a numeric x-axis
+  (Figs. 1a, 5, 6).
+"""
+
+from __future__ import annotations
+
+
+def bar_chart(
+    items,
+    width: int = 48,
+    baseline: float | None = None,
+    fmt: str = "{:.3f}",
+    title: str | None = None,
+) -> str:
+    """Horizontal bar chart.
+
+    ``items`` is a sequence of ``(label, value)``.  When ``baseline`` is
+    given, a marker column is drawn at that value (e.g. speedup = 1.0), so
+    wins and losses are visible at a glance.
+    """
+    items = list(items)
+    if not items:
+        return title or ""
+    values = [v for _, v in items]
+    lo = min(0.0, min(values))
+    hi = max(values)
+    if baseline is not None:
+        hi = max(hi, baseline)
+        lo = min(lo, baseline)
+    span = (hi - lo) or 1.0
+    label_w = max(len(str(label)) for label, _ in items)
+
+    def _col(value: float) -> int:
+        return int(round((value - lo) / span * (width - 1)))
+
+    base_col = _col(baseline) if baseline is not None else None
+    lines = [title] if title else []
+    for label, value in items:
+        bar_len = _col(value)
+        row = ["█"] * bar_len + [" "] * (width - bar_len)
+        if base_col is not None and base_col < width:
+            row[base_col] = "┊" if base_col >= bar_len else "│"
+        lines.append(f"{str(label):<{label_w}} {''.join(row)} {fmt.format(value)}")
+    return "\n".join(lines)
+
+
+def line_plot(
+    series,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    y_fmt: str = "{:.2f}",
+) -> str:
+    """Multi-series line/scatter plot.
+
+    ``series`` maps a series name to a list of ``(x, y)`` pairs; each series
+    is drawn with its own glyph and listed in the legend.
+    """
+    series = {name: list(points) for name, points in series.items()}
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        return title or ""
+    xs = [x for x, _ in all_points]
+    ys = [y for _, y in all_points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    glyphs = "ox+*#@%&"
+    legend = []
+    for (name, points), glyph in zip(series.items(), glyphs):
+        legend.append(f"{glyph}={name}")
+        for x, y in points:
+            col = int(round((x - x_lo) / x_span * (width - 1)))
+            row = height - 1 - int(round((y - y_lo) / y_span * (height - 1)))
+            grid[row][col] = glyph
+
+    y_label_w = max(len(y_fmt.format(y_hi)), len(y_fmt.format(y_lo)))
+    lines = [title] if title else []
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = y_fmt.format(y_hi)
+        elif r == height - 1:
+            label = y_fmt.format(y_lo)
+        else:
+            label = ""
+        lines.append(f"{label:>{y_label_w}} │{''.join(row)}")
+    lines.append(f"{'':>{y_label_w}} └" + "─" * width)
+    lines.append(f"{'':>{y_label_w}}  {x_lo:<.4g}{'':^{max(0, width - 16)}}{x_hi:>.4g}")
+    lines.append("  " + "  ".join(legend))
+    return "\n".join(lines)
+
+
+def sparkline(values, width: int = 60) -> str:
+    """One-line density strip of a series (used for Fig. 1a overviews)."""
+    blocks = " ▁▂▃▄▅▆▇█"
+    values = list(values)
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = [values[i] for i in range(0, len(values), step)]
+    lo, hi = min(sampled), max(sampled)
+    span = (hi - lo) or 1.0
+    return "".join(blocks[int((v - lo) / span * (len(blocks) - 1))] for v in sampled)

@@ -1,0 +1,78 @@
+"""Cache replacement policies.
+
+All policies implement :class:`~repro.replacement.base.ReplacementPolicy`.
+Use :func:`make_policy` to construct one by name.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .base import ReplacementPolicy
+from .clock import ClockPolicy
+from .dip import BIPPolicy, DIPPolicy, LIPPolicy
+from .lru import LRUPolicy
+from .nrr import NRRPolicy
+from .nru import NRUPolicy
+from .random_policy import RandomPolicy
+from .reuse_repl import ReuseReplacementPolicy
+from .rrip import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from .ship import SHiPPolicy
+from .slru import SLRUPolicy
+
+__all__ = [
+    "ReplacementPolicy",
+    "LRUPolicy",
+    "NRUPolicy",
+    "NRRPolicy",
+    "SRRIPPolicy",
+    "BRRIPPolicy",
+    "DRRIPPolicy",
+    "ClockPolicy",
+    "RandomPolicy",
+    "LIPPolicy",
+    "BIPPolicy",
+    "DIPPolicy",
+    "SLRUPolicy",
+    "SHiPPolicy",
+    "ReuseReplacementPolicy",
+    "make_policy",
+    "POLICIES",
+]
+
+POLICIES = {
+    cls.name: cls
+    for cls in (
+        LRUPolicy,
+        NRUPolicy,
+        NRRPolicy,
+        SRRIPPolicy,
+        BRRIPPolicy,
+        DRRIPPolicy,
+        ClockPolicy,
+        RandomPolicy,
+        LIPPolicy,
+        BIPPolicy,
+        DIPPolicy,
+        SLRUPolicy,
+        SHiPPolicy,
+        ReuseReplacementPolicy,
+    )
+}
+
+
+def make_policy(
+    name: str,
+    num_sets: int,
+    assoc: int,
+    rng: random.Random | None = None,
+    **kwargs,
+) -> ReplacementPolicy:
+    """Construct a replacement policy by its short name (e.g. ``"nrr"``)."""
+    try:
+        cls = POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; known: {sorted(POLICIES)}"
+        ) from None
+    return cls(num_sets, assoc, rng=rng, **kwargs)

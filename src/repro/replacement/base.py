@@ -1,0 +1,64 @@
+"""Replacement-policy interface shared by all cache structures.
+
+A policy instance manages the replacement metadata of one set-associative
+array (``num_sets`` x ``assoc``).  The owning cache calls:
+
+* :meth:`ReplacementPolicy.on_fill` when a line is installed in a way,
+* :meth:`ReplacementPolicy.on_hit` when a resident line is re-referenced,
+* :meth:`ReplacementPolicy.on_invalidate` when a way is freed, and
+* :meth:`ReplacementPolicy.victim` to pick a way among the *eligible*
+  candidates (the cache excludes ways it must not evict, e.g. lines present
+  in private caches under NRR, before calling).
+
+``thread`` identifies the requesting core for thread-aware policies
+(TA-DRRIP); single-thread policies ignore it.
+
+Policies must be deterministic given their ``random.Random`` instance so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+
+class ReplacementPolicy:
+    """Abstract base class for replacement policies."""
+
+    #: short identifier used by the factory and in reports
+    name = "base"
+
+    def __init__(self, num_sets: int, assoc: int, rng: random.Random | None = None):
+        if num_sets <= 0 or assoc <= 0:
+            raise ValueError(
+                f"num_sets and assoc must be positive, got {num_sets}x{assoc}"
+            )
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.rng = rng if rng is not None else random.Random(0)
+
+    # -- notification hooks -------------------------------------------------
+    def on_fill(self, set_idx: int, way: int, thread: int = 0) -> None:
+        """A new line was installed in ``(set_idx, way)``."""
+        raise NotImplementedError
+
+    def on_hit(self, set_idx: int, way: int, thread: int = 0) -> None:
+        """The line in ``(set_idx, way)`` was re-referenced."""
+        raise NotImplementedError
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        """Default: nothing to do; most policies re-initialise state on fill."""
+
+    def on_miss(self, set_idx: int, thread: int = 0) -> None:
+        """Called on every miss in the set (used by set-dueling policies)."""
+
+    # -- victim selection ----------------------------------------------------
+    def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        """Pick a way to evict among the eligible ``candidates``."""
+        raise NotImplementedError
+
+    # -- helpers --------------------------------------------------------------
+    def _check_candidates(self, candidates: Sequence[int]) -> None:
+        if not candidates:
+            raise ValueError("victim() called with no eligible candidates")

@@ -1,0 +1,86 @@
+"""Insertion-policy variants of LRU: LIP, BIP and DIP [Qureshi et al., ISCA'07].
+
+These are the dynamic-insertion-policy family the paper's related work builds
+on (the NCID selective mode is a descendant of BIP).  They reuse the exact
+LRU ordering of :class:`~repro.replacement.lru.LRUPolicy` and only change
+where a fill lands in the recency stack:
+
+* **LIP** inserts every fill at the LRU position;
+* **BIP** inserts at LRU but promotes to MRU with low probability
+  ``epsilon`` (1/32);
+* **DIP** set-duels LRU against BIP with a single PSEL counter.
+"""
+
+from __future__ import annotations
+
+from .lru import LRUPolicy
+
+
+class LIPPolicy(LRUPolicy):
+    """LRU-insertion policy: fills land at the bottom of the recency stack."""
+
+    name = "lip"
+
+    def _insert_at_lru(self, set_idx: int, way: int) -> None:
+        stamps = self._stamp[set_idx]
+        # Any value strictly below the current set minimum makes it LRU.
+        stamps[way] = min(stamps) - 1
+
+    def on_fill(self, set_idx, way, thread=0):
+        self._insert_at_lru(set_idx, way)
+
+
+class BIPPolicy(LIPPolicy):
+    """Bimodal insertion: mostly LRU inserts, occasional MRU inserts."""
+
+    name = "bip"
+
+    epsilon = 1.0 / 32.0
+
+    def on_fill(self, set_idx, way, thread=0):
+        if self.rng.random() < self.epsilon:
+            self._touch(set_idx, way)  # MRU insert
+        else:
+            self._insert_at_lru(set_idx, way)
+
+
+class DIPPolicy(BIPPolicy):
+    """Dynamic insertion: set dueling between plain LRU and BIP."""
+
+    name = "dip"
+
+    psel_bits = 10
+
+    def __init__(self, num_sets, assoc, rng=None):
+        super().__init__(num_sets, assoc, rng)
+        self._psel_max = (1 << self.psel_bits) - 1
+        self._psel = self._psel_max // 2
+        self._period = 32 if num_sets >= 32 else max(2, num_sets)
+
+    def _role(self, set_idx: int) -> str:
+        slot = set_idx % self._period
+        if slot == 0:
+            return "lru"
+        if slot == 1:
+            return "bip"
+        return "follower"
+
+    def on_miss(self, set_idx, thread=0):
+        role = self._role(set_idx)
+        if role == "lru" and self._psel < self._psel_max:
+            self._psel += 1
+        elif role == "bip" and self._psel > 0:
+            self._psel -= 1
+
+    def on_fill(self, set_idx, way, thread=0):
+        role = self._role(set_idx)
+        if role == "lru":
+            use_bip = False
+        elif role == "bip":
+            use_bip = True
+        else:
+            use_bip = self._psel > self._psel_max // 2
+        if use_bip:
+            BIPPolicy.on_fill(self, set_idx, way, thread)
+        else:
+            self._touch(set_idx, way)

@@ -1,0 +1,56 @@
+"""Not-recently-reused (NRR) replacement [Albericio et al., TACO 2013].
+
+NRR costs one bit per line, exactly like NRU, but the bit tracks *reuse*
+rather than *use*:
+
+* on fill the NRR bit is **set** — the line has not been recently reused;
+* on a hit (a reuse) the NRR bit is **cleared**;
+* victims are picked at random among eligible lines whose NRR bit is set.
+
+In the paper NRR additionally never evicts lines present in the private
+caches (it reads the full-map directory).  That filtering is the *cache's*
+job here: the caller passes only eligible ways in ``candidates``.  When every
+candidate has been recently reused, the set is aged (all NRR bits set) and a
+random candidate is evicted, mirroring NRU's aging step.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ReplacementPolicy
+
+
+class NRRPolicy(ReplacementPolicy):
+    """NRR replacement: protect recently *reused* lines."""
+
+    name = "nrr"
+
+    def __init__(self, num_sets, assoc, rng=None):
+        super().__init__(num_sets, assoc, rng)
+        # nrr bit: 1 = NOT recently reused (evictable)
+        self._nrr = [[1] * assoc for _ in range(num_sets)]
+
+    def on_fill(self, set_idx, way, thread=0):
+        self._nrr[set_idx][way] = 1
+
+    def on_hit(self, set_idx, way, thread=0):
+        self._nrr[set_idx][way] = 0
+
+    def on_invalidate(self, set_idx, way):
+        self._nrr[set_idx][way] = 1
+
+    def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        nrr = self._nrr[set_idx]
+        pool = [w for w in candidates if nrr[w]]
+        if not pool:
+            for w in range(self.assoc):
+                nrr[w] = 1
+            pool = list(candidates)
+        return pool[0] if len(pool) == 1 else self.rng.choice(pool)
+
+    # exposed for tests / liveness analysis
+    def is_reused(self, set_idx: int, way: int) -> bool:
+        """True if the line in ``way`` was reused since its last aging."""
+        return self._nrr[set_idx][way] == 0

@@ -1,0 +1,45 @@
+"""Not-recently-used replacement (one reference bit per line).
+
+NRU is the commercial baseline the paper cites (UltraSPARC T2 manual) and the
+data-array replacement of the set-associative reuse cache: every line carries
+one bit which is set on use; victims are chosen among lines whose bit is
+clear, and when no such line exists all bits in the set are aged (cleared)
+first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ReplacementPolicy
+
+
+class NRUPolicy(ReplacementPolicy):
+    """NRU with random choice among not-recently-used candidates."""
+
+    name = "nru"
+
+    def __init__(self, num_sets, assoc, rng=None):
+        super().__init__(num_sets, assoc, rng)
+        # ref bit: 1 = recently used
+        self._ref = [[0] * assoc for _ in range(num_sets)]
+
+    def on_fill(self, set_idx, way, thread=0):
+        self._ref[set_idx][way] = 1
+
+    def on_hit(self, set_idx, way, thread=0):
+        self._ref[set_idx][way] = 1
+
+    def on_invalidate(self, set_idx, way):
+        self._ref[set_idx][way] = 0
+
+    def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        refs = self._ref[set_idx]
+        pool = [w for w in candidates if not refs[w]]
+        if not pool:
+            # Age the whole set: everything becomes eligible again.
+            for w in range(self.assoc):
+                refs[w] = 0
+            pool = list(candidates)
+        return pool[0] if len(pool) == 1 else self.rng.choice(pool)

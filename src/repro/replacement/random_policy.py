@@ -1,0 +1,23 @@
+"""Uniform-random replacement, mainly a baseline for tests and ablations."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ReplacementPolicy
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Pick victims uniformly at random among eligible ways."""
+
+    name = "random"
+
+    def on_fill(self, set_idx, way, thread=0):
+        pass
+
+    def on_hit(self, set_idx, way, thread=0):
+        pass
+
+    def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        return candidates[0] if len(candidates) == 1 else self.rng.choice(list(candidates))

@@ -1,0 +1,144 @@
+"""Re-reference interval prediction (RRIP) replacement [Jaleel et al., ISCA'10].
+
+Implements the family the paper compares against:
+
+* :class:`SRRIPPolicy` — static RRIP: insert with a *long* re-reference
+  prediction (RRPV = 2 for 2-bit counters), promote to *near-immediate*
+  (RRPV = 0) on a hit, evict the first line predicted *distant* (RRPV = 3),
+  aging the whole set when none is distant.
+* :class:`BRRIPPolicy` — bimodal RRIP: insert with RRPV = 3 (distant) most of
+  the time and RRPV = 2 with low probability ``epsilon`` (1/32 by default).
+* :class:`DRRIPPolicy` — dynamic, *thread-aware* RRIP (TA-DRRIP): per-thread
+  set-dueling monitors pick SRRIP or BRRIP insertion for each thread's fills
+  using a saturating PSEL counter per thread.
+
+Set dueling follows the constituency scheme of Qureshi et al.: set indices
+are partitioned round-robin; for thread ``t`` the sets with
+``set_idx % period == 2 t`` are SRRIP leaders and those with
+``set_idx % period == 2 t + 1`` are BRRIP leaders.  Misses in a thread's
+leader sets steer its PSEL; follower sets use the PSEL winner.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ReplacementPolicy
+
+#: number of RRPV bits used throughout (the paper's configuration)
+RRPV_BITS = 2
+RRPV_MAX = (1 << RRPV_BITS) - 1  # 3: "distant re-reference"
+RRPV_LONG = RRPV_MAX - 1  # 2: "long re-reference"
+
+
+class _RRIPBase(ReplacementPolicy):
+    """Shared RRPV bookkeeping: hit promotion and distant-victim search."""
+
+    def __init__(self, num_sets, assoc, rng=None):
+        super().__init__(num_sets, assoc, rng)
+        self._rrpv = [[RRPV_MAX] * assoc for _ in range(num_sets)]
+
+    def on_hit(self, set_idx, way, thread=0):
+        # Hit priority (HP) promotion: predict near-immediate re-reference.
+        self._rrpv[set_idx][way] = 0
+
+    def on_invalidate(self, set_idx, way):
+        self._rrpv[set_idx][way] = RRPV_MAX
+
+    def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        rrpv = self._rrpv[set_idx]
+        while True:
+            for w in candidates:
+                if rrpv[w] == RRPV_MAX:
+                    return w
+            # Age: increment every line in the set until a candidate saturates.
+            for w in range(self.assoc):
+                if rrpv[w] < RRPV_MAX:
+                    rrpv[w] += 1
+
+    # -- insertion values ----------------------------------------------------
+    def _insert(self, set_idx: int, way: int, value: int) -> None:
+        self._rrpv[set_idx][way] = value
+
+
+class SRRIPPolicy(_RRIPBase):
+    """Static RRIP: every fill predicted as a long re-reference interval."""
+
+    name = "srrip"
+
+    def on_fill(self, set_idx, way, thread=0):
+        self._insert(set_idx, way, RRPV_LONG)
+
+
+class BRRIPPolicy(_RRIPBase):
+    """Bimodal RRIP: fills predicted distant, occasionally long."""
+
+    name = "brrip"
+
+    #: probability that a fill receives the *long* (rather than distant) RRPV
+    epsilon = 1.0 / 32.0
+
+    def on_fill(self, set_idx, way, thread=0):
+        value = RRPV_LONG if self.rng.random() < self.epsilon else RRPV_MAX
+        self._insert(set_idx, way, value)
+
+
+class DRRIPPolicy(_RRIPBase):
+    """Thread-aware dynamic RRIP with per-thread set-dueling monitors."""
+
+    name = "drrip"
+
+    #: PSEL counter width
+    psel_bits = 10
+
+    def __init__(self, num_sets, assoc, rng=None, num_threads: int = 8):
+        super().__init__(num_sets, assoc, rng)
+        if num_threads <= 0:
+            raise ValueError(f"num_threads must be positive, got {num_threads}")
+        self.num_threads = num_threads
+        self._psel_max = (1 << self.psel_bits) - 1
+        # Start at the midpoint: no preference.
+        self._psel = [self._psel_max // 2] * num_threads
+        # Constituency period: two leader sets (one SRRIP, one BRRIP) per
+        # thread per period.  Clamp so small caches still have followers.
+        self._period = max(2 * num_threads, 4)
+        self._brrip_rng = rng
+
+    # -- leader-set classification -------------------------------------------
+    def _leader_role(self, set_idx: int, thread: int) -> str:
+        slot = set_idx % self._period
+        if slot == 2 * thread:
+            return "srrip"
+        if slot == 2 * thread + 1:
+            return "brrip"
+        return "follower"
+
+    def on_miss(self, set_idx, thread=0):
+        """Steer PSEL: misses in a leader set vote against its policy."""
+        role = self._leader_role(set_idx, thread)
+        psel = self._psel
+        if role == "srrip" and psel[thread] < self._psel_max:
+            psel[thread] += 1
+        elif role == "brrip" and psel[thread] > 0:
+            psel[thread] -= 1
+
+    def _uses_brrip(self, set_idx: int, thread: int) -> bool:
+        role = self._leader_role(set_idx, thread)
+        if role == "srrip":
+            return False
+        if role == "brrip":
+            return True
+        # Follower: high PSEL means SRRIP missed more, so BRRIP wins.
+        return self._psel[thread] > self._psel_max // 2
+
+    def on_fill(self, set_idx, way, thread=0):
+        if self._uses_brrip(set_idx, thread):
+            value = (
+                RRPV_LONG
+                if self.rng.random() < BRRIPPolicy.epsilon
+                else RRPV_MAX
+            )
+        else:
+            value = RRPV_LONG
+        self._insert(set_idx, way, value)

@@ -1,0 +1,82 @@
+"""Segmented LRU (SLRU) replacement [Karedla, Love, Wherry 1994].
+
+The paper traces reuse locality back to disk caching: SLRU splits the
+recency stack into a *probationary* segment (lines touched once) and a
+*protected* segment (lines that have been re-referenced).  Victims always
+come from the probationary segment; protected lines demoted by overflow get
+a second chance in the probationary segment.  This is the conceptual
+ancestor of NRR's reused/not-reused distinction, included both for the
+related-work comparison and as an alternative tag policy for the reuse
+cache.
+
+``protected_frac`` bounds the protected segment (the classical fixed
+boundary); the dueling variant of Gao & Wilkerson tunes it dynamically —
+here it is a constructor parameter so ablations can sweep it.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .base import ReplacementPolicy
+
+
+class SLRUPolicy(ReplacementPolicy):
+    """Segmented LRU with a fixed protected-segment bound."""
+
+    name = "slru"
+
+    def __init__(self, num_sets, assoc, rng=None, protected_frac: float = 0.5):
+        super().__init__(num_sets, assoc, rng)
+        if not 0 < protected_frac < 1:
+            raise ValueError(f"protected_frac must be in (0, 1), got {protected_frac}")
+        self.protected_limit = max(1, int(round(protected_frac * assoc)))
+        # recency stamps plus a protected bit per way
+        self._stamp = [[0] * assoc for _ in range(num_sets)]
+        self._protected = [[False] * assoc for _ in range(num_sets)]
+        self._clock = 0
+
+    def _touch(self, set_idx, way):
+        self._clock += 1
+        self._stamp[set_idx][way] = self._clock
+
+    def on_fill(self, set_idx, way, thread=0):
+        # new lines enter the probationary segment at its MRU end
+        self._protected[set_idx][way] = False
+        self._touch(set_idx, way)
+
+    def on_hit(self, set_idx, way, thread=0):
+        # a re-reference promotes into the protected segment
+        protected = self._protected[set_idx]
+        if not protected[way]:
+            protected[way] = True
+            self._enforce_limit(set_idx, keep=way)
+        self._touch(set_idx, way)
+
+    def _enforce_limit(self, set_idx, keep):
+        """Demote the LRU protected line when the segment overflows."""
+        protected = self._protected[set_idx]
+        members = [w for w in range(self.assoc) if protected[w]]
+        if len(members) <= self.protected_limit:
+            return
+        stamps = self._stamp[set_idx]
+        victim = min((w for w in members if w != keep), key=lambda w: stamps[w])
+        protected[victim] = False
+        # demoted lines re-enter the probationary segment at its MRU end
+        self._touch(set_idx, victim)
+
+    def on_invalidate(self, set_idx, way):
+        self._protected[set_idx][way] = False
+        self._stamp[set_idx][way] = 0
+
+    def victim(self, set_idx: int, candidates: Sequence[int]) -> int:
+        self._check_candidates(candidates)
+        stamps = self._stamp[set_idx]
+        protected = self._protected[set_idx]
+        probationary = [w for w in candidates if not protected[w]]
+        pool = probationary if probationary else list(candidates)
+        return min(pool, key=lambda w: stamps[w])
+
+    # introspection for tests
+    def is_protected(self, set_idx: int, way: int) -> bool:
+        return self._protected[set_idx][way]

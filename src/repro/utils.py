@@ -1,0 +1,34 @@
+"""Small shared helpers used across the repro package."""
+
+from __future__ import annotations
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def ilog2(n: int) -> int:
+    """Exact integer log2 of a power of two.
+
+    Raises ``ValueError`` when ``n`` is not a positive power of two, because
+    every caller in this package uses it to size index/pointer fields where a
+    silent rounding would corrupt the layout.
+    """
+    if not is_power_of_two(n):
+        raise ValueError(f"expected a positive power of two, got {n!r}")
+    return n.bit_length() - 1
+
+
+def require_power_of_two(n: int, what: str) -> int:
+    """Validate that ``n`` is a power of two, returning it unchanged."""
+    if not is_power_of_two(n):
+        raise ValueError(f"{what} must be a positive power of two, got {n!r}")
+    return n
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    if b <= 0:
+        raise ValueError(f"divisor must be positive, got {b!r}")
+    return -(-a // b)

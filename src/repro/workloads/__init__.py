@@ -1,0 +1,28 @@
+"""Workload substrate: synthetic SPEC-like and parallel reference traces."""
+
+from .mixes import EXAMPLE_MIX, build_mix_suite, build_workload, make_mixes
+from .parallel import PARALLEL_APPS, PARALLEL_PROFILES, generate_parallel_workload
+from .profiles import SPEC_APPS, SPEC_PROFILES, AppProfile
+from .synthetic import generate_trace, zipf_sample, zipf_weights
+from .trace import Trace, Workload
+from .trace_io import load_workload, save_workload
+
+__all__ = [
+    "AppProfile",
+    "SPEC_APPS",
+    "SPEC_PROFILES",
+    "PARALLEL_APPS",
+    "PARALLEL_PROFILES",
+    "Trace",
+    "Workload",
+    "EXAMPLE_MIX",
+    "generate_trace",
+    "generate_parallel_workload",
+    "build_workload",
+    "build_mix_suite",
+    "make_mixes",
+    "zipf_sample",
+    "zipf_weights",
+    "save_workload",
+    "load_workload",
+]

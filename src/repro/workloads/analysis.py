@@ -1,0 +1,103 @@
+"""Reference-trace analysis: stack distances and footprints.
+
+The reuse-locality structure the paper relies on is visible directly in a
+trace's *stack distance* profile (the number of distinct lines touched
+between consecutive accesses to the same line): private-cache locality
+shows up as a mass of small distances, SLLC reuse as a mid-range band, and
+streaming as infinite distances.  These tools validate the synthetic
+generators and let users characterise their own traces.
+
+Stack distances are computed exactly in O(N log N) with a Fenwick tree
+over access timestamps (the classical Bennett–Kruskal algorithm).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class _Fenwick:
+    """Binary indexed tree over ``n`` slots (prefix sums of 0/1 marks)."""
+
+    __slots__ = ("n", "tree")
+
+    def __init__(self, n: int):
+        self.n = n
+        self.tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        """Add ``delta`` at index ``i``."""
+        i += 1
+        while i <= self.n:
+            self.tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, i: int) -> int:
+        """Sum of marks in [0, i]."""
+        i += 1
+        total = 0
+        while i > 0:
+            total += self.tree[i]
+            i -= i & (-i)
+        return total
+
+
+def stack_distances(addrs) -> np.ndarray:
+    """Exact LRU stack distance of every access.
+
+    Returns an int64 array: the number of *distinct* lines referenced since
+    the previous access to the same line, or -1 for cold (first) accesses.
+    An access with stack distance d hits in a fully associative LRU cache
+    of capacity > d.
+    """
+    n = len(addrs)
+    distances = np.full(n, -1, dtype=np.int64)
+    fenwick = _Fenwick(n)
+    last_access = {}
+    for t, addr in enumerate(addrs):
+        prev = last_access.get(addr)
+        if prev is not None:
+            # distinct lines touched in (prev, t) = marks in that window
+            distances[t] = fenwick.prefix_sum(t - 1) - fenwick.prefix_sum(prev)
+            fenwick.add(prev, -1)
+        fenwick.add(t, 1)
+        last_access[addr] = t
+    return distances
+
+
+def reuse_profile(addrs, bin_edges=None) -> dict:
+    """Histogram of stack distances plus summary statistics.
+
+    ``bin_edges`` defaults to powers of two from 1 to 2^24.  Cold accesses
+    are reported separately.
+    """
+    distances = stack_distances(addrs)
+    warm = distances[distances >= 0]
+    if bin_edges is None:
+        bin_edges = [0] + [1 << k for k in range(25)]
+    counts, edges = np.histogram(warm, bins=np.asarray(bin_edges, dtype=np.int64))
+    return {
+        "n_accesses": len(distances),
+        "cold": int((distances < 0).sum()),
+        "bin_edges": edges.tolist(),
+        "counts": counts.tolist(),
+        "median_distance": float(np.median(warm)) if len(warm) else float("nan"),
+        "footprint": len(set(addrs)),
+    }
+
+
+def hit_ratio_curve(addrs, capacities) -> dict:
+    """Fully associative LRU hit ratio at each capacity (miss-ratio curve).
+
+    A single stack-distance pass yields the hit ratio of *every* capacity:
+    an access hits at capacity c iff its stack distance is < c.
+    """
+    distances = stack_distances(addrs)
+    n = len(distances)
+    if n == 0:
+        return {c: 0.0 for c in capacities}
+    warm = distances[distances >= 0]
+    return {
+        c: float((warm < c).sum()) / n
+        for c in capacities
+    }

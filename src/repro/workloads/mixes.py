@@ -1,0 +1,82 @@
+"""Multiprogrammed workload construction (paper Section 4.1).
+
+The paper evaluates 100 workloads, each a random combination of 8 programs
+drawn from the 29 SPEC CPU 2006 applications with repetition, applications
+appearing 16-35 times overall.  :func:`make_mixes` reproduces that
+construction deterministically from a seed; :func:`build_workload` turns a
+mix into per-core traces, giving each core a disjoint address space (no
+sharing between programs of a multiprogrammed mix).
+
+The paper's *example workload* of Sections 2 and 5 (gcc, mcf, povray,
+leslie3d, h264ref, lbm, namd, gcc) is exposed as :data:`EXAMPLE_MIX`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .profiles import SPEC_APPS, SPEC_PROFILES
+from .synthetic import APP_SPACE_BITS, generate_trace
+from .trace import Workload
+
+#: the example workload of paper Section 2 (footnote 1)
+EXAMPLE_MIX = ["gcc", "mcf", "povray", "leslie3d", "h264ref", "lbm", "namd", "gcc"]
+
+
+def make_mixes(
+    n_mixes: int = 100,
+    apps_per_mix: int = 8,
+    seed: int = 2013,
+    apps=None,
+) -> list:
+    """Random multiprogrammed mixes (lists of application names)."""
+    if n_mixes <= 0 or apps_per_mix <= 0:
+        raise ValueError("n_mixes and apps_per_mix must be positive")
+    pool = list(apps) if apps is not None else list(SPEC_APPS)
+    rng = random.Random(seed)
+    return [[rng.choice(pool) for _ in range(apps_per_mix)] for _ in range(n_mixes)]
+
+
+def build_workload(
+    mix,
+    n_refs: int,
+    seed: int = 0,
+    scale: int = 32,
+    name: str | None = None,
+) -> Workload:
+    """Build per-core traces for one multiprogrammed mix.
+
+    Each core gets its own address space (multiprogramming: no sharing) and
+    its own generator seed; repeated instances of the same application get
+    distinct seeds and phase offsets so they do not run in lockstep.
+    """
+    traces = []
+    for core, app in enumerate(mix):
+        try:
+            profile = SPEC_PROFILES[app]
+        except KeyError:
+            raise ValueError(f"unknown application {app!r}") from None
+        trace = generate_trace(
+            profile,
+            n_refs,
+            seed=seed * 1009 + core,
+            scale=scale,
+            base_addr=(core + 1) << APP_SPACE_BITS,
+            phase_offset=core / len(mix),
+        )
+        traces.append(trace)
+    return Workload(name or "+".join(mix), traces)
+
+
+def build_mix_suite(
+    n_mixes: int,
+    n_refs: int,
+    scale: int = 32,
+    seed: int = 2013,
+) -> list:
+    """The first ``n_mixes`` workloads of the paper-style 100-mix suite."""
+    mixes = make_mixes(100, seed=seed)[:n_mixes]
+    return [
+        build_workload(mix, n_refs, seed=seed + i, scale=scale, name=f"mix{i:03d}")
+        for i, mix in enumerate(mixes)
+    ]

@@ -1,0 +1,142 @@
+"""Synthetic reference-trace generation from :class:`AppProfile` parameters.
+
+Each reference picks a region (hot / warm / mid / stream) by the profile's
+probabilities, then an address inside that region:
+
+* **hot** — uniform over an L1-sized footprint;
+* **warm** — a cyclic sweep over an L2-resident footprint larger than L1,
+  so every access misses L1 and hits L2 (carries the L1→L2 MPKI gap);
+* **mid** — Zipf-skewed random (or a cyclic sweep) over the reused working
+  set beyond the private L2, producing the reuse locality the SLLC observes;
+* **stream** — a sequential scan over a long loop, producing the
+  dead-on-arrival lines that dominate SLLC fills.
+
+Gaps between references are geometric with mean ``1000 / mem_per_kinst``
+instructions.  All randomness flows from one seed, so a (profile, seed,
+n_refs, scale) tuple always produces the identical trace — experiments rely
+on this to replay the same workload across cache configurations.
+
+Region footprints are divided by ``scale`` (matching the scaled caches) and
+regions are placed at disjoint offsets inside the application's address
+space; multiprogrammed mixes then place each application at a distinct
+high-order offset so address spaces never collide.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .profiles import AppProfile
+from .trace import Trace
+
+#: line-address span reserved for one application's address space
+APP_SPACE_BITS = 30
+#: region offsets inside an application's space (line addresses)
+_HOT_BASE = 0
+_WARM_BASE = 1 << 25
+_MID_BASE = 1 << 26
+_STREAM_BASE = 1 << 27
+
+
+def zipf_weights(n_items: int, s: float) -> np.ndarray:
+    """Normalised Zipf(``s``) probabilities over ``n_items`` ranks."""
+    if n_items <= 0:
+        raise ValueError(f"n_items must be positive, got {n_items}")
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    weights = ranks ** (-s) if s else np.ones(n_items)
+    return weights / weights.sum()
+
+
+def zipf_sample(rng: np.random.Generator, n_items: int, s: float, size: int) -> np.ndarray:
+    """Sample ``size`` ranks in ``[0, n_items)`` with Zipf(``s``) popularity.
+
+    Popularity is deliberately *not* aligned with address order: ranks are
+    shuffled over the footprint (with a permutation drawn from ``rng``) so
+    popular lines spread across cache sets.
+    """
+    cdf = np.cumsum(zipf_weights(n_items, s))
+    ranks = np.searchsorted(cdf, rng.random(size), side="right")
+    perm = rng.permutation(n_items)
+    return perm[np.clip(ranks, 0, n_items - 1)]
+
+
+def _scaled(lines: int, scale: int) -> int:
+    return max(1, lines // scale)
+
+
+def generate_trace(
+    profile: AppProfile,
+    n_refs: int,
+    seed: int,
+    scale: int = 32,
+    base_addr: int = 0,
+    phase_offset: float = 0.0,
+) -> Trace:
+    """Generate one application's reference trace.
+
+    ``phase_offset`` (in [0, 1)) rotates the starting position of the cyclic
+    and streaming patterns so multiple instances of the same application do
+    not run in lockstep.
+    """
+    if n_refs <= 0:
+        raise ValueError(f"n_refs must be positive, got {n_refs}")
+    rng = np.random.default_rng(seed)
+
+    hot_lines = _scaled(profile.hot_lines, scale)
+    warm_lines = _scaled(profile.warm_lines, scale)
+    mid_lines = _scaled(profile.mid_lines, scale)
+    loop_lines = _scaled(profile.stream_loop_lines, scale)
+
+    u = rng.random(n_refs)
+    t_hot = profile.p_hot
+    t_warm = t_hot + profile.p_warm
+    t_mid = t_warm + profile.p_mid
+    is_hot = u < t_hot
+    is_warm = (~is_hot) & (u < t_warm)
+    is_mid = (~is_hot) & (~is_warm) & (u < t_mid)
+    is_stream = ~(is_hot | is_warm | is_mid)
+
+    addrs = np.zeros(n_refs, dtype=np.int64)
+
+    n_hot = int(is_hot.sum())
+    if n_hot:
+        addrs[is_hot] = _HOT_BASE + rng.integers(0, hot_lines, n_hot)
+
+    n_warm = int(is_warm.sum())
+    if n_warm:
+        start = int(phase_offset * warm_lines)
+        pos = (start + np.arange(n_warm, dtype=np.int64)) % warm_lines
+        addrs[is_warm] = _WARM_BASE + pos
+
+    n_mid = int(is_mid.sum())
+    if n_mid:
+        if profile.mid_pattern == "cyclic":
+            start = int(phase_offset * mid_lines)
+            pos = (start + np.arange(n_mid, dtype=np.int64)) % mid_lines
+        else:
+            pos = zipf_sample(rng, mid_lines, profile.mid_zipf, n_mid)
+        addrs[is_mid] = _MID_BASE + pos
+
+    n_stream = int(is_stream.sum())
+    if n_stream:
+        start = int(phase_offset * loop_lines)
+        pos = (start + np.arange(n_stream, dtype=np.int64)) % loop_lines
+        addrs[is_stream] = _STREAM_BASE + pos
+
+    addrs += base_addr
+
+    writes = (rng.random(n_refs) < profile.write_frac).astype(np.int8)
+
+    p = min(1.0, profile.mem_per_kinst / 1000.0)
+    gaps = rng.geometric(p, n_refs).astype(np.int64) - 1
+    # Clip pathological tail gaps (they would stall a core for a huge span
+    # without changing cache behaviour).
+    mean_gap = 1000.0 / profile.mem_per_kinst
+    np.clip(gaps, 0, int(20 * mean_gap) + 1, out=gaps)
+
+    return Trace(
+        profile.name,
+        gaps.tolist(),
+        addrs.tolist(),
+        writes.tolist(),
+    )

@@ -1,0 +1,72 @@
+"""Trace containers shared by all workload generators.
+
+A :class:`Trace` is one core's reference stream: for reference ``i`` the
+core executes ``gaps[i]`` non-memory instructions, then issues a load/store
+to line address ``addrs[i]`` (``writes[i]`` = 1 for stores).  The memory
+reference itself counts as one instruction, so a trace of ``n`` references
+commits ``sum(gaps) + n`` instructions.
+
+Arrays are stored as plain Python lists because the simulator consumes them
+element-wise (list indexing is several times faster than numpy scalar
+access); generators build them with numpy and convert once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Trace:
+    """One core's memory-reference stream."""
+
+    name: str
+    gaps: list = field(repr=False)
+    addrs: list = field(repr=False)
+    writes: list = field(repr=False)
+
+    def __post_init__(self):
+        if not (len(self.gaps) == len(self.addrs) == len(self.writes)):
+            raise ValueError(
+                f"trace arrays disagree in length: {len(self.gaps)}, "
+                f"{len(self.addrs)}, {len(self.writes)}"
+            )
+
+    @property
+    def n_refs(self) -> int:
+        """Number of memory references in the trace."""
+        return len(self.addrs)
+
+    @property
+    def total_instructions(self) -> int:
+        """Committed instructions the trace represents."""
+        return sum(self.gaps) + self.n_refs
+
+    def slice(self, n_refs: int) -> "Trace":
+        """A shortened copy with the first ``n_refs`` references."""
+        return Trace(
+            self.name, self.gaps[:n_refs], self.addrs[:n_refs], self.writes[:n_refs]
+        )
+
+
+@dataclass
+class Workload:
+    """A named set of per-core traces (one multiprogrammed mix or one
+    parallel application)."""
+
+    name: str
+    traces: list
+
+    @property
+    def num_cores(self) -> int:
+        """Number of per-core traces."""
+        return len(self.traces)
+
+    @property
+    def app_names(self) -> list:
+        """Application name of each core's trace."""
+        return [t.name for t in self.traces]
+
+    def slice(self, n_refs: int) -> "Workload":
+        """A shortened copy: the first ``n_refs`` references of every core."""
+        return Workload(self.name, [t.slice(n_refs) for t in self.traces])

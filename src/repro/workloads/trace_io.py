@@ -1,0 +1,107 @@
+"""Workload (trace) persistence.
+
+Generated workloads are deterministic, but real deployments exchange traces
+as files (the paper's own methodology snapshots Simics checkpoints).  A
+:class:`~repro.workloads.trace.Workload` round-trips through a single
+compressed ``.npz`` archive: three numpy arrays per core plus the
+application names.  Integer dtypes are narrowed where possible, so a
+million-reference, eight-core workload is a few MB on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .trace import Trace, Workload
+
+_FORMAT_VERSION = 1
+
+
+def save_workload(workload: Workload, path) -> Path:
+    """Write ``workload`` to ``path`` (a ``.npz`` archive); returns the path."""
+    path = Path(path)
+    arrays = {
+        "format_version": np.int64(_FORMAT_VERSION),
+        "name": np.str_(workload.name),
+        "num_cores": np.int64(workload.num_cores),
+        "app_names": np.array(workload.app_names),
+    }
+    for core, trace in enumerate(workload.traces):
+        arrays[f"gaps_{core}"] = np.asarray(trace.gaps, dtype=np.int32)
+        arrays[f"addrs_{core}"] = np.asarray(trace.addrs, dtype=np.int64)
+        arrays[f"writes_{core}"] = np.asarray(trace.writes, dtype=np.int8)
+    np.savez_compressed(path, **arrays)
+    # np.savez appends .npz when missing
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def save_dinero(trace: Trace, path, line_bytes: int = 64) -> Path:
+    """Write one trace in the classic Dinero 'din' format.
+
+    Each record is ``<label> <hex byte address>``: label 0 = read, 1 =
+    write (instruction fetches, label 2, are not produced — the simulator
+    models data references).  Gaps are not representable in din; they are
+    dropped, so a round trip preserves addresses and read/write labels
+    only.  This is the interchange format most academic cache tools accept.
+    """
+    path = Path(path)
+    with path.open("w") as fh:
+        for addr, is_write in zip(trace.addrs, trace.writes):
+            fh.write(f"{1 if is_write else 0} {addr * line_bytes:x}\n")
+    return path
+
+
+def load_dinero(path, name: str | None = None, line_bytes: int = 64,
+                mean_gap: int = 4) -> Trace:
+    """Read a Dinero 'din' file into a :class:`Trace`.
+
+    Instruction-fetch records (label 2) are skipped.  Since din carries no
+    timing, every reference gets a fixed ``mean_gap`` of non-memory
+    instructions.
+    """
+    path = Path(path)
+    gaps, addrs, writes = [], [], []
+    with path.open() as fh:
+        for line_no, line in enumerate(fh, 1):
+            parts = line.split()
+            if not parts:
+                continue
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{line_no}: malformed din record {line!r}")
+            label = int(parts[0])
+            if label == 2:
+                continue  # instruction fetch
+            if label not in (0, 1):
+                raise ValueError(f"{path}:{line_no}: unknown din label {label}")
+            gaps.append(mean_gap)
+            addrs.append(int(parts[1], 16) // line_bytes)
+            writes.append(label)
+    return Trace(name or path.stem, gaps, addrs, writes)
+
+
+def load_workload(path) -> Workload:
+    """Read a workload previously written by :func:`save_workload`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported workload format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        num_cores = int(data["num_cores"])
+        name = str(data["name"])
+        app_names = [str(a) for a in data["app_names"]]
+        traces = []
+        for core in range(num_cores):
+            traces.append(
+                Trace(
+                    app_names[core],
+                    data[f"gaps_{core}"].tolist(),
+                    data[f"addrs_{core}"].tolist(),
+                    data[f"writes_{core}"].tolist(),
+                )
+            )
+    return Workload(name, traces)

@@ -1,0 +1,60 @@
+"""Tests for the ablation experiment drivers and custom policy plumbing."""
+
+import pytest
+
+from repro.experiments import ExperimentParams
+from repro.experiments.ablation import (
+    DATA_POLICIES,
+    TAG_POLICIES,
+    format_ablation,
+    run_allocation_ablation,
+    run_data_policy_ablation,
+    run_tag_policy_ablation,
+)
+from repro.hierarchy.config import LLCSpec
+from repro.hierarchy.system import build_llc_banks
+from repro.hierarchy.config import SystemConfig
+
+TINY = ExperimentParams(n_workloads=1, n_refs=1500)
+
+
+class TestPolicyPlumbing:
+    def test_spec_tag_policy_reaches_banks(self):
+        cfg = SystemConfig(llc=LLCSpec.reuse(4, 1, tag_policy="srrip"))
+        banks = build_llc_banks(cfg)
+        assert all(b.tag_policy_name == "srrip" for b in banks)
+
+    def test_spec_data_policy_reaches_banks(self):
+        cfg = SystemConfig(llc=LLCSpec.reuse(4, 1, data_policy="lru"))
+        banks = build_llc_banks(cfg)
+        assert all(b.data_policy_name == "lru" for b in banks)
+
+    def test_default_policies_are_papers(self):
+        cfg = SystemConfig(llc=LLCSpec.reuse(4, 1))
+        banks = build_llc_banks(cfg)
+        assert all(b.tag_policy_name == "nrr" for b in banks)
+        assert all(b.data_policy_name == "clock" for b in banks)
+
+    def test_unknown_policy_rejected(self):
+        cfg = SystemConfig(llc=LLCSpec.reuse(4, 1, tag_policy="belady"))
+        with pytest.raises(ValueError):
+            build_llc_banks(cfg)
+
+
+class TestAblations:
+    def test_tag_policy_ablation(self):
+        r = run_tag_policy_ablation(TINY)
+        assert set(r) == set(TAG_POLICIES)
+        assert all(v > 0 for v in r.values())
+
+    def test_data_policy_ablation(self):
+        r = run_data_policy_ablation(TINY)
+        assert set(r) == set(DATA_POLICIES)
+
+    def test_allocation_ablation_contains_comparators(self):
+        r = run_allocation_ablation(TINY)
+        assert "RC-4/1 (selective)" in r and "conv-1MB-lru" in r
+
+    def test_format(self):
+        text = format_ablation({"a": 1.0}, "Title")
+        assert "Title" in text and "1.000" in text

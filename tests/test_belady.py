@@ -1,0 +1,111 @@
+"""Tests for Belady OPT and the bound-study driver."""
+
+import random
+
+import pytest
+
+from repro.cache.belady import belady_hit_ratio, belady_hits, next_use_indices
+
+
+class TestNextUse:
+    def test_basic(self):
+        assert next_use_indices([1, 2, 1, 3]) == [2, 4, 4, 4]
+
+    def test_empty(self):
+        assert next_use_indices([]) == []
+
+    def test_repeated(self):
+        assert next_use_indices([5, 5, 5]) == [1, 2, 3]
+
+
+class TestBelady:
+    def test_everything_fits(self):
+        trace = [1, 2, 1, 2, 1, 2]
+        assert belady_hits(trace, 2) == 4
+
+    def test_capacity_one(self):
+        assert belady_hits([1, 1, 2, 2, 1], 1) == 2
+
+    def test_classic_example(self):
+        # OPT keeps the line reused sooner.
+        trace = [1, 2, 3, 1, 2, 3]
+        # capacity 2: misses 1,2,3; OPT keeps {1,2}->hit 1, hit 2; then 3
+        assert belady_hits(trace, 2) == 2
+
+    def test_bypass_beats_demand_insertion(self):
+        """A scan interleaved with a reused pair: bypass-OPT keeps the pair."""
+        trace = []
+        for i in range(20):
+            trace += [1, 2, 100 + i]  # 1,2 reused; 100+i never again
+        assert belady_hits(trace, 2) == 38  # every access to 1/2 after warmup
+
+    def test_opt_at_least_lru(self):
+        rng = random.Random(0)
+        trace = [rng.randrange(30) for _ in range(500)]
+        # simple LRU reference
+        import collections
+
+        lru = collections.OrderedDict()
+        lru_hits = 0
+        for a in trace:
+            if a in lru:
+                lru_hits += 1
+                lru.move_to_end(a)
+            else:
+                if len(lru) >= 8:
+                    lru.popitem(last=False)
+                lru[a] = True
+        assert belady_hits(trace, 8) >= lru_hits
+
+    def test_monotone_in_capacity(self):
+        rng = random.Random(1)
+        trace = [rng.randrange(50) for _ in range(800)]
+        ratios = [belady_hit_ratio(trace, c) for c in (1, 4, 16, 64)]
+        assert all(b >= a for a, b in zip(ratios, ratios[1:]))
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            belady_hits([1], 0)
+
+    def test_empty_trace(self):
+        assert belady_hit_ratio([], 4) == 0.0
+
+
+class TestOptBoundDriver:
+    def test_structure(self):
+        from repro.experiments import ExperimentParams
+        from repro.experiments.opt_bound import format_opt_bound, run_opt_bound
+
+        r = run_opt_bound(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert set(r["opt"]) == {8, 4, 2, 1, 0.5}
+        # OPT hit ratio is monotone in capacity
+        vals = [r["opt"][mb] for mb in (0.5, 1, 2, 4, 8)]
+        assert all(b >= a - 1e-9 for a, b in zip(vals, vals[1:]))
+        # OPT at 8 MB upper-bounds the measured conventional 8 MB hit ratio
+        assert r["opt"][8] >= r["measured"]["conv-8MB-lru"] - 1e-9
+        assert format_opt_bound(r)
+
+
+class TestLLCTraceCapture:
+    def test_capture(self):
+        from repro.hierarchy.config import LLCSpec, SystemConfig
+        from repro.hierarchy.system import System
+        from repro.workloads.mixes import EXAMPLE_MIX, build_workload
+
+        wl = build_workload(EXAMPLE_MIX, 1000, seed=2)
+        system = System(
+            SystemConfig(llc=LLCSpec.conventional(8)), wl, capture_llc_trace=True
+        )
+        system.run()
+        assert system.llc_trace
+        assert len(system.llc_trace) == sum(b.accesses for b in system.banks)
+
+    def test_disabled_by_default(self):
+        from repro.hierarchy.config import LLCSpec, SystemConfig
+        from repro.hierarchy.system import System
+        from repro.workloads.mixes import EXAMPLE_MIX, build_workload
+
+        wl = build_workload(EXAMPLE_MIX, 200, seed=2)
+        system = System(SystemConfig(llc=LLCSpec.conventional(8)), wl)
+        system.run()
+        assert system.llc_trace is None

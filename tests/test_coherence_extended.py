@@ -1,0 +1,170 @@
+"""Tests for the full TO-MOSI protocol table."""
+
+import pytest
+
+from repro.coherence.extended import (
+    XProtocolError,
+    XState,
+    apply_extended,
+    legal_events_extended,
+    stable_states,
+)
+from repro.coherence.states import Event
+
+DEMANDS = (Event.GETS, Event.GETX)
+
+
+class TestStateStructure:
+    def test_seven_stable_states(self):
+        assert len(stable_states()) == 7
+
+    def test_tag_only_group_has_three_states(self):
+        """The paper: the reuse cache adds three tag-only stable states."""
+        assert sum(1 for s in XState if s.tag_only) == 3
+
+    def test_data_group(self):
+        assert {s for s in XState if s.has_data} == {XState.S, XState.O, XState.M}
+
+    def test_memory_staleness_flags(self):
+        assert XState.O.memory_stale and XState.M.memory_stale
+        assert XState.TM.memory_stale
+        assert not XState.S.memory_stale and not XState.TS.memory_stale
+
+
+class TestAllocationDiscipline:
+    """Selective allocation: only reuse (a demand on a tag-only state)
+    enters the data array."""
+
+    def test_first_access_never_allocates_data(self):
+        for event in DEMANDS:
+            t = apply_extended(XState.I, event)
+            assert t.next_state.tag_only
+            assert not t.allocates_data
+
+    def test_demand_on_tag_only_always_allocates(self):
+        for state in (XState.TS, XState.TE, XState.TM):
+            for event in DEMANDS:
+                t = apply_extended(state, event)
+                assert t.allocates_data
+                assert t.next_state.has_data
+
+    def test_no_other_transition_allocates(self):
+        for (state, event) in [
+            (s, e)
+            for s in XState
+            for e in Event
+            if not (s.tag_only and e in DEMANDS)
+        ]:
+            try:
+                t = apply_extended(state, event)
+            except XProtocolError:
+                continue
+            assert not t.allocates_data, (state, event)
+
+
+class TestDataConservation:
+    """The newest copy of a line is never silently dropped."""
+
+    def test_owner_states_write_back_on_removal(self):
+        # O owns the newest data: dropping it must write memory back.
+        assert apply_extended(XState.O, Event.DATA_REPL).writeback_to_memory
+        assert apply_extended(XState.O, Event.TAG_REPL).writeback_to_memory
+        # TM's owner is flushed by the back-invalidation on TagRepl.
+        assert apply_extended(XState.TM, Event.TAG_REPL).writeback_to_memory
+
+    def test_m_data_repl_keeps_owner(self):
+        """In M the private owner holds the newest copy, so the stale
+        data-array copy may be dropped without a writeback."""
+        t = apply_extended(XState.M, Event.DATA_REPL)
+        assert t.next_state is XState.TM
+        assert not t.writeback_to_memory
+
+    def test_putx_routing(self):
+        # tag-only PUTX forwards to memory; tag+data PUTX is absorbed
+        for state in (XState.TE, XState.TM):
+            assert apply_extended(state, Event.PUTX).writeback_to_memory
+        for state in (XState.S, XState.O, XState.M):
+            t = apply_extended(state, Event.PUTX)
+            assert t.writeback_to_data_array and not t.writeback_to_memory
+
+    def test_stale_memory_never_becomes_trusted_silently(self):
+        """From a memory-stale state, no transition reaches a memory-clean
+        state without a writeback or a remaining owner."""
+        for state in (s for s in XState if s.memory_stale):
+            for event in Event:
+                try:
+                    t = apply_extended(state, event)
+                except XProtocolError:
+                    continue
+                if not t.next_state.memory_stale and t.next_state is not XState.I:
+                    assert t.writeback_to_memory or t.writeback_to_data_array, (
+                        state,
+                        event,
+                    )
+
+
+class TestGroupTransitions:
+    def test_data_repl_always_lands_tag_only(self):
+        for state in (XState.S, XState.O, XState.M):
+            t = apply_extended(state, Event.DATA_REPL)
+            assert t.next_state.tag_only and t.deallocates_data
+
+    def test_tag_repl_always_invalid(self):
+        for state in XState:
+            if state is XState.I:
+                continue
+            assert apply_extended(state, Event.TAG_REPL).next_state is XState.I
+
+    def test_reuse_from_dirty_owner_creates_ownership(self):
+        t = apply_extended(XState.TM, Event.GETS)
+        assert t.next_state is XState.O
+        assert t.owner_supplies_data
+
+    def test_upgrade_takes_tag_only_ownership(self):
+        assert apply_extended(XState.TS, Event.UPG).next_state is XState.TM
+        assert apply_extended(XState.TE, Event.UPG).next_state is XState.TM
+
+    def test_illegal_events(self):
+        with pytest.raises(XProtocolError):
+            apply_extended(XState.I, Event.PUTS)
+        with pytest.raises(XProtocolError):
+            apply_extended(XState.TM, Event.UPG)  # only the owner holds it
+        with pytest.raises(XProtocolError):
+            apply_extended(XState.M, Event.UPG)
+        with pytest.raises(XProtocolError):
+            apply_extended(XState.TS, Event.DATA_REPL)
+
+    def test_simplified_table_is_an_abstraction(self):
+        """Collapsing {TS,TE}->TO reproduces the published simplified TO-MSI
+        table for the shared events, on the memory-clean states (MSI cannot
+        express dirty-owner reuse, which is exactly why the full protocol
+        needs TM and O)."""
+        from repro.coherence.protocol import apply as apply_simple
+        from repro.coherence.states import State
+
+        collapse = {
+            XState.I: State.I,
+            XState.S: State.S,
+            XState.O: State.M,
+            XState.M: State.M,
+            XState.TS: State.TO,
+            XState.TE: State.TO,
+            XState.TM: State.TO,
+        }
+        for xstate in (XState.I, XState.S, XState.TS, XState.TE):
+            for event in (Event.GETS, Event.GETX, Event.DATA_REPL, Event.TAG_REPL):
+                try:
+                    xt = apply_extended(xstate, event)
+                except XProtocolError:
+                    continue
+                try:
+                    st = apply_simple(collapse[xstate], event)
+                except Exception:
+                    continue
+                assert collapse[xt.next_state] == st.next_state, (xstate, event)
+                assert xt.allocates_data == st.allocates_data, (xstate, event)
+
+    def test_every_state_handles_demands(self):
+        for state in XState:
+            events = legal_events_extended(state)
+            assert Event.GETS in events and Event.GETX in events

@@ -1,0 +1,65 @@
+"""Tests for system configuration and LLC specs."""
+
+import pytest
+
+from repro.dram import DDR3Config
+from repro.hierarchy.config import LLCSpec, SystemConfig, capacity_lines
+
+
+class TestCapacityLines:
+    def test_full_size(self):
+        assert capacity_lines(8) == 131072
+        assert capacity_lines(0.5) == 8192
+
+    def test_scaled(self):
+        assert capacity_lines(8, scale=32) == 4096
+        assert capacity_lines(1, scale=32) == 512
+
+    def test_rejects_fractional_result(self):
+        with pytest.raises(ValueError):
+            capacity_lines(8, scale=48)  # not a power of two
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            capacity_lines(3)
+
+
+class TestLLCSpec:
+    def test_labels(self):
+        assert LLCSpec.conventional(8).label == "conv-8MB-lru"
+        assert LLCSpec.conventional(16, "drrip").label == "conv-16MB-drrip"
+        assert LLCSpec.reuse(4, 1).label == "RC-4/1"
+        assert LLCSpec.reuse(4, 0.5).label == "RC-4/0.5"
+        assert LLCSpec.ncid(8, 2).label == "NCID-8/2"
+
+    def test_specs_are_frozen(self):
+        spec = LLCSpec.reuse(8, 4)
+        with pytest.raises(Exception):
+            spec.kind = "conventional"
+
+
+class TestSystemConfig:
+    def test_defaults_match_table4(self):
+        cfg = SystemConfig()
+        assert cfg.num_cores == 8
+        assert cfg.l1_kb == 32 and cfg.l1_assoc == 4
+        assert cfg.l2_kb == 256 and cfg.l2_assoc == 8
+        assert cfg.llc_banks == 4 and cfg.llc_assoc == 16
+        assert cfg.l2_latency == 7 and cfg.llc_latency == 10
+        assert cfg.dram.raw_latency == 92
+
+    def test_scaled_private_geometry(self):
+        cfg = SystemConfig(scale=32)
+        assert cfg.l1_lines() == 16
+        assert cfg.l2_lines() == 128
+
+    def test_validate_rejects_overscaling(self):
+        with pytest.raises(ValueError):
+            SystemConfig(scale=512).validate()
+
+    def test_with_llc_and_dram(self):
+        cfg = SystemConfig()
+        rc = cfg.with_llc(LLCSpec.reuse(8, 2))
+        assert rc.llc.kind == "reuse" and rc.scale == cfg.scale
+        two = cfg.with_dram(DDR3Config(channels=2))
+        assert two.dram.channels == 2

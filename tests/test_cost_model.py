@@ -1,0 +1,107 @@
+"""Tests for the Table 2 / Figure 8 hardware-cost model.
+
+These check the *exact* numbers of paper Table 2 — this model is analytic,
+so the reproduction must be bit-for-bit.
+"""
+
+import pytest
+
+from repro.core.cost_model import (
+    conventional_cost,
+    figure8_storage_kbits,
+    reuse_cache_cost,
+    table2,
+    tag_bits,
+    ways_per_kbit_summary,
+)
+
+
+class TestTable2Exact:
+    """Paper Table 2, column by column."""
+
+    def test_conventional_8mb(self):
+        c = conventional_cost(8)
+        assert c.fields["tag"] == 21
+        assert c.tag_entry_bits == 34
+        assert c.data_entry_bits == 512
+        assert c.total_kbits == 69888
+
+    def test_rc41_fully_associative(self):
+        c = reuse_cache_cost(4, 1, data_assoc="full")
+        assert c.fields["tag.tag"] == 22
+        assert c.fields["tag.fwd_pointer"] == 14
+        assert c.fields["data.rev_pointer"] == 16
+        assert c.tag_entry_bits == 50
+        assert c.data_entry_bits == 530
+        assert c.total_kbits == 11680
+
+    def test_rc41_16way(self):
+        c = reuse_cache_cost(4, 1, data_assoc=16)
+        assert c.fields["tag.fwd_pointer"] == 4
+        assert c.fields["data.rev_pointer"] == 6
+        assert c.tag_entry_bits == 40
+        assert c.data_entry_bits == 520
+        assert c.total_kbits == 10880
+
+    def test_reductions(self):
+        t = table2()
+        conv = t["conv-8MB"]
+        assert t["RC-4/1-FA"].reduction_vs(conv) == pytest.approx(0.833, abs=0.001)
+        assert t["RC-4/1-16w"].reduction_vs(conv) == pytest.approx(0.844, abs=0.001)
+
+    def test_paper_headline_storage_ratio(self):
+        """RC-4/1 needs only ~16.7% of the conventional 8 MB storage."""
+        conv = conventional_cost(8)
+        rc = reuse_cache_cost(4, 1, data_assoc="full")
+        assert rc.total_kbits / conv.total_kbits == pytest.approx(0.167, abs=0.001)
+
+
+class TestModelStructure:
+    def test_tag_bits_shrink_with_sets(self):
+        assert tag_bits(8192) == 21
+        assert tag_bits(4096) == 22
+
+    def test_fully_associative_pointers_are_widest(self):
+        fa = reuse_cache_cost(8, 2, data_assoc="full")
+        sa = reuse_cache_cost(8, 2, data_assoc=16)
+        assert fa.fields["tag.fwd_pointer"] > sa.fields["tag.fwd_pointer"]
+        assert fa.fields["data.rev_pointer"] > sa.fields["data.rev_pointer"]
+
+    def test_set_associative_cheaper_than_fa(self):
+        # paper: the 16-way organisation needs ~6.8% fewer bits than FA
+        fa = reuse_cache_cost(4, 1, data_assoc="full")
+        sa = reuse_cache_cost(4, 1, data_assoc=16)
+        assert 1 - sa.total_kbits / fa.total_kbits == pytest.approx(0.068, abs=0.005)
+
+    def test_rejects_nonsense_capacity(self):
+        with pytest.raises(ValueError):
+            conventional_cost(0)
+
+    def test_summary_rendering(self):
+        text = ways_per_kbit_summary(conventional_cost(8))
+        assert "69888" in text.replace(" ", "")
+
+
+class TestFigure8Storage:
+    def test_all_labels_present(self):
+        s = figure8_storage_kbits()
+        for label in ("RC-16/8", "RC-8/4", "RC-8/2", "RC-4/1", "RC-4/0.5",
+                      "conv-8MB", "conv-8MB-drrip", "conv-16MB"):
+            assert label in s
+
+    def test_drrip_costs_one_extra_bit_per_line(self):
+        s = figure8_storage_kbits()
+        assert s["conv-8MB-drrip"] - s["conv-8MB"] == pytest.approx(128)
+
+    def test_paper_cost_orderings(self):
+        """The cost relations Fig. 8 argues from."""
+        s = figure8_storage_kbits()
+        # RC-16/8 saves ~41% vs conv 16 MB DRRIP
+        assert 1 - s["RC-16/8"] / s["conv-16MB-drrip"] == pytest.approx(0.42, abs=0.02)
+        # RC-8/4 saves ~48% vs conv 8 MB DRRIP
+        assert 1 - s["RC-8/4"] / s["conv-8MB-drrip"] == pytest.approx(0.42, abs=0.08)
+        # RC-4/0.5 saves ~80% vs conv 4 MB DRRIP
+        assert 1 - s["RC-4/0.5"] / s["conv-4MB-drrip"] == pytest.approx(0.79, abs=0.02)
+
+    def test_conv_8mb_drrip_matches_paper(self):
+        assert figure8_storage_kbits()["conv-8MB-drrip"] == pytest.approx(70016)

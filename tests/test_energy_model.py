@@ -1,0 +1,77 @@
+"""Tests for the energy model and the energy study driver."""
+
+import pytest
+
+from repro.core.energy_model import (
+    dynamic_energy_per_access,
+    leakage_power,
+    run_energy,
+)
+from repro.experiments import ExperimentParams
+from repro.experiments.energy import format_energy, run_energy_study
+from repro.hierarchy.config import LLCSpec, SystemConfig
+from repro.hierarchy.system import run_workload
+from repro.workloads.mixes import EXAMPLE_MIX, build_workload
+
+
+class TestPrimitives:
+    def test_dynamic_energy_scales_sublinearly(self):
+        small = dynamic_energy_per_access(1 << 22)
+        big = dynamic_energy_per_access(1 << 26)
+        assert small < big < 16 * small  # sqrt scaling: 4x, not 16x
+
+    def test_leakage_is_linear(self):
+        assert leakage_power(2 << 20) == pytest.approx(2 * leakage_power(1 << 20))
+
+    def test_invalid_array(self):
+        with pytest.raises(ValueError):
+            dynamic_energy_per_access(0)
+
+
+class TestRunEnergy:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        wl = build_workload(EXAMPLE_MIX, 4000, seed=8)
+        out = {}
+        for spec in (LLCSpec.conventional(8, "lru"), LLCSpec.reuse(4, 1)):
+            out[spec.label] = (
+                spec,
+                run_workload(SystemConfig(llc=spec), wl),
+            )
+        return out
+
+    def test_breakdown_components_positive(self, runs):
+        for spec, result in runs.values():
+            e = run_energy(spec, result)
+            assert e.tag_dynamic > 0 and e.leakage > 0 and e.dram > 0
+            assert e.total == pytest.approx(e.sllc_total + e.dram)
+
+    def test_reuse_cache_leaks_less(self, runs):
+        conv = run_energy(*runs["conv-8MB-lru"])
+        rc = run_energy(*runs["RC-4/1"])
+        # ~6x less storage -> much less leakage (per unit time; runtimes are
+        # close, so the absolute joules follow)
+        assert rc.leakage < 0.3 * conv.leakage
+
+    def test_reuse_cache_pays_more_dram_energy(self, runs):
+        conv = run_energy(*runs["conv-8MB-lru"])
+        rc = run_energy(*runs["RC-4/1"])
+        assert rc.dram > conv.dram  # the reload downside
+
+    def test_reuse_cache_wins_total(self, runs):
+        conv = run_energy(*runs["conv-8MB-lru"])
+        rc = run_energy(*runs["RC-4/1"])
+        assert rc.total < conv.total
+
+    def test_unsupported_kind_rejected(self, runs):
+        _, result = runs["conv-8MB-lru"]
+        with pytest.raises(ValueError):
+            run_energy(LLCSpec.ncid(8, 1), result)
+
+
+class TestDriver:
+    def test_structure(self):
+        r = run_energy_study(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert "conv-8MB-lru" in r and "RC-4/1" in r
+        text = format_energy(r)
+        assert "total vs baseline" in text

@@ -1,0 +1,158 @@
+"""Smoke tests for the experiment drivers (tiny parameter sets).
+
+These verify the drivers produce structurally correct results and render
+without error; the benchmark harness runs them at meaningful scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentParams,
+    SpeedupStudy,
+    format_bandwidth,
+    format_fig1a,
+    format_fig1b,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_fig8,
+    format_fig9,
+    format_fig10,
+    format_fig11,
+    format_table2,
+    format_table3,
+    format_table5,
+    format_table6,
+    matched_data_assoc,
+    run_bandwidth,
+    run_fig1a,
+    run_fig1b,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig9,
+    run_fig10,
+    run_fig11,
+    run_table2,
+    run_table3,
+    run_table5,
+    run_table6,
+)
+from repro.hierarchy.config import LLCSpec
+
+TINY = ExperimentParams(n_workloads=2, n_refs=2500)
+
+
+class TestParams:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKLOADS", "3")
+        monkeypatch.setenv("REPRO_REFS", "1234")
+        p = ExperimentParams.from_env()
+        assert p.n_workloads == 3 and p.n_refs == 1234
+
+    def test_workload_suite_shape(self):
+        wls = TINY.workloads()
+        assert len(wls) == 2
+        assert all(wl.num_cores == 8 for wl in wls)
+
+
+class TestSpeedupStudy:
+    def test_baseline_speedup_is_one(self):
+        study = SpeedupStudy(TINY)
+        result = study.evaluate(LLCSpec.conventional(8, "lru"))
+        for s in result.speedups:
+            assert s == pytest.approx(1.0)
+
+    def test_larger_cache_never_much_worse(self):
+        study = SpeedupStudy(TINY)
+        result = study.evaluate(LLCSpec.conventional(16, "lru"))
+        assert result.mean_speedup > 0.95
+
+
+class TestDrivers:
+    def test_fig1a(self):
+        r = run_fig1a(TINY, n_samples=10)
+        assert set(r["averages"]) == {"lru", "drrip", "nrr"}
+        assert all(0 <= v <= 1 for v in r["averages"].values())
+        assert format_fig1a(r)
+
+    def test_fig1b(self):
+        r = run_fig1b(TINY, n_groups=20)
+        assert len(r["group_share"]) == 20
+        assert sum(r["group_share"]) == pytest.approx(1.0, abs=1e-6) or sum(
+            r["group_share"]
+        ) == 0
+        # groups are sorted by hits: shares must be non-increasing
+        shares = r["group_share"]
+        assert all(a >= b - 1e-12 for a, b in zip(shares, shares[1:]))
+        assert format_fig1b(r)
+
+    def test_fig4_structure(self):
+        r = run_fig4(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert set(r) == {4, 2, 1, 0.5}
+        for per_assoc in r.values():
+            assert set(per_assoc) == {"16", "32", "64", "128", "full"}
+            assert all(v > 0 for v in per_assoc.values())
+        assert format_fig4(r)
+
+    def test_fig6(self):
+        r = run_fig6(TINY)
+        for d in r.values():
+            assert d["n"] == 2
+            assert d["min"] <= d["mean"] <= d["max"]
+        assert format_fig6(r)
+
+    def test_fig7(self):
+        r = run_fig7(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert all(0 <= v <= 1 for v in r.values())
+        assert "RC-4/1" in r
+        assert format_fig7(r)
+
+    def test_fig9_matched_geometry(self):
+        assert matched_data_assoc(TINY, 8, 1) == 2
+        assert matched_data_assoc(TINY, 8, 4) == 8
+        r = run_fig9(ExperimentParams(n_workloads=1, n_refs=1500))
+        for d in r.values():
+            assert d["rc"] > 0 and d["ncid"] > 0
+        assert format_fig9(r)
+
+    def test_fig10(self):
+        r = run_fig10(ExperimentParams(n_workloads=2, n_refs=1500))
+        assert set(r) == {"RC-8/4", "RC-8/2", "RC-8/1"}
+        for per_app in r.values():
+            for d in per_app.values():
+                lo, q1, med, q3, hi = d["quartiles"]
+                assert lo <= q1 <= med <= q3 <= hi
+        assert format_fig10(r)
+
+    def test_fig11(self):
+        r = run_fig11(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert set(r) == {"blackscholes", "canneal", "ferret", "fluidanimate", "ocean"}
+        for d in r.values():
+            assert set(d["speedups"]) == {"RC-8/4", "RC-8/2", "RC-4/1", "RC-4/0.5"}
+        assert format_fig11(r)
+
+    def test_bandwidth(self):
+        r = run_bandwidth(ExperimentParams(n_workloads=1, n_refs=1500))
+        for per_channels in r.values():
+            assert per_channels[1] == pytest.approx(1.0)
+            assert per_channels[4] >= per_channels[1] * 0.999
+        assert format_bandwidth(r)
+
+    def test_tables_2_and_3(self):
+        assert "69888" in format_table2(run_table2()).replace(" ", "")
+        assert format_table3(run_table3())
+
+    def test_table5(self):
+        r = run_table5(TINY)
+        for d in r.values():
+            assert d["l1"] >= d["l2"] >= 0
+        assert format_table5(r)
+
+    def test_table6(self):
+        r = run_table6(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert r["conv-8MB-lru"]["avg"] == 0.0
+        for label in ("RC-8/4", "RC-4/1"):
+            assert 0.5 <= r[label]["avg"] <= 1.0
+        assert format_table6(r)

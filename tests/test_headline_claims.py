@@ -1,0 +1,59 @@
+"""Reproduction contract: the paper's headline claims hold in simulation.
+
+These are coarse, deliberately generous bounds — they are meant to catch a
+regression that silently breaks the reproduction (e.g. a workload or
+simulator change that flips a conclusion), not to re-assert exact numbers
+(EXPERIMENTS.md tracks those).
+"""
+
+import pytest
+
+from repro.experiments.common import ExperimentParams, SpeedupStudy
+from repro.hierarchy.config import LLCSpec
+
+
+@pytest.fixture(scope="module")
+def study():
+    # long enough that the reuse cache's detection warm-up has paid off
+    return SpeedupStudy(ExperimentParams(n_workloads=3, n_refs=15000))
+
+
+class TestHeadlineClaims:
+    def test_cache_capacity_matters(self, study):
+        """Sanity: a 4 MB conventional cache loses, a 16 MB one wins."""
+        assert study.evaluate(LLCSpec.conventional(4)).mean_speedup < 0.97
+        assert study.evaluate(LLCSpec.conventional(16)).mean_speedup > 1.02
+
+    def test_rc41_matches_the_8mb_baseline(self, study):
+        """The paper's headline: RC-4/1 performs at least as well as the
+        conventional 8 MB cache at 16.7% of its storage."""
+        assert study.evaluate(LLCSpec.reuse(4, 1)).mean_speedup >= 0.97
+
+    def test_data_array_can_shrink_4x_without_loss(self, study):
+        """RC-8/2 (a quarter of the data) at least matches the baseline."""
+        assert study.evaluate(LLCSpec.reuse(8, 2)).mean_speedup >= 1.0
+
+    def test_selectivity_is_high(self, study):
+        """The reuse cache discards the vast majority of lines (Table 6)."""
+        result = study.evaluate(LLCSpec.reuse(4, 1))
+        for run in result.runs:
+            assert run.llc_stats["fraction_not_entered"] > 0.75
+
+    def test_reuse_cache_beats_ncid_at_equal_data(self, study):
+        """Figure 9's conclusion."""
+        rc = study.evaluate(LLCSpec.reuse(8, 1, data_assoc=2)).mean_speedup
+        ncid = study.evaluate(LLCSpec.ncid(8, 1)).mean_speedup
+        assert rc > ncid
+
+    def test_reuse_data_array_is_more_alive(self):
+        """Figure 7's conclusion: the RC data array holds far more live
+        lines than the conventional baseline."""
+        study = SpeedupStudy(
+            ExperimentParams(n_workloads=2, n_refs=8000), record_generations=True
+        )
+        base_live = sum(
+            run.generations.mean_live_fraction() for run in study.baseline_runs
+        ) / len(study.baseline_runs)
+        rc_runs = study.evaluate(LLCSpec.reuse(4, 1)).runs
+        rc_live = sum(r.generations.mean_live_fraction() for r in rc_runs) / len(rc_runs)
+        assert rc_live > 2 * base_live

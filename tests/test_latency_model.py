@@ -1,0 +1,60 @@
+"""Tests for the Table 3 latency surrogate."""
+
+import pytest
+
+from repro.core.latency_model import SRAMLatencyModel, table3
+
+
+@pytest.fixture(scope="module")
+def model():
+    return SRAMLatencyModel()
+
+
+class TestModel:
+    def test_monotone_over_cache_sizes(self, model):
+        sizes = [1 << k for k in range(21, 28)]
+        lats = [model.array_latency(s) for s in sizes]
+        assert all(b > a for a, b in zip(lats, lats[1:]))
+
+    def test_positive_over_domain(self, model):
+        for k in range(21, 28):
+            assert model.array_latency(1 << k) > 0
+
+    def test_rejects_out_of_domain_arrays(self, model):
+        with pytest.raises(ValueError):
+            model.array_latency(0)
+        with pytest.raises(ValueError):
+            model.array_latency(1 << 18)
+
+    def test_serial_access_adds(self, model):
+        assert model.cache_latency(1 << 22, 1 << 26) == pytest.approx(
+            model.array_latency(1 << 22) + model.array_latency(1 << 26)
+        )
+
+
+class TestTable3:
+    """Anchors of paper Table 3."""
+
+    def test_rc88_row(self):
+        rows = {r.label: r for r in table3()}
+        r = rows["RC-8/8"]
+        assert r.tag_delta == pytest.approx(0.36, abs=0.01)
+        assert abs(r.data_delta) < 0.03  # "same"
+        assert r.total_delta == pytest.approx(0.10, abs=0.02)
+
+    def test_rc84_row(self):
+        rows = {r.label: r for r in table3()}
+        r = rows["RC-8/4"]
+        assert r.tag_delta == pytest.approx(0.36, abs=0.03)
+        assert r.data_delta == pytest.approx(-0.16, abs=0.01)
+        assert r.total_delta == pytest.approx(-0.03, abs=0.01)
+
+    def test_data_access_dominates(self):
+        """The paper notes the 8 MB data access is ~3x the tag access."""
+        model = SRAMLatencyModel()
+        from repro.core.cost_model import conventional_cost
+
+        conv = conventional_cost(8)
+        tag = model.array_latency(conv.tag_entry_bits * conv.tag_entries)
+        data = model.array_latency(conv.data_entry_bits * conv.data_entries)
+        assert data / tag == pytest.approx(3.0, abs=0.05)

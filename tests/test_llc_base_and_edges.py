@@ -1,0 +1,146 @@
+"""Edge-case tests: LLC base interface, recorders, config corners, system
+boundary conditions."""
+
+import random
+
+import pytest
+
+from repro.cache.llc_base import NULL_RECORDER, BaseLLC, LLCAccess
+from repro.hierarchy.config import LLCSpec, SystemConfig
+from repro.hierarchy.system import System, run_workload
+from repro.metrics.generations import GenerationRecorder
+from repro.workloads import Trace, Workload
+
+
+class TestLLCAccess:
+    def test_defaults(self):
+        res = LLCAccess("llc")
+        assert res.dram_reads == 0
+        assert res.writebacks == ()
+        assert res.coherence_invals == () and res.inclusion_invals == ()
+
+    def test_repr(self):
+        assert "dram" in repr(LLCAccess("dram", dram_reads=1))
+
+
+class TestBaseLLC:
+    def test_interface_is_abstract(self):
+        llc = BaseLLC(num_cores=2, rng=random.Random(0))
+        with pytest.raises(NotImplementedError):
+            llc.access(0, 0, False, 0)
+        with pytest.raises(NotImplementedError):
+            llc.upgrade(0, 0)
+        with pytest.raises(NotImplementedError):
+            llc.notify_private_eviction(0, 0, False)
+        with pytest.raises(NotImplementedError):
+            llc.prefetch(0, 0, 0)
+
+    def test_null_recorder_is_inert(self):
+        NULL_RECORDER.on_fill(1, 2)
+        NULL_RECORDER.on_hit(1, 2)
+        NULL_RECORDER.on_evict(1, 2)
+
+    def test_attach_recorder(self):
+        llc = BaseLLC(2)
+        rec = GenerationRecorder()
+        llc.attach_recorder(rec)
+        assert llc.recorder is rec
+
+    def test_stats_keys(self):
+        s = BaseLLC(2).stats()
+        for key in ("accesses", "data_hits", "tag_misses", "tag_fills", "data_fills"):
+            assert key in s
+
+
+class TestGenerationEdges:
+    def test_hit_distribution_more_groups_than_generations(self):
+        rec = GenerationRecorder()
+        rec.activate(0)
+        rec.on_fill(1, 0)
+        rec.on_hit(1, 1)
+        rec.on_evict(1, 2)
+        log = rec.finalize(10)
+        share, avg = log.hit_distribution(n_groups=10)
+        assert share.sum() == pytest.approx(1.0)
+
+    def test_bad_groups(self):
+        rec = GenerationRecorder()
+        log = rec.finalize(1)
+        with pytest.raises(ValueError):
+            log.hit_distribution(0)
+
+    def test_mean_live_fraction_empty(self):
+        rec = GenerationRecorder()
+        assert rec.finalize(1).mean_live_fraction() == 0.0
+
+
+class TestConfigEdges:
+    def test_vway_label_and_geometry(self):
+        spec = LLCSpec.vway(8)
+        assert spec.label == "VW-8MB"
+        assert spec.tag_mbeq == 16
+
+    def test_storage_mb(self):
+        assert LLCSpec.conventional(8).storage_mb() == 8
+        assert LLCSpec.reuse(8, 2).storage_mb() == 2
+
+    def test_bad_warmup_frac(self):
+        wl = Workload("w", [Trace("t", [0], [1], [0])] * 8)
+        system = System(SystemConfig(), wl)
+        with pytest.raises(ValueError):
+            system.run(warmup_frac=1.0)
+
+    def test_experiment_format_table(self):
+        from repro.experiments.common import format_table
+
+        text = format_table(["a", "bb"], [(1, None), ("xy", 3)], title="T")
+        assert text.startswith("T")
+        assert "xy" in text and "--" in text
+
+
+class TestSystemBoundaries:
+    def _wl(self, lengths):
+        traces = []
+        for c, n in enumerate(lengths):
+            base = (c + 1) << 30
+            traces.append(
+                Trace(f"t{c}", [1] * n, [base + i % 4 for i in range(n)], [0] * n)
+            )
+        return Workload("w", traces)
+
+    def test_uneven_trace_lengths(self):
+        wl = self._wl([50, 100, 25, 75, 50, 100, 25, 75])
+        result = run_workload(SystemConfig(), wl, warmup_frac=0.0)
+        assert all(i > 0 for i in result.instructions)
+
+    def test_single_reference_traces(self):
+        wl = self._wl([1] * 8)
+        result = run_workload(SystemConfig(), wl, warmup_frac=0.0)
+        assert sum(result.instructions) == 16  # gap 1 + the reference
+
+    def test_zero_warmup_with_recorder(self):
+        wl = self._wl([40] * 8)
+        result = run_workload(
+            SystemConfig(), wl, warmup_frac=0.0, record_generations=True
+        )
+        assert result.generations is not None
+
+    def test_dram_channels_spread_banks(self):
+        from repro.dram import DDR3Config, DDR3Memory
+
+        mem = DDR3Memory(DDR3Config(channels=4))
+        # lines 0..3 land on distinct channels
+        chans = {mem._locate(i)[0] for i in range(4)}
+        assert chans == {0, 1, 2, 3}
+
+    def test_reuse_cache_with_ship_tag_policy_runs(self):
+        wl = self._wl([100] * 8)
+        spec = LLCSpec.reuse(4, 1, tag_policy="ship")
+        result = run_workload(SystemConfig(llc=spec), wl, warmup_frac=0.0)
+        assert result.performance > 0
+
+    def test_reuse_cache_with_slru_data_policy_runs(self):
+        wl = self._wl([100] * 8)
+        spec = LLCSpec.reuse(4, 1, data_policy="slru")
+        result = run_workload(SystemConfig(llc=spec), wl, warmup_frac=0.0)
+        assert result.performance > 0

@@ -1,0 +1,182 @@
+"""Tests for generation recording, liveness, hit distributions and perf math."""
+
+import pytest
+
+from repro.metrics import (
+    GenerationRecorder,
+    aggregate_ipc,
+    geomean,
+    mpki,
+    quartiles,
+    speedup,
+)
+
+
+def build_log(events, end=1000, activate_at=0):
+    """events: list of (kind, addr, time)."""
+    rec = GenerationRecorder()
+    rec.activate(activate_at)
+    for kind, addr, t in events:
+        getattr(rec, f"on_{kind}")(addr, t)
+    return rec.finalize(end)
+
+
+class TestRecorder:
+    def test_generation_lifecycle(self):
+        log = build_log([
+            ("fill", 1, 10), ("hit", 1, 20), ("hit", 1, 30), ("evict", 1, 50),
+        ])
+        assert log.n_generations == 1
+        assert log.hits[0] == 2
+        assert log.fills[0] == 10 and log.evicts[0] == 50
+        assert log.last_hits[0] == 30
+
+    def test_multiple_generations_same_line(self):
+        log = build_log([
+            ("fill", 1, 0), ("evict", 1, 10),
+            ("fill", 1, 20), ("hit", 1, 25), ("evict", 1, 30),
+        ])
+        assert log.n_generations == 2
+        assert sorted(log.hits.tolist()) == [0, 1]
+
+    def test_open_generations_closed_at_end(self):
+        log = build_log([("fill", 7, 100), ("hit", 7, 200)], end=500)
+        assert log.n_generations == 1
+        assert log.evicts[0] == 500
+
+    def test_inactive_recorder_ignores_events(self):
+        rec = GenerationRecorder()
+        rec.on_fill(1, 0)
+        rec.on_hit(1, 1)
+        rec.on_evict(1, 2)
+        assert rec.finalize(10).n_generations == 0
+
+    def test_events_for_pre_activation_lines_ignored(self):
+        rec = GenerationRecorder()
+        rec.on_fill(1, 0)  # before activation: untracked
+        rec.activate(5)
+        rec.on_hit(1, 6)  # line 1 unknown: ignored
+        rec.on_evict(1, 7)
+        assert rec.finalize(10).n_generations == 0
+
+    def test_double_finalize_rejected(self):
+        rec = GenerationRecorder()
+        rec.finalize(1)
+        with pytest.raises(RuntimeError):
+            rec.finalize(2)
+
+
+class TestLiveness:
+    """A line is live while it will still receive hits (paper Fig. 1a)."""
+
+    def test_live_until_last_hit(self):
+        log = build_log([
+            ("fill", 1, 0), ("hit", 1, 50), ("evict", 1, 100),
+        ])
+        assert log.live_fraction_at(25) == 1.0   # hit still coming
+        assert log.live_fraction_at(75) == 0.0   # dead: no more hits
+
+    def test_zero_hit_lines_always_dead(self):
+        log = build_log([("fill", 1, 0), ("evict", 1, 100)])
+        assert log.live_fraction_at(50) == 0.0
+
+    def test_mixed_population(self):
+        log = build_log([
+            ("fill", 1, 0), ("hit", 1, 90), ("evict", 1, 100),
+            ("fill", 2, 0), ("evict", 2, 100),
+        ])
+        assert log.live_fraction_at(50) == 0.5
+
+    def test_non_resident_not_counted(self):
+        log = build_log([
+            ("fill", 1, 0), ("evict", 1, 10),
+            ("fill", 2, 20), ("hit", 2, 40), ("evict", 2, 50),
+        ])
+        assert log.live_fraction_at(30) == 1.0  # only line 2 resident
+
+    def test_series_and_mean(self):
+        log = build_log([
+            ("fill", 1, 0), ("hit", 1, 500), ("evict", 1, 1000),
+        ], end=1000)
+        times, fracs = log.live_fraction_series(100)
+        assert len(times) == len(fracs)
+        assert 0 < log.mean_live_fraction(100) <= 1
+
+    def test_bad_interval_rejected(self):
+        log = build_log([("fill", 1, 0)])
+        with pytest.raises(ValueError):
+            log.live_fraction_series(0)
+
+
+class TestHitDistribution:
+    """Paper Fig. 1b: sorted groups of equal population."""
+
+    def test_concentration(self):
+        events = [("fill", 0, 0)]
+        events = []
+        # one hot line with 90 hits, nine dead lines
+        events.append(("fill", 0, 0))
+        for i in range(90):
+            events.append(("hit", 0, i + 1))
+        events.append(("evict", 0, 200))
+        for a in range(1, 10):
+            events.append(("fill", a, 0))
+            events.append(("evict", a, 200))
+        log = build_log(events)
+        share, avg = log.hit_distribution(n_groups=10)
+        assert share[0] == pytest.approx(1.0)  # top 10% got all hits
+        assert avg[0] == pytest.approx(90)
+        assert share[1:].sum() == 0
+        assert log.useful_fraction() == pytest.approx(0.1)
+
+    def test_groups_partition_all_generations(self):
+        events = []
+        for a in range(25):
+            events.append(("fill", a, 0))
+            for h in range(a):
+                events.append(("hit", a, h + 1))
+            events.append(("evict", a, 100))
+        log = build_log(events)
+        share, _ = log.hit_distribution(n_groups=5)
+        assert share.sum() == pytest.approx(1.0)
+
+    def test_empty_log(self):
+        log = build_log([])
+        share, avg = log.hit_distribution(10)
+        assert share.sum() == 0 and avg.sum() == 0
+        assert log.useful_fraction() == 0.0
+
+
+class TestPerfMath:
+    def test_aggregate_ipc(self):
+        assert aggregate_ipc([100, 200], [100, 100]) == pytest.approx(3.0)
+
+    def test_aggregate_ipc_length_check(self):
+        with pytest.raises(ValueError):
+            aggregate_ipc([1], [1, 2])
+
+    def test_speedup(self):
+        assert speedup(1.2, 1.0) == pytest.approx(1.2)
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+
+    def test_mpki(self):
+        assert mpki(50, 10_000) == pytest.approx(5.0)
+        assert mpki(50, 0) == 0.0
+
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geomean([])
+        with pytest.raises(ValueError):
+            geomean([1.0, -1.0])
+
+    def test_quartiles(self):
+        q = quartiles([1, 2, 3, 4, 5])
+        assert q == (1, 2, 3, 4, 5)
+        with pytest.raises(ValueError):
+            quartiles([])
+
+    def test_quartiles_interpolation(self):
+        _, q1, med, q3, _ = quartiles([0, 10])
+        assert (q1, med, q3) == (2.5, 5.0, 7.5)

@@ -1,0 +1,81 @@
+"""Tests for the 'overlap' core model and the MLP sensitivity study."""
+
+import pytest
+
+from repro.hierarchy.config import LLCSpec, SystemConfig
+from repro.hierarchy.system import run_workload
+from repro.workloads import Trace, Workload
+
+
+def stream_workload(n=600, gap=2):
+    traces = []
+    for c in range(8):
+        base = (c + 1) << 30
+        traces.append(Trace(f"s{c}", [gap] * n, [base + i for i in range(n)],
+                            [0] * n))
+    return Workload("stream", traces)
+
+
+def hot_workload(n=600):
+    traces = []
+    for c in range(8):
+        base = (c + 1) << 30
+        traces.append(Trace(f"h{c}", [2] * n, [base + i % 4 for i in range(n)],
+                            [0] * n))
+    return Workload("hot", traces)
+
+
+class TestOverlapCoreModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(core_model="ooo").validate()
+
+    def test_overlap_speeds_up_miss_bound_streams(self):
+        wl = stream_workload()
+        inorder = run_workload(SystemConfig(), wl, warmup_frac=0.0)
+        ov = run_workload(
+            SystemConfig(core_model="overlap", mlp_window=32), wl, warmup_frac=0.0
+        )
+        assert ov.performance > 1.5 * inorder.performance
+
+    def test_overlap_does_not_change_l1_resident_cpi(self):
+        wl = hot_workload()
+        inorder = run_workload(SystemConfig(), wl, warmup_frac=0.0)
+        ov = run_workload(
+            SystemConfig(core_model="overlap", mlp_window=32), wl, warmup_frac=0.0
+        )
+        assert ov.performance == pytest.approx(inorder.performance, rel=0.05)
+
+    def test_bigger_window_never_slower(self):
+        wl = stream_workload()
+        small = run_workload(
+            SystemConfig(core_model="overlap", mlp_window=8), wl, warmup_frac=0.0
+        )
+        big = run_workload(
+            SystemConfig(core_model="overlap", mlp_window=64), wl, warmup_frac=0.0
+        )
+        assert big.performance >= small.performance * 0.999
+
+    def test_cache_contents_identical_across_core_models(self):
+        """The core model changes timing, not which lines live where."""
+        wl = stream_workload(n=300)
+        a = run_workload(SystemConfig(llc=LLCSpec.reuse(4, 1)), wl,
+                         warmup_frac=0.0)
+        b = run_workload(
+            SystemConfig(llc=LLCSpec.reuse(4, 1), core_model="overlap"),
+            wl, warmup_frac=0.0,
+        )
+        for key in ("tag_fills", "data_fills", "to_hits"):
+            assert a.llc_stats[key] == b.llc_stats[key]
+
+
+class TestMLPStudy:
+    def test_structure(self):
+        from repro.experiments import ExperimentParams
+        from repro.experiments.mlp import format_mlp, run_mlp
+
+        r = run_mlp(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert set(r) == {"inorder", "overlap-16", "overlap-64"}
+        for per_spec in r.values():
+            assert "RC-4/1" in per_spec
+        assert "Core-model sensitivity" in format_mlp(r)

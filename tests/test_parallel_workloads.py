@@ -1,0 +1,68 @@
+"""Tests for the parallel (PARSEC/SPLASH-2-like) workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.parallel import (
+    PARALLEL_APPS,
+    PARALLEL_PROFILES,
+    _GRID_BASE,
+    _PRIVATE_BASE,
+    generate_parallel_workload,
+)
+
+
+class TestProfiles:
+    def test_figure11_apps(self):
+        assert set(PARALLEL_APPS) == {
+            "blackscholes", "canneal", "ferret", "fluidanimate", "ocean"
+        }
+
+    def test_ferret_shared_set_is_large_and_flat(self):
+        """Ferret is the one loser in Fig. 11: multi-MB shared set, weak skew."""
+        ferret = PARALLEL_PROFILES["ferret"]
+        assert ferret.shared_lines > PARALLEL_PROFILES["canneal"].shared_lines
+        assert ferret.shared_zipf < PARALLEL_PROFILES["canneal"].shared_zipf
+
+
+class TestGeneration:
+    def test_threads_share_lines(self):
+        wl = generate_parallel_workload("canneal", 5000, seed=1)
+        assert wl.num_cores == 8
+        shared_sets = []
+        for t in wl.traces:
+            arr = np.array(t.addrs)
+            shared_sets.append(set(arr[arr < _GRID_BASE].tolist()))
+        common = set.intersection(*shared_sets)
+        assert len(common) > 10  # genuinely shared working set
+
+    def test_private_regions_disjoint(self):
+        wl = generate_parallel_workload("blackscholes", 3000, seed=1)
+        privates = []
+        for t in wl.traces:
+            arr = np.array(t.addrs)
+            privates.append(set(arr[arr >= _PRIVATE_BASE].tolist()))
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert not (privates[i] & privates[j])
+
+    def test_scan_tiles_disjoint(self):
+        wl = generate_parallel_workload("ocean", 3000, seed=1)
+        tiles = []
+        for t in wl.traces:
+            arr = np.array(t.addrs)
+            scan = arr[(arr >= _GRID_BASE) & (arr < _PRIVATE_BASE)]
+            tiles.append(set(scan.tolist()))
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert not (tiles[i] & tiles[j])
+
+    def test_deterministic(self):
+        a = generate_parallel_workload("ferret", 1000, seed=3)
+        b = generate_parallel_workload("ferret", 1000, seed=3)
+        for ta, tb in zip(a.traces, b.traces):
+            assert ta.addrs == tb.addrs
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown parallel application"):
+            generate_parallel_workload("raytrace", 100)

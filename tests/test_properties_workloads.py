@@ -1,0 +1,77 @@
+"""Property-based tests for workload generation and plotting helpers."""
+
+import random
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.textplot import bar_chart, line_plot, sparkline
+from repro.workloads.profiles import SPEC_APPS, SPEC_PROFILES
+from repro.workloads.synthetic import generate_trace
+from repro.workloads.analysis import stack_distances
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    app=st.sampled_from(SPEC_APPS),
+    n_refs=st.integers(10, 2000),
+    seed=st.integers(0, 2**31),
+    scale=st.sampled_from([16, 32, 64]),
+)
+def test_trace_generation_total(app, n_refs, seed, scale):
+    """Every generated trace is well-formed for any (app, seed, scale)."""
+    trace = generate_trace(SPEC_PROFILES[app], n_refs, seed=seed, scale=scale)
+    assert trace.n_refs == n_refs
+    assert all(g >= 0 for g in trace.gaps)
+    assert all(w in (0, 1) for w in trace.writes)
+    assert all(a >= 0 for a in trace.addrs)
+    # determinism
+    again = generate_trace(SPEC_PROFILES[app], n_refs, seed=seed, scale=scale)
+    assert again.addrs == trace.addrs
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    addrs=st.lists(st.integers(0, 40), min_size=1, max_size=300),
+)
+def test_stack_distances_bounds(addrs):
+    """Distances are -1 or in [0, footprint), and hit counts at infinite
+    capacity equal accesses minus distinct lines."""
+    d = stack_distances(addrs)
+    footprint = len(set(addrs))
+    for x in d:
+        assert x == -1 or 0 <= x < footprint
+    assert (d >= 0).sum() == len(addrs) - footprint
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    items=st.lists(
+        st.tuples(st.text(min_size=1, max_size=8),
+                  st.floats(-10, 10, allow_nan=False)),
+        max_size=12,
+    ),
+    baseline=st.one_of(st.none(), st.floats(-10, 10, allow_nan=False)),
+)
+def test_bar_chart_never_crashes(items, baseline):
+    out = bar_chart(items, baseline=baseline)
+    assert isinstance(out, str)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    points=st.lists(
+        st.tuples(st.floats(-100, 100, allow_nan=False),
+                  st.floats(-100, 100, allow_nan=False)),
+        max_size=40,
+    )
+)
+def test_line_plot_never_crashes(points):
+    assert isinstance(line_plot({"s": points}), str)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(0, 1, allow_nan=False), max_size=500))
+def test_sparkline_never_crashes(values):
+    assert isinstance(sparkline(values), str)

@@ -1,0 +1,114 @@
+"""Tests for LRU replacement and its insertion-policy variants."""
+
+import random
+
+import pytest
+
+from repro.replacement import BIPPolicy, DIPPolicy, LIPPolicy, LRUPolicy
+
+
+@pytest.fixture
+def lru():
+    return LRUPolicy(num_sets=2, assoc=4, rng=random.Random(1))
+
+
+class TestLRU:
+    def test_victim_is_least_recent(self, lru):
+        for way in range(4):
+            lru.on_fill(0, way)
+        assert lru.victim(0, [0, 1, 2, 3]) == 0
+
+    def test_hit_promotes(self, lru):
+        for way in range(4):
+            lru.on_fill(0, way)
+        lru.on_hit(0, 0)
+        assert lru.victim(0, [0, 1, 2, 3]) == 1
+
+    def test_candidate_filtering(self, lru):
+        for way in range(4):
+            lru.on_fill(0, way)
+        assert lru.victim(0, [2, 3]) == 2
+
+    def test_sets_are_independent(self, lru):
+        lru.on_fill(0, 0)
+        lru.on_fill(1, 3)
+        assert lru.victim(1, [0, 1, 2, 3]) in (0, 1, 2)  # way 3 is MRU in set 1
+
+    def test_invalidate_makes_way_oldest(self, lru):
+        for way in range(4):
+            lru.on_fill(0, way)
+        lru.on_invalidate(0, 2)
+        assert lru.victim(0, [0, 1, 2, 3]) == 2
+
+    def test_recency_order(self, lru):
+        for way in (2, 0, 3, 1):
+            lru.on_fill(0, way)
+        assert lru.recency_order(0) == [2, 0, 3, 1]
+
+    def test_empty_candidates_rejected(self, lru):
+        with pytest.raises(ValueError):
+            lru.victim(0, [])
+
+    def test_fill_at_lru(self, lru):
+        for way in range(4):
+            lru.on_fill(0, way)
+        lru.fill_at_lru(0, 3)
+        assert lru.victim(0, [0, 1, 2, 3]) == 3
+
+
+class TestLIP:
+    def test_fills_land_at_lru(self):
+        lip = LIPPolicy(1, 4, rng=random.Random(0))
+        lip.on_fill(0, 0)
+        lip.on_hit(0, 0)
+        lip.on_fill(0, 1)  # LRU insert: way 1 is oldest despite being newest fill
+        assert lip.victim(0, [0, 1]) == 1
+
+    def test_hit_still_promotes(self):
+        lip = LIPPolicy(1, 4, rng=random.Random(0))
+        lip.on_fill(0, 0)
+        lip.on_fill(0, 1)
+        lip.on_hit(0, 1)
+        assert lip.victim(0, [0, 1]) == 0
+
+
+class TestBIP:
+    def test_mostly_lru_inserts(self):
+        rng = random.Random(7)
+        bip = BIPPolicy(1, 2, rng=rng)
+        lru_inserts = 0
+        trials = 2000
+        for _ in range(trials):
+            bip.on_fill(0, 0)  # reference point
+            bip.on_hit(0, 1)  # make way 1 MRU
+            bip.on_fill(0, 0)
+            if bip.victim(0, [0, 1]) == 0:
+                lru_inserts += 1
+        # epsilon = 1/32: ~97% of fills go to the LRU position
+        assert lru_inserts / trials > 0.9
+        assert lru_inserts / trials < 1.0
+
+
+class TestDIP:
+    def test_leader_roles_partition_sets(self):
+        dip = DIPPolicy(64, 4, rng=random.Random(0))
+        roles = {dip._role(s) for s in range(64)}
+        assert roles == {"lru", "bip", "follower"}
+
+    def test_psel_moves_on_leader_misses(self):
+        dip = DIPPolicy(64, 4, rng=random.Random(0))
+        start = dip._psel
+        dip.on_miss(0)  # set 0 is an LRU leader
+        assert dip._psel == start + 1
+        dip.on_miss(1)  # set 1 is a BIP leader
+        dip.on_miss(1)
+        assert dip._psel == start - 1
+
+    def test_followers_follow_psel(self):
+        dip = DIPPolicy(64, 4, rng=random.Random(0))
+        dip._psel = dip._psel_max  # LRU has been missing a lot -> use BIP
+        dip.on_fill(2, 0)  # set 2 is a follower
+        dip.on_hit(2, 1)
+        dip.on_fill(2, 0)
+        # BIP inserts at LRU almost always
+        assert dip.victim(2, [0, 1]) == 0

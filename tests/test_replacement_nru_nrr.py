@@ -1,0 +1,97 @@
+"""Tests for the one-bit NRU and NRR policies."""
+
+import random
+
+import pytest
+
+from repro.replacement import NRRPolicy, NRUPolicy
+
+
+class TestNRU:
+    def test_prefers_unreferenced(self):
+        nru = NRUPolicy(1, 4, rng=random.Random(0))
+        nru.on_fill(0, 0)
+        nru.on_fill(0, 1)
+        # ways 2, 3 never touched -> their ref bits are clear
+        assert nru.victim(0, [0, 1, 2, 3]) in (2, 3)
+
+    def test_ages_when_all_referenced(self):
+        nru = NRUPolicy(1, 4, rng=random.Random(0))
+        for way in range(4):
+            nru.on_fill(0, way)
+        victim = nru.victim(0, [0, 1, 2, 3])
+        assert victim in range(4)
+        # after aging every bit is clear again
+        assert all(nru._ref[0][w] == 0 for w in range(4))
+
+    def test_hit_sets_ref_bit(self):
+        nru = NRUPolicy(1, 2, rng=random.Random(0))
+        nru.on_fill(0, 0)
+        nru.on_fill(0, 1)
+        nru.victim(0, [0, 1])  # ages the set
+        nru.on_hit(0, 1)
+        assert nru.victim(0, [0, 1]) == 0
+
+    def test_respects_candidates_even_after_aging(self):
+        nru = NRUPolicy(1, 4, rng=random.Random(3))
+        for way in range(4):
+            nru.on_fill(0, way)
+        assert nru.victim(0, [2]) == 2
+
+
+class TestNRR:
+    """NRR distinguishes *reused* lines, not recently *used* ones."""
+
+    def test_fill_marks_not_reused(self):
+        nrr = NRRPolicy(1, 4, rng=random.Random(0))
+        nrr.on_fill(0, 0)
+        assert not nrr.is_reused(0, 0)
+
+    def test_hit_marks_reused(self):
+        nrr = NRRPolicy(1, 4, rng=random.Random(0))
+        nrr.on_fill(0, 0)
+        nrr.on_hit(0, 0)
+        assert nrr.is_reused(0, 0)
+
+    def test_victim_prefers_not_reused(self):
+        nrr = NRRPolicy(1, 4, rng=random.Random(0))
+        for way in range(4):
+            nrr.on_fill(0, way)
+        nrr.on_hit(0, 0)
+        nrr.on_hit(0, 2)
+        for _ in range(20):
+            assert nrr.victim(0, [0, 1, 2, 3]) in (1, 3)
+
+    def test_key_difference_from_nru(self):
+        """A line that was filled and never hit is a victim under NRR even
+        though it was recently *used* (filled)."""
+        nrr = NRRPolicy(1, 2, rng=random.Random(0))
+        nrr.on_fill(0, 0)
+        nrr.on_hit(0, 0)  # way 0 reused
+        nrr.on_fill(0, 1)  # way 1 fresh, most recently used
+        assert nrr.victim(0, [0, 1]) == 1
+
+    def test_ages_when_all_reused(self):
+        nrr = NRRPolicy(1, 2, rng=random.Random(0))
+        for way in range(2):
+            nrr.on_fill(0, way)
+            nrr.on_hit(0, way)
+        victim = nrr.victim(0, [0, 1])
+        assert victim in (0, 1)
+        assert all(nrr._nrr[0][w] == 1 for w in range(2))
+
+    def test_invalidate_resets_bit(self):
+        nrr = NRRPolicy(1, 2, rng=random.Random(0))
+        nrr.on_fill(0, 0)
+        nrr.on_hit(0, 0)
+        nrr.on_invalidate(0, 0)
+        assert not nrr.is_reused(0, 0)
+
+    def test_deterministic_with_seed(self):
+        outcomes = []
+        for _ in range(2):
+            nrr = NRRPolicy(1, 8, rng=random.Random(42))
+            for way in range(8):
+                nrr.on_fill(0, way)
+            outcomes.append([nrr.victim(0, list(range(8))) for _ in range(5)])
+        assert outcomes[0] == outcomes[1]

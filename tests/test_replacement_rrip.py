@@ -1,0 +1,99 @@
+"""Tests for SRRIP / BRRIP / TA-DRRIP."""
+
+import random
+
+from repro.replacement import BRRIPPolicy, DRRIPPolicy, SRRIPPolicy
+from repro.replacement.rrip import RRPV_LONG, RRPV_MAX
+
+
+class TestSRRIP:
+    def test_fill_inserts_long(self):
+        p = SRRIPPolicy(1, 4, rng=random.Random(0))
+        p.on_fill(0, 0)
+        assert p._rrpv[0][0] == RRPV_LONG
+
+    def test_hit_promotes_to_zero(self):
+        p = SRRIPPolicy(1, 4, rng=random.Random(0))
+        p.on_fill(0, 0)
+        p.on_hit(0, 0)
+        assert p._rrpv[0][0] == 0
+
+    def test_victim_prefers_distant(self):
+        p = SRRIPPolicy(1, 4, rng=random.Random(0))
+        for way in range(3):
+            p.on_fill(0, way)
+        # way 3 untouched: rrpv stays at max (distant)
+        assert p.victim(0, [0, 1, 2, 3]) == 3
+
+    def test_aging_when_no_distant_line(self):
+        p = SRRIPPolicy(1, 2, rng=random.Random(0))
+        p.on_fill(0, 0)
+        p.on_hit(0, 0)
+        p.on_fill(0, 1)
+        p.on_hit(0, 1)
+        victim = p.victim(0, [0, 1])
+        assert victim == 0  # first candidate to reach RRPV_MAX after aging
+        assert max(p._rrpv[0]) == RRPV_MAX
+
+    def test_scan_resistance(self):
+        """A line that keeps being reused survives bursts of never-hit fills."""
+        p = SRRIPPolicy(1, 4, rng=random.Random(0))
+        p.on_fill(0, 0)
+        for _ in range(6):
+            p.on_hit(0, 0)  # periodically reused: rrpv pinned at 0
+            for way in (1, 2, 3):
+                p.on_fill(0, way)
+            assert p.victim(0, [0, 1, 2, 3]) != 0
+
+
+class TestBRRIP:
+    def test_fills_mostly_distant(self):
+        p = BRRIPPolicy(1, 1, rng=random.Random(5))
+        distant = 0
+        trials = 3200
+        for _ in range(trials):
+            p.on_fill(0, 0)
+            if p._rrpv[0][0] == RRPV_MAX:
+                distant += 1
+        assert distant / trials > 0.93
+        assert distant < trials  # epsilon occasionally inserts long
+
+
+class TestDRRIP:
+    def test_leader_sets_per_thread(self):
+        p = DRRIPPolicy(64, 4, rng=random.Random(0), num_threads=8)
+        assert p._leader_role(0, 0) == "srrip"
+        assert p._leader_role(1, 0) == "brrip"
+        assert p._leader_role(2, 1) == "srrip"
+        assert p._leader_role(5, 0) == "follower"
+
+    def test_psel_is_per_thread(self):
+        p = DRRIPPolicy(64, 4, rng=random.Random(0), num_threads=8)
+        start = p._psel[0]
+        p.on_miss(0, thread=0)  # SRRIP leader of thread 0
+        assert p._psel[0] == start + 1
+        assert p._psel[1] == start
+
+    def test_follower_uses_winner(self):
+        p = DRRIPPolicy(64, 4, rng=random.Random(0), num_threads=8)
+        p._psel[0] = 0  # BRRIP missed a lot -> SRRIP wins for thread 0
+        p.on_fill(20, 0, thread=0)  # set 20 is a follower
+        assert p._rrpv[20][0] == RRPV_LONG
+
+    def test_brrip_leader_inserts_distant(self):
+        p = DRRIPPolicy(64, 4, rng=random.Random(3), num_threads=8)
+        distant = 0
+        for _ in range(320):
+            p.on_fill(1, 0, thread=0)  # set 1: BRRIP leader of thread 0
+            if p._rrpv[1][0] == RRPV_MAX:
+                distant += 1
+        assert distant > 280
+
+    def test_saturating_psel(self):
+        p = DRRIPPolicy(64, 4, rng=random.Random(0), num_threads=2)
+        for _ in range(5000):
+            p.on_miss(0, thread=0)
+        assert p._psel[0] == p._psel_max
+        for _ in range(5000):
+            p.on_miss(1, thread=0)
+        assert p._psel[0] == 0

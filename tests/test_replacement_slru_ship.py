@@ -1,0 +1,133 @@
+"""Tests for the related-work policies: segmented LRU and SHiP."""
+
+import random
+
+import pytest
+
+from repro.replacement import SHiPPolicy, SLRUPolicy, make_policy
+from repro.replacement.rrip import RRPV_LONG, RRPV_MAX
+
+
+class TestSLRU:
+    def test_new_lines_are_probationary(self):
+        p = SLRUPolicy(1, 4, rng=random.Random(0))
+        p.on_fill(0, 0)
+        assert not p.is_protected(0, 0)
+
+    def test_hit_promotes_to_protected(self):
+        p = SLRUPolicy(1, 4, rng=random.Random(0))
+        p.on_fill(0, 0)
+        p.on_hit(0, 0)
+        assert p.is_protected(0, 0)
+
+    def test_victims_come_from_probationary_segment(self):
+        p = SLRUPolicy(1, 4, rng=random.Random(0))
+        for way in range(4):
+            p.on_fill(0, way)
+        p.on_hit(0, 0)  # protect way 0
+        p.on_hit(0, 1)  # protect way 1
+        # ways 2 and 3 are probationary; 2 is older
+        assert p.victim(0, [0, 1, 2, 3]) == 2
+
+    def test_segment_limit_demotes_lru_protected(self):
+        p = SLRUPolicy(1, 4, rng=random.Random(0), protected_frac=0.5)
+        for way in range(4):
+            p.on_fill(0, way)
+        for way in (0, 1, 2):  # promote three: limit is 2
+            p.on_hit(0, way)
+        protected = [w for w in range(4) if p.is_protected(0, w)]
+        assert len(protected) == 2
+        assert 0 not in protected  # the oldest promotion got demoted
+
+    def test_demoted_line_gets_second_chance(self):
+        """A demoted line re-enters probation at the MRU end."""
+        p = SLRUPolicy(1, 4, rng=random.Random(0), protected_frac=0.5)
+        for way in range(4):
+            p.on_fill(0, way)
+        for way in (0, 1, 2):
+            p.on_hit(0, way)
+        # way 0 was demoted after ways 3 was filled: way 3 is older probation
+        assert p.victim(0, [0, 3]) == 3
+
+    def test_victim_falls_back_to_protected(self):
+        p = SLRUPolicy(1, 2, rng=random.Random(0))
+        p.on_fill(0, 0)
+        p.on_hit(0, 0)
+        assert p.victim(0, [0]) == 0
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            SLRUPolicy(1, 4, protected_frac=1.5)
+
+    def test_factory(self):
+        assert make_policy("slru", 2, 4).name == "slru"
+
+
+class TestSHiP:
+    def test_fill_prediction_from_counters(self):
+        p = SHiPPolicy(8, 4, rng=random.Random(0))
+        sig = p.signature(0, 0)
+        p._shct[sig] = 0  # predicted dead
+        p.on_fill(0, 0, thread=0)
+        assert p._rrpv[0][0] == RRPV_MAX
+        p._shct[sig] = 3  # predicted reused
+        p.on_fill(0, 1, thread=0)
+        assert p._rrpv[0][1] == RRPV_LONG
+
+    def test_hit_trains_up_once_per_generation(self):
+        p = SHiPPolicy(8, 4, rng=random.Random(0))
+        p.on_fill(0, 0, thread=1)
+        sig = p._sig[0][0]
+        before = p._shct[sig]
+        p.on_hit(0, 0)
+        p.on_hit(0, 0)
+        assert p._shct[sig] == before + 1  # saturating, once per generation
+
+    def test_dead_eviction_trains_down(self):
+        p = SHiPPolicy(8, 4, rng=random.Random(0))
+        p.on_fill(0, 0, thread=1)
+        sig = p._sig[0][0]
+        before = p._shct[sig]
+        p.on_invalidate(0, 0)
+        assert p._shct[sig] == before - 1
+
+    def test_reused_eviction_does_not_train_down(self):
+        p = SHiPPolicy(8, 4, rng=random.Random(0))
+        p.on_fill(0, 0, thread=1)
+        sig = p._sig[0][0]
+        p.on_hit(0, 0)
+        after_hit = p._shct[sig]
+        p.on_invalidate(0, 0)
+        assert p._shct[sig] == after_hit
+
+    def test_learns_streaming_signature(self):
+        """After enough dead generations a signature's fills go distant."""
+        p = SHiPPolicy(8, 4, rng=random.Random(0))
+        for _ in range(10):
+            p.on_fill(0, 0, thread=2)
+            p.on_invalidate(0, 0)
+        p.on_fill(0, 0, thread=2)
+        assert p._rrpv[0][0] == RRPV_MAX
+
+    def test_victim_semantics_match_rrip(self):
+        p = SHiPPolicy(1, 4, rng=random.Random(0))
+        for way in range(3):
+            p.on_fill(0, way, thread=0)
+            p.on_hit(0, way)
+        assert p.victim(0, [0, 1, 2, 3]) == 3
+
+    def test_signatures_thread_distinct(self):
+        p = SHiPPolicy(64, 4, rng=random.Random(0))
+        assert p.signature(0, 0) != p.signature(0, 1)
+
+    def test_factory(self):
+        assert make_policy("ship", 2, 4).name == "ship"
+
+    def test_works_in_conventional_llc(self):
+        from repro.cache.conventional import ConventionalLLC
+
+        llc = ConventionalLLC(32, 4, policy="ship", num_cores=4,
+                              rng=random.Random(0))
+        for a in range(64):
+            llc.access(a, a % 4, False, a)
+        assert llc.tag_misses == 64

@@ -1,0 +1,26 @@
+"""Tests for the scale-robustness study."""
+
+from repro.experiments import ExperimentParams
+from repro.experiments.robustness import (
+    PROBE_SPECS,
+    SCALES,
+    format_robustness,
+    run_robustness,
+)
+
+
+class TestRobustness:
+    def test_structure(self):
+        r = run_robustness(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert set(r) == set(SCALES)
+        labels = {spec.label for spec in PROBE_SPECS}
+        for per_scale in r.values():
+            assert set(per_scale) == labels
+            assert all(v > 0 for v in per_scale.values())
+
+    def test_format_reports_stability(self):
+        r = run_robustness(ExperimentParams(n_workloads=1, n_refs=1500))
+        text = format_robustness(r)
+        assert "ordering stability" in text
+        for scale in SCALES:
+            assert f"1/{scale}" in text

@@ -1,0 +1,57 @@
+"""Tests for the terminal plotting helpers."""
+
+from repro.metrics.textplot import bar_chart, line_plot, sparkline
+
+
+class TestBarChart:
+    def test_renders_all_labels_and_values(self):
+        chart = bar_chart([("a", 1.0), ("bb", 2.0)], width=20)
+        assert "a " in chart and "bb" in chart
+        assert "1.000" in chart and "2.000" in chart
+
+    def test_longer_value_longer_bar(self):
+        chart = bar_chart([("a", 1.0), ("b", 2.0)], width=20)
+        rows = chart.splitlines()
+        assert rows[0].count("█") < rows[1].count("█")
+
+    def test_baseline_marker(self):
+        chart = bar_chart([("a", 0.5), ("b", 1.5)], width=20, baseline=1.0)
+        assert "┊" in chart or "│" in chart
+
+    def test_title_and_empty(self):
+        assert bar_chart([], title="t") == "t"
+        assert bar_chart([("x", 1.0)], title="Top").startswith("Top")
+
+    def test_handles_equal_values(self):
+        chart = bar_chart([("a", 1.0), ("b", 1.0)])
+        assert chart  # no division-by-zero
+
+
+class TestLinePlot:
+    def test_renders_series_glyphs(self):
+        plot = line_plot({"s1": [(0, 0), (1, 1)], "s2": [(0, 1), (1, 0)]})
+        assert "o" in plot and "x" in plot
+        assert "o=s1" in plot and "x=s2" in plot
+
+    def test_axis_labels(self):
+        plot = line_plot({"s": [(0, 0.0), (10, 2.0)]}, y_fmt="{:.1f}")
+        assert "2.0" in plot and "0.0" in plot
+
+    def test_empty(self):
+        assert line_plot({}, title="t") == "t"
+
+    def test_flat_series(self):
+        assert line_plot({"s": [(0, 1.0), (1, 1.0)]})
+
+
+class TestSparkline:
+    def test_length_bounded(self):
+        s = sparkline(range(1000), width=50)
+        assert len(s) <= 52
+
+    def test_monotone_input_monotone_blocks(self):
+        s = sparkline([0, 1, 2, 3, 4, 5, 6, 7, 8], width=9)
+        assert s[0] <= s[-1]
+
+    def test_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,126 @@
+"""Timing tests: the latency accounting of Table 4, observed end to end.
+
+Each test builds a trace whose steady-state behaviour is pinned to one
+hierarchy level and checks the measured CPI against the configured
+latencies.
+"""
+
+import pytest
+
+from repro.hierarchy.config import LLCSpec, SystemConfig
+from repro.hierarchy.system import run_workload
+from repro.workloads import Trace, Workload
+
+GAP = 4  # non-memory instructions between references
+
+
+def one_core_workload(addr_pattern, n_cores=8, writes=None):
+    """Core 0 runs the pattern; other cores idle on a single private line."""
+    n = len(addr_pattern)
+    traces = [Trace("probe", [GAP] * n, addr_pattern, writes or [0] * n)]
+    for c in range(1, n_cores):
+        base = (c + 1) << 30
+        traces.append(Trace(f"idle{c}", [GAP] * n, [base] * n, [0] * n))
+    return Workload("timing", traces)
+
+
+def cpi_of(result, core=0):
+    return result.cycles[core] / result.instructions[core]
+
+
+@pytest.fixture
+def config():
+    return SystemConfig(llc=LLCSpec.conventional(8))
+
+
+class TestLevelLatencies:
+    def test_l1_resident_cpi_is_one(self, config):
+        pattern = [0, 1, 2, 3] * 200
+        result = run_workload(config, one_core_workload(pattern), warmup_frac=0.25)
+        assert cpi_of(result) == pytest.approx(1.0, abs=0.02)
+
+    def test_l2_hit_latency(self, config):
+        # 8 lines in one L1 set (4-way, 4 sets): always L1 miss, L2 hit
+        pattern = [i * 4 for i in range(8)] * 150
+        result = run_workload(config, one_core_workload(pattern), warmup_frac=0.25)
+        # steady state: (GAP + 1 + l2_latency) cycles per (GAP + 1) instrs
+        expected = (GAP + 1 + config.l2_latency) / (GAP + 1)
+        assert cpi_of(result) == pytest.approx(expected, rel=0.03)
+
+    def test_llc_hit_latency(self, config):
+        # 48 lines in one L2 set (8-way, 16 sets): L2 misses, SLLC hits.
+        # Stride 16 keeps one bank while spreading the SLLC tag sets.
+        pattern = [i * 16 for i in range(48)] * 40
+        result = run_workload(config, one_core_workload(pattern), warmup_frac=0.25)
+        llc_path = config.l2_latency + config.xbar_latency + config.llc_latency
+        expected = (GAP + 1 + llc_path) / (GAP + 1)
+        assert cpi_of(result) == pytest.approx(expected, rel=0.05)
+
+    def test_dram_latency_floor(self, config):
+        # one-pass stream: every reference goes to memory
+        pattern = list(range(4000))
+        result = run_workload(config, one_core_workload(pattern), warmup_frac=0.25)
+        dram_path = (
+            config.l2_latency
+            + config.xbar_latency
+            + config.llc_latency
+            + config.dram.row_hit_latency
+            + config.xbar_latency
+        )
+        expected_floor = (GAP + 1 + dram_path) / (GAP + 1)
+        assert cpi_of(result) >= expected_floor * 0.98
+
+    def test_hierarchy_ordering(self, config):
+        """CPI strictly grows as the working level deepens."""
+        l1 = cpi_of(run_workload(config, one_core_workload([0, 1] * 400),
+                                 warmup_frac=0.25))
+        l2 = cpi_of(run_workload(
+            config, one_core_workload([i * 4 for i in range(8)] * 100),
+            warmup_frac=0.25))
+        llc = cpi_of(run_workload(
+            config, one_core_workload([i * 16 for i in range(48)] * 17),
+            warmup_frac=0.25))
+        dram = cpi_of(run_workload(config, one_core_workload(list(range(800))),
+                                   warmup_frac=0.25))
+        assert l1 < l2 < llc < dram
+
+
+class TestReuseCacheTimingBehaviour:
+    def test_reuse_reload_pays_memory_latency(self):
+        """In the reuse cache the *second* access to a line still pays DRAM
+        (the reload); from the third on it enjoys SLLC latency."""
+        config = SystemConfig(llc=LLCSpec.reuse(8, 4))
+        # a loop over an L2-overflowing set, spread over the SLLC tag sets
+        pattern = [i * 16 for i in range(48)] * 40
+        reuse = run_workload(config, one_core_workload(pattern), warmup_frac=0.25)
+        conv = run_workload(
+            SystemConfig(llc=LLCSpec.conventional(8)),
+            one_core_workload(pattern),
+            warmup_frac=0.25,
+        )
+        # after warm-up both serve the loop from the SLLC data array
+        assert cpi_of(reuse) == pytest.approx(cpi_of(conv), rel=0.05)
+        # but the reuse cache performed reload fetches while warming
+        assert reuse.llc_stats["reuse_reloads"] > 0
+
+    def test_peer_transfer_cheaper_than_dram(self):
+        """A reuse detected while a peer holds the line costs less than a
+        memory reload."""
+        config = SystemConfig(llc=LLCSpec.reuse(8, 4))
+        n = 600
+        shared = list(range(256, 256 + n))  # bank-spread shared lines
+        # core 0 touches each line first; core 1 touches it later while it
+        # is still in core 0's caches -> peer transfers
+        t0 = Trace("writer", [GAP] * n, shared, [0] * n)
+        t1 = Trace("reader", [GAP] * n, shared, [0] * n)
+        idle = [
+            Trace(f"idle{c}", [GAP] * n, [((c + 1) << 30)] * n, [0] * n)
+            for c in range(2, 8)
+        ]
+        result = run_workload(
+            config, Workload("share", [t0, t1] + idle), warmup_frac=0.0
+        )
+        stats = result.llc_stats
+        assert stats["peer_transfers"] > 0
+        # the reader (trailing core) runs faster than the leader who paid DRAM
+        assert result.cycles[1] < result.cycles[0]

@@ -1,0 +1,90 @@
+"""Tests for stack-distance analysis of traces."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.analysis import hit_ratio_curve, reuse_profile, stack_distances
+
+
+class TestStackDistances:
+    def test_cold_accesses(self):
+        d = stack_distances([1, 2, 3])
+        assert d.tolist() == [-1, -1, -1]
+
+    def test_immediate_reuse(self):
+        d = stack_distances([1, 1])
+        assert d.tolist() == [-1, 0]
+
+    def test_classic_example(self):
+        # a b c b a : b sees {c}=1, a sees {b,c}=2
+        d = stack_distances([1, 2, 3, 2, 1])
+        assert d.tolist() == [-1, -1, -1, 1, 2]
+
+    def test_distance_counts_distinct_not_total(self):
+        # a b b b a : a's distance is 1 (only b in between)
+        d = stack_distances([1, 2, 2, 2, 1])
+        assert d[-1] == 1
+
+    def test_cyclic_sweep_distance_equals_footprint(self):
+        trace = list(range(8)) * 3
+        d = stack_distances(trace)
+        assert all(x == 7 for x in d[8:])
+
+    def test_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        trace = rng.integers(0, 12, 200).tolist()
+        d = stack_distances(trace)
+        last = {}
+        for t, a in enumerate(trace):
+            if a in last:
+                expected = len(set(trace[last[a] + 1:t]))
+                assert d[t] == expected
+            else:
+                assert d[t] == -1
+            last[a] = t
+
+
+class TestReuseProfile:
+    def test_summary_fields(self):
+        p = reuse_profile([1, 2, 1, 2, 3])
+        assert p["n_accesses"] == 5
+        assert p["cold"] == 3
+        assert p["footprint"] == 3
+        assert sum(p["counts"]) == 2
+
+    def test_synthetic_generator_has_reuse_structure(self):
+        """The SPEC-like generator produces the paper's three bands: tiny
+        distances (hot), private-cache-sized (warm), and beyond-L2 (mid)."""
+        from repro.workloads import SPEC_PROFILES, generate_trace
+
+        trace = generate_trace(SPEC_PROFILES["gcc"], 20_000, seed=1, scale=32)
+        d = stack_distances(trace.addrs)
+        warm = d[d >= 0]
+        l1, l2 = 16, 128  # scaled private capacities
+        assert (warm < l1).sum() > 0.4 * len(warm)  # hot band
+        assert ((warm >= l1) & (warm < l2)).sum() > 0  # warm band
+        assert (warm >= l2).sum() > 0  # SLLC band
+
+
+class TestHitRatioCurve:
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(1)
+        trace = rng.integers(0, 64, 2000).tolist()
+        curve = hit_ratio_curve(trace, [1, 8, 32, 128])
+        vals = list(curve.values())
+        assert all(b >= a for a, b in zip(vals, vals[1:]))
+
+    def test_full_capacity_captures_all_reuse(self):
+        trace = [1, 2, 3] * 10
+        curve = hit_ratio_curve(trace, [4])
+        assert curve[4] == pytest.approx(27 / 30)
+
+    def test_empty(self):
+        assert hit_ratio_curve([], [4]) == {4: 0.0}
+
+    def test_agrees_with_stack_distances(self):
+        trace = [1, 2, 1, 3, 2, 1]
+        d = stack_distances(trace)
+        curve = hit_ratio_curve(trace, [2])
+        expected = sum(1 for x in d if 0 <= x < 2) / len(trace)
+        assert curve[2] == pytest.approx(expected)

@@ -1,0 +1,101 @@
+"""Tests for workload persistence."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import Trace, Workload, build_workload
+from repro.workloads.mixes import EXAMPLE_MIX
+from repro.workloads.trace_io import (
+    load_dinero,
+    load_workload,
+    save_dinero,
+    save_workload,
+)
+
+
+class TestRoundTrip:
+    def test_generated_workload(self, tmp_path):
+        wl = build_workload(EXAMPLE_MIX, 500, seed=9)
+        path = save_workload(wl, tmp_path / "mix.npz")
+        loaded = load_workload(path)
+        assert loaded.name == wl.name
+        assert loaded.app_names == wl.app_names
+        for a, b in zip(wl.traces, loaded.traces):
+            assert a.gaps == b.gaps
+            assert a.addrs == b.addrs
+            assert a.writes == b.writes
+
+    def test_suffix_added(self, tmp_path):
+        wl = Workload("w", [Trace("t", [0], [1], [0])])
+        path = save_workload(wl, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert load_workload(path).traces[0].addrs == [1]
+
+    def test_simulation_equivalence(self, tmp_path):
+        """A loaded workload must simulate identically to the original."""
+        from repro.hierarchy.config import LLCSpec, SystemConfig
+        from repro.hierarchy.system import run_workload
+
+        wl = build_workload(EXAMPLE_MIX, 800, seed=3)
+        loaded = load_workload(save_workload(wl, tmp_path / "w.npz"))
+        cfg = SystemConfig(llc=LLCSpec.reuse(4, 1))
+        a = run_workload(cfg, wl)
+        b = run_workload(cfg, loaded)
+        assert a.cycles == b.cycles and a.instructions == b.instructions
+
+    def test_version_check(self, tmp_path):
+        wl = Workload("w", [Trace("t", [0], [1], [0])])
+        path = save_workload(wl, tmp_path / "w.npz")
+        data = dict(np.load(path, allow_pickle=False))
+        data["format_version"] = np.int64(99)
+        np.savez(tmp_path / "bad.npz", **data)
+        with pytest.raises(ValueError, match="format version"):
+            load_workload(tmp_path / "bad.npz")
+
+    def test_large_addresses_preserved(self, tmp_path):
+        big = (7 << 40) + 12345
+        wl = Workload("w", [Trace("t", [3], [big], [1])])
+        loaded = load_workload(save_workload(wl, tmp_path / "w.npz"))
+        assert loaded.traces[0].addrs == [big]
+
+
+class TestDinero:
+    def test_round_trip_addresses_and_labels(self, tmp_path):
+        trace = Trace("t", [2, 5, 0], [0x10, 0x20, 0x10], [0, 1, 0])
+        path = save_dinero(trace, tmp_path / "t.din")
+        loaded = load_dinero(path)
+        assert loaded.addrs == trace.addrs
+        assert loaded.writes == trace.writes
+
+    def test_format_is_canonical_din(self, tmp_path):
+        trace = Trace("t", [0], [0x10], [1])
+        path = save_dinero(trace, tmp_path / "t.din")
+        assert path.read_text() == "1 400\n"  # line 0x10 * 64 bytes
+
+    def test_instruction_fetches_skipped(self, tmp_path):
+        (tmp_path / "x.din").write_text("0 400\n2 800\n1 c00\n")
+        loaded = load_dinero(tmp_path / "x.din")
+        assert loaded.addrs == [0x10, 0x30]
+        assert loaded.writes == [0, 1]
+
+    def test_malformed_rejected(self, tmp_path):
+        (tmp_path / "bad.din").write_text("0\n")
+        with pytest.raises(ValueError, match="malformed"):
+            load_dinero(tmp_path / "bad.din")
+        (tmp_path / "bad2.din").write_text("7 400\n")
+        with pytest.raises(ValueError, match="unknown din label"):
+            load_dinero(tmp_path / "bad2.din")
+
+    def test_loaded_trace_simulates(self, tmp_path):
+        from repro.hierarchy.config import SystemConfig
+        from repro.hierarchy.system import run_workload
+
+        traces = []
+        for c in range(8):
+            t = Trace(f"t{c}", [1] * 50,
+                      [((c + 1) << 30) + i % 8 for i in range(50)], [0] * 50)
+            path = save_dinero(t, tmp_path / f"t{c}.din")
+            traces.append(load_dinero(path, name=f"t{c}"))
+        result = run_workload(SystemConfig(), Workload("din", traces),
+                              warmup_frac=0.0)
+        assert result.performance > 0

@@ -1,0 +1,25 @@
+"""Tests for the memory-traffic study."""
+
+from repro.experiments import ExperimentParams
+from repro.experiments.traffic import format_traffic, run_traffic
+
+TINY = ExperimentParams(n_workloads=1, n_refs=2000)
+
+
+class TestTraffic:
+    def test_structure_and_invariants(self):
+        r = run_traffic(TINY)
+        assert "conv-8MB-lru" in r and "RC-4/1" in r
+        base = r["conv-8MB-lru"]
+        assert base["reloads_pki"] == 0.0  # conventional never reloads
+        for label, t in r.items():
+            assert t["reads_pki"] > 0
+            assert t["reloads_pki"] <= t["reads_pki"]
+
+    def test_reuse_cache_reads_more(self):
+        r = run_traffic(TINY)
+        assert r["RC-4/1"]["reads_pki"] > r["conv-8MB-lru"]["reads_pki"] * 0.99
+        assert r["RC-4/1"]["reloads_pki"] > 0
+
+    def test_format(self):
+        assert "traffic vs baseline" in format_traffic(run_traffic(TINY))

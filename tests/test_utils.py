@@ -1,0 +1,47 @@
+"""Tests for repro.utils."""
+
+import pytest
+
+from repro.utils import ceil_div, ilog2, is_power_of_two, require_power_of_two
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers(self):
+        for n in (0, -1, -2, 3, 5, 6, 7, 9, 12, 100):
+            assert not is_power_of_two(n)
+
+
+class TestIlog2:
+    def test_exact(self):
+        for k in range(24):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -4, 3, 12, 1000])
+    def test_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestRequirePowerOfTwo:
+    def test_passthrough(self):
+        assert require_power_of_two(64, "x") == 64
+
+    def test_message_includes_name(self):
+        with pytest.raises(ValueError, match="num_sets"):
+            require_power_of_two(3, "num_sets")
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize(
+        "a,b,expected", [(0, 1, 0), (1, 1, 1), (5, 2, 3), (6, 2, 3), (7, 8, 1)]
+    )
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_bad_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)

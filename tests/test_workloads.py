@@ -1,0 +1,179 @@
+"""Tests for the synthetic workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    EXAMPLE_MIX,
+    SPEC_APPS,
+    SPEC_PROFILES,
+    Trace,
+    build_workload,
+    generate_trace,
+    make_mixes,
+    zipf_sample,
+    zipf_weights,
+)
+from repro.workloads.profiles import AppProfile
+from repro.workloads.synthetic import _MID_BASE, _STREAM_BASE, _WARM_BASE
+
+
+class TestProfiles:
+    def test_table5_apps_all_present(self):
+        assert len(SPEC_APPS) == 29
+        assert set(SPEC_APPS) == set(SPEC_PROFILES)
+
+    def test_probabilities_valid(self):
+        for p in SPEC_PROFILES.values():
+            assert 0 <= p.p_stream <= 1
+            assert abs(p.p_hot + p.p_warm + p.p_mid + p.p_stream - 1) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AppProfile("bad", 100, 0.2, p_hot=0.8, hot_lines=10, p_mid=0.5, mid_lines=10)
+        with pytest.raises(ValueError):
+            AppProfile("bad", 100, 0.2, p_hot=0.5, hot_lines=0, p_mid=0.1, mid_lines=10)
+        with pytest.raises(ValueError):
+            AppProfile("bad", 100, 1.5, p_hot=0.5, hot_lines=8, p_mid=0.1, mid_lines=10)
+
+    def test_archetypes(self):
+        """Streaming apps stream; cache-friendly apps barely stream."""
+        assert SPEC_PROFILES["libquantum"].p_stream > 0.1
+        assert SPEC_PROFILES["namd"].p_stream < 0.01
+        assert SPEC_PROFILES["mcf"].mid_lines > SPEC_PROFILES["namd"].mid_lines
+
+
+class TestZipf:
+    def test_weights_normalised(self):
+        w = zipf_weights(100, 0.8)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[-1]
+
+    def test_zero_exponent_uniform(self):
+        w = zipf_weights(50, 0.0)
+        assert np.allclose(w, 1 / 50)
+
+    def test_sample_range_and_skew(self):
+        rng = np.random.default_rng(0)
+        s = zipf_sample(rng, 64, 1.0, 10_000)
+        assert s.min() >= 0 and s.max() < 64
+        counts = np.bincount(s, minlength=64)
+        assert counts.max() > 3 * np.median(counts)  # skewed popularity
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestGenerateTrace:
+    def test_deterministic(self):
+        p = SPEC_PROFILES["gcc"]
+        t1 = generate_trace(p, 2000, seed=5)
+        t2 = generate_trace(p, 2000, seed=5)
+        assert t1.addrs == t2.addrs and t1.gaps == t2.gaps and t1.writes == t2.writes
+
+    def test_seed_changes_trace(self):
+        p = SPEC_PROFILES["gcc"]
+        t1 = generate_trace(p, 2000, seed=5)
+        t2 = generate_trace(p, 2000, seed=6)
+        assert t1.addrs != t2.addrs
+
+    def test_memory_intensity(self):
+        p = SPEC_PROFILES["mcf"]
+        t = generate_trace(p, 20_000, seed=1)
+        refs_per_kinst = 1000 * t.n_refs / t.total_instructions
+        assert refs_per_kinst == pytest.approx(p.mem_per_kinst, rel=0.15)
+
+    def test_write_fraction(self):
+        p = SPEC_PROFILES["lbm"]
+        t = generate_trace(p, 20_000, seed=1)
+        assert sum(t.writes) / t.n_refs == pytest.approx(p.write_frac, abs=0.03)
+
+    def test_regions_disjoint_and_scaled(self):
+        p = SPEC_PROFILES["omnetpp"]
+        t = np.array(generate_trace(p, 50_000, seed=2, scale=32).addrs)
+        hot = t[t < _WARM_BASE]
+        warm = t[(t >= _WARM_BASE) & (t < _MID_BASE)]
+        mid = t[(t >= _MID_BASE) & (t < _STREAM_BASE)]
+        assert len(hot) and len(warm) and len(mid)
+        assert hot.max() < max(1, p.hot_lines // 32)  # scaled footprint
+        assert (warm - _WARM_BASE).max() < max(1, p.warm_lines // 32)
+        assert (mid - _MID_BASE).max() < max(1, p.mid_lines // 32)
+
+    def test_base_addr_offsets_everything(self):
+        p = SPEC_PROFILES["namd"]
+        t0 = generate_trace(p, 100, seed=1, base_addr=0)
+        t1 = generate_trace(p, 100, seed=1, base_addr=1 << 30)
+        assert [a + (1 << 30) for a in t0.addrs] == t1.addrs
+
+    def test_stream_is_sequential_one_pass(self):
+        p = AppProfile("scan", 100, 0.0, p_hot=0.0, hot_lines=1, p_mid=0.0,
+                       mid_lines=1, stream_loop_lines=1 << 21)
+        t = generate_trace(p, 1000, seed=0, scale=1)
+        stream = [a - _STREAM_BASE for a in t.addrs]
+        assert stream == list(range(1000))
+
+    def test_rejects_empty_trace(self):
+        with pytest.raises(ValueError):
+            generate_trace(SPEC_PROFILES["gcc"], 0, seed=0)
+
+
+class TestTrace:
+    def test_length_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            Trace("x", [0], [1, 2], [0, 0])
+
+    def test_slice(self):
+        t = generate_trace(SPEC_PROFILES["gcc"], 100, seed=0)
+        s = t.slice(10)
+        assert s.n_refs == 10 and s.addrs == t.addrs[:10]
+
+    def test_workload_slice(self):
+        wl = build_workload(EXAMPLE_MIX, 50, seed=1)
+        s = wl.slice(20)
+        assert s.num_cores == 8
+        assert all(t.n_refs == 20 for t in s.traces)
+        assert s.app_names == wl.app_names
+
+
+class TestMixes:
+    def test_example_mix_is_papers(self):
+        assert EXAMPLE_MIX == ["gcc", "mcf", "povray", "leslie3d", "h264ref",
+                               "lbm", "namd", "gcc"]
+
+    def test_100_mixes_app_frequencies(self):
+        """Paper: apps appear 16-35 times, mean 27.6."""
+        mixes = make_mixes(100, 8, seed=2013)
+        counts = {}
+        for mix in mixes:
+            for app in mix:
+                counts[app] = counts.get(app, 0) + 1
+        assert sum(counts.values()) == 800
+        mean = sum(counts.values()) / len(counts)
+        assert mean == pytest.approx(800 / 29, rel=0.01)
+        assert min(counts.values()) >= 10
+        assert max(counts.values()) <= 45
+
+    def test_deterministic(self):
+        assert make_mixes(5, seed=1) == make_mixes(5, seed=1)
+        assert make_mixes(5, seed=1) != make_mixes(5, seed=2)
+
+    def test_build_workload_address_spaces_disjoint(self):
+        wl = build_workload(EXAMPLE_MIX, 500, seed=0)
+        spans = []
+        for t in wl.traces:
+            arr = np.array(t.addrs)
+            spans.append((arr.min() >> 30, arr.max() >> 30))
+        assert len({s[0] for s in spans}) == 8  # distinct high bits per core
+
+    def test_duplicate_apps_not_in_lockstep(self):
+        wl = build_workload(EXAMPLE_MIX, 500, seed=0)
+        gcc1, gcc2 = wl.traces[0], wl.traces[7]
+        assert gcc1.name == gcc2.name == "gcc"
+        rel1 = [a & ((1 << 30) - 1) for a in gcc1.addrs]
+        rel2 = [a & ((1 << 30) - 1) for a in gcc2.addrs]
+        assert rel1 != rel2
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(ValueError, match="unknown application"):
+            build_workload(["not_spec"] * 8, 10)

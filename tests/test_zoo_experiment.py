@@ -1,0 +1,34 @@
+"""Tests for the replacement-zoo extension study."""
+
+from repro.experiments import ExperimentParams
+from repro.experiments.zoo import RC_REFERENCES, ZOO_POLICIES, format_zoo, run_zoo
+
+
+class TestZoo:
+    def test_structure(self):
+        r = run_zoo(ExperimentParams(n_workloads=1, n_refs=1500))
+        for policy in ZOO_POLICIES:
+            assert f"conv-8MB-{policy}" in r
+        for spec in RC_REFERENCES:
+            assert spec.label in r
+        assert all(v > 0 for v in r.values())
+
+    def test_baseline_is_unity(self):
+        r = run_zoo(ExperimentParams(n_workloads=1, n_refs=1500))
+        assert abs(r["conv-8MB-lru"] - 1.0) < 1e-9
+
+    def test_format_sorted_by_speedup(self):
+        r = {"bbb": 2.0, "aaa": 1.0, "ccc": 1.5}
+        lines = format_zoo(r).splitlines()
+        order = [ln.split()[0] for ln in lines
+                 if ln.split() and ln.split()[0] in ("aaa", "bbb", "ccc")]
+        assert order == ["aaa", "ccc", "bbb"]
+
+    def test_covers_related_work_lineage(self):
+        """The zoo spans the paper's Section 6 lineage: commercial baseline
+        (NRU), insertion policies (DIP), RRIP family, disk-cache ancestry
+        (SLRU), predictors (SHiP), and both decoupled designs."""
+        assert {"nru", "dip", "srrip", "drrip", "slru", "ship", "nrr"} <= set(
+            ZOO_POLICIES
+        )
+        assert any(s.kind == "vway" for s in RC_REFERENCES)

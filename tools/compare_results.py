@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Compare two benchmarks/results.txt captures.
+
+Usage::
+
+    python tools/compare_results.py old_results.txt new_results.txt [--tol 0.02]
+
+Parses every ``<label> ... <number>`` table row in both files, matches rows
+by (section title, label), and reports numeric drifts beyond the tolerance.
+Useful as a manual regression check after changing the simulator or the
+workload generators.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+_NUM = re.compile(r"[-+]?\d+\.\d+|[-+]?\d+(?:\.\d+)?%?")
+
+
+def parse_results(path: Path) -> dict:
+    """{(section, label): [numbers...]} for every table row."""
+    rows = {}
+    section = ""
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if not stripped or set(stripped) <= {"-", " "}:
+            continue
+        # a section title: contains a colon (table rows never do in the
+        # harness's format)
+        if ":" in stripped:
+            section = stripped.split(":")[0]
+            continue
+        parts = stripped.split()
+        numbers = []
+        for token in parts[1:]:
+            token = token.rstrip("%x")
+            try:
+                numbers.append(float(token))
+            except ValueError:
+                pass
+        if numbers:
+            rows[(section, parts[0])] = numbers
+    return rows
+
+
+def compare(old: dict, new: dict, tol: float):
+    """Yield (key, old_values, new_values, max_drift) for drifted rows."""
+    for key in sorted(set(old) & set(new)):
+        a, b = old[key], new[key]
+        if len(a) != len(b):
+            yield key, a, b, float("inf")
+            continue
+        drift = 0.0
+        for x, y in zip(a, b):
+            denom = max(abs(x), 1e-9)
+            drift = max(drift, abs(y - x) / denom)
+        if drift > tol:
+            yield key, a, b, drift
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns 1 when drifts beyond tolerance were found."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("old", type=Path)
+    parser.add_argument("new", type=Path)
+    parser.add_argument("--tol", type=float, default=0.02,
+                        help="relative drift tolerance (default 2%%)")
+    args = parser.parse_args(argv)
+    old = parse_results(args.old)
+    new = parse_results(args.new)
+    only_old = sorted(set(old) - set(new))
+    only_new = sorted(set(new) - set(old))
+    drifted = list(compare(old, new, args.tol))
+    for key in only_old:
+        print(f"- removed: {key[0]} / {key[1]}")
+    for key in only_new:
+        print(f"+ added:   {key[0]} / {key[1]}")
+    for (section, label), a, b, drift in drifted:
+        print(f"~ drift {drift:6.1%}  {section} / {label}: {a} -> {b}")
+    print(
+        f"{len(drifted)} drifted, {len(only_old)} removed, {len(only_new)} added "
+        f"out of {len(set(old) | set(new))} rows (tol {args.tol:.0%})"
+    )
+    return 1 if drifted else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
