@@ -1,0 +1,36 @@
+"""Benchmark: the serving stack under live load (reuse vs always admission).
+
+Replays one synthetic workload through the asyncio server twice — once with
+the paper's reuse-based admission, once admit-always — at identical data
+capacity, then persists throughput, hit rate and latency quantiles to
+``BENCH_service.json`` at the repo root (the serving-side counterpart of
+``benchmarks/results.txt``).  Scale with ``REPRO_REFS`` / ``REPRO_SCALE``
+like the figure benchmarks.
+"""
+
+import json
+from pathlib import Path
+
+from conftest import run_once
+
+from repro.service.cli import format_service_benchmark, run_service_benchmark
+
+BENCH_FILE = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+
+def test_service_admission_comparison(benchmark, params, report):
+    result = run_once(
+        benchmark,
+        run_service_benchmark,
+        refs=params.n_refs,
+        scale=params.scale,
+        seed=params.seed,
+    )
+    report(format_service_benchmark(result))
+    BENCH_FILE.write_text(json.dumps(result, indent=2) + "\n")
+    report(f"wrote {BENCH_FILE}")
+    # the acceptance bar: at equal (downsized) data capacity, selective
+    # allocation must deliver more hits per byte than admit-always
+    assert result["hit_rate_per_mb_gain"] > 0
+    assert result["reuse"]["throughput_rps"] > 0
+    assert result["reuse"]["p99_ms"] > 0

@@ -13,7 +13,10 @@ The package provides:
 * metrics (liveness, hit distributions, MPKI, speedups), the exact
   hardware-cost model of Table 2 and a latency surrogate for Table 3;
 * experiment drivers reproducing every table and figure of the paper
-  (:mod:`repro.experiments`).
+  (:mod:`repro.experiments`);
+* a serving stack (:mod:`repro.service`): a sharded asyncio cache server
+  whose admission policy is the paper's selective allocation, plus a load
+  generator replaying the synthetic workloads as GET/SET traffic.
 
 Quickstart::
 
@@ -38,6 +41,7 @@ from .core import (
 )
 from .dram import DDR3Config, DDR3Memory
 from .hierarchy import LLCSpec, RunResult, System, SystemConfig, run_workload
+from .service import CacheClient, CacheServer, ReuseStore, ShardedStore
 from .metrics import GenerationLog, GenerationRecorder, geomean, mpki, quartiles, speedup
 from .workloads import (
     EXAMPLE_MIX,
@@ -59,6 +63,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ReuseCache",
+    "ReuseStore",
+    "ShardedStore",
+    "CacheServer",
+    "CacheClient",
     "ConventionalLLC",
     "NCIDCache",
     "PrivateHierarchy",

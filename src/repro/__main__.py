@@ -9,6 +9,12 @@ Usage::
 
 Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
 for the paper-vs-measured comparison.
+
+Serving mode (see ``docs/service.md``) lives under two extra subcommands
+dispatched to :mod:`repro.service.cli`::
+
+    python -m repro serve --shards 4 --data-capacity 4096
+    python -m repro bench-service --refs 20000 --json BENCH_service.json
 """
 
 from __future__ import annotations
@@ -21,6 +27,7 @@ import time
 
 from . import experiments as ex
 from .experiments import ExperimentParams
+from .service import cli as service_cli
 
 #: experiment name -> (runner, formatter, needs_params)
 EXPERIMENTS = {
@@ -127,10 +134,17 @@ def run_one(name: str, params: ExperimentParams, json_path=None) -> None:
 
 def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] in service_cli.SERVICE_COMMANDS:
+        return service_cli.main(argv)
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print("available experiments:")
         for name in EXPERIMENTS:
+            print(f"  {name}")
+        print("service commands (see 'repro serve --help'):")
+        for name in service_cli.SERVICE_COMMANDS:
             print(f"  {name}")
         return 0
     params = ExperimentParams(

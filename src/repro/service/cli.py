@@ -1,0 +1,223 @@
+"""CLI commands for the serving stack: ``repro serve`` / ``repro bench-service``.
+
+``serve`` runs a :class:`~repro.service.server.CacheServer` in the
+foreground until interrupted (SIGINT triggers a graceful drain).
+
+``bench-service`` is the serving twin of the figure benchmarks: it replays
+one synthetic workload twice against in-process servers that differ *only*
+in admission policy — the paper's reuse-based selective allocation vs
+admit-always — at identical data capacity, and reports hit rate, hit rate
+per MB of data capacity, throughput and latency quantiles for both.
+:func:`run_service_benchmark` is importable so ``benchmarks/bench_service.py``
+persists the same comparison to ``BENCH_service.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+
+from ..workloads.mixes import EXAMPLE_MIX, build_workload
+from .loadgen import VALUE_BYTES, run_load
+from .server import CacheServer
+from .sharding import ShardedStore
+
+#: CLI names handled by this module (dispatched from repro.__main__)
+SERVICE_COMMANDS = ("serve", "bench-service")
+
+
+def build_service_parser() -> argparse.ArgumentParser:
+    """Argument parser for the service subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Serving mode of the reuse-cache reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_store_args(p):
+        p.add_argument("--shards", type=int, default=4,
+                       help="number of store shards")
+        p.add_argument("--data-capacity", type=int, default=4096,
+                       help="total data-store entries across shards")
+        p.add_argument("--tag-capacity", type=int, default=None,
+                       help="total tag-directory entries (default 4x data)")
+        p.add_argument("--tag-assoc", type=int, default=8,
+                       help="tag-directory associativity")
+        p.add_argument("--admission", choices=("reuse", "always"),
+                       default="reuse", help="admission policy")
+        p.add_argument("--seed", type=int, default=2013)
+
+    serve = sub.add_parser("serve", help="run the cache server in the foreground")
+    add_store_args(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=9876)
+    serve.add_argument("--max-connections", type=int, default=256)
+    serve.add_argument("--request-timeout", type=float, default=5.0)
+
+    bench = sub.add_parser(
+        "bench-service",
+        help="compare reuse-admission vs admit-always on live traffic",
+    )
+    add_store_args(bench)
+    # downsized data store: the regime where selective allocation pays
+    # (a plentiful capacity hides admission mistakes, cf. paper Fig. 6)
+    bench.set_defaults(data_capacity=512)
+    bench.add_argument("--refs", type=int, default=20_000,
+                       help="memory references per core")
+    bench.add_argument("--scale", type=int, default=32,
+                       help="workload footprint divisor (matches simulator)")
+    bench.add_argument("--mix", nargs="*", default=None,
+                       help=f"application mix (default: {' '.join(EXAMPLE_MIX)})")
+    bench.add_argument("--value-bytes", type=int, default=VALUE_BYTES)
+    bench.add_argument("--json", metavar="FILE", default=None,
+                       help="also dump the comparison as JSON")
+    return parser
+
+
+def make_store(args) -> ShardedStore:
+    """Build a :class:`ShardedStore` from parsed CLI arguments."""
+    return ShardedStore(
+        num_shards=args.shards,
+        data_capacity=args.data_capacity,
+        tag_capacity=args.tag_capacity,
+        tag_assoc=args.tag_assoc,
+        admission=args.admission,
+        seed=args.seed,
+    )
+
+
+async def _serve(args) -> None:
+    server = CacheServer(
+        make_store(args),
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        request_timeout=args.request_timeout,
+    )
+    await server.start()
+    print(f"repro.service: {args.admission}-admission store, "
+          f"{args.shards} shards x {args.data_capacity // args.shards} entries, "
+          f"listening on {server.host}:{server.port}")
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()
+        print("repro.service: drained and stopped")
+
+
+def cmd_serve(args) -> int:
+    """Run the server until Ctrl-C."""
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+async def _bench_one(admission, workload, args) -> dict:
+    """Serve the workload once under ``admission`` and summarise."""
+    store = ShardedStore(
+        num_shards=args.shards,
+        data_capacity=args.data_capacity,
+        tag_capacity=args.tag_capacity,
+        tag_assoc=args.tag_assoc,
+        admission=admission,
+        seed=args.seed,
+    )
+    server = CacheServer(store, port=0)
+    await server.start()
+    try:
+        result = await run_load(
+            server.host, server.port, workload,
+            value_bytes=args.value_bytes, sample_every=4,
+        )
+    finally:
+        await server.stop()
+    summary = result.summary()
+    summary["admission"] = admission
+    data_bytes = store.data_capacity * args.value_bytes
+    summary["data_capacity_entries"] = store.data_capacity
+    summary["data_capacity_bytes"] = data_bytes
+    summary["hit_rate_per_mb"] = result.hit_rate / (data_bytes / 2**20)
+    summary["server_total"] = result.server_stats.get("total", {})
+    return summary
+
+
+def run_service_benchmark(args=None, **overrides) -> dict:
+    """Run the reuse-vs-always comparison; returns a JSON-safe dict.
+
+    ``args`` is a parsed ``bench-service`` namespace; keyword overrides are
+    applied on top (so tests and the bench harness can shrink the run).
+    """
+    if args is None:
+        args = build_service_parser().parse_args(["bench-service"])
+    for name, value in overrides.items():
+        setattr(args, name, value)
+    mix = args.mix if args.mix else EXAMPLE_MIX
+    workload = build_workload(mix, n_refs=args.refs, seed=args.seed,
+                              scale=args.scale)
+
+    async def _run():
+        reuse = await _bench_one("reuse", workload, args)
+        always = await _bench_one("always", workload, args)
+        return reuse, always
+
+    reuse, always = asyncio.run(_run())
+    return {
+        "workload": workload.name,
+        "refs_per_core": args.refs,
+        "cores": workload.num_cores,
+        "scale": args.scale,
+        "shards": args.shards,
+        "value_bytes": args.value_bytes,
+        "reuse": reuse,
+        "always": always,
+        "hit_rate_gain": reuse["hit_rate"] - always["hit_rate"],
+        "hit_rate_per_mb_gain":
+            reuse["hit_rate_per_mb"] - always["hit_rate_per_mb"],
+    }
+
+
+def format_service_benchmark(result: dict) -> str:
+    """Human-readable table of the admission comparison."""
+    lines = [
+        f"service benchmark — workload {result['workload']} "
+        f"({result['cores']} cores x {result['refs_per_core']} refs, "
+        f"scale {result['scale']})",
+        f"{'admission':<10} {'hit rate':>9} {'hr/MB':>8} {'stored':>8} "
+        f"{'tagged':>8} {'rps':>9} {'p50 ms':>8} {'p99 ms':>8}",
+    ]
+    for mode in ("reuse", "always"):
+        row = result[mode]
+        lines.append(
+            f"{mode:<10} {row['hit_rate']:>9.4f} {row['hit_rate_per_mb']:>8.3f} "
+            f"{row['sets_stored']:>8} {row['sets_tagged']:>8} "
+            f"{row['throughput_rps']:>9.0f} {row['p50_ms']:>8.3f} "
+            f"{row['p99_ms']:>8.3f}"
+        )
+    lines.append(
+        f"hit-rate gain (reuse - always) at equal data capacity: "
+        f"{result['hit_rate_gain']:+.4f} "
+        f"({result['hit_rate_per_mb_gain']:+.3f} per MB)"
+    )
+    return "\n".join(lines)
+
+
+def cmd_bench_service(args) -> int:
+    """Run the comparison, print it, optionally dump JSON."""
+    result = run_service_benchmark(args)
+    print(format_service_benchmark(result))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result, fh, indent=2)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def main(argv) -> int:
+    """Entry point for the service subcommands."""
+    args = build_service_parser().parse_args(argv)
+    if args.command == "serve":
+        return cmd_serve(args)
+    return cmd_bench_service(args)

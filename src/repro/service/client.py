@@ -1,0 +1,193 @@
+"""Asyncio client for the :mod:`repro.service` cache protocol.
+
+:class:`CacheClient` keeps a pool of TCP connections (opened lazily up to
+``pool_size``) and checks one out per request, so a single client instance
+can be shared by many concurrent coroutines.  Transient transport failures
+— connection refused during server start, a connection dropped mid-request
+— are retried with exponential backoff on a fresh connection, up to
+``max_retries`` attempts; protocol-level errors (``ERR ...``) are *not*
+retried, they raise :class:`ServerError` immediately.
+
+Typical use::
+
+    async with CacheClient("127.0.0.1", 9876) as client:
+        value = await client.get("user:42")
+        if value is None:                       # miss: read through
+            value = await fetch_from_backend()
+            await client.set("user:42", value)  # admitted only on reuse
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .server import MAX_VALUE_BYTES
+
+
+class ServerError(Exception):
+    """The server answered ``ERR <reason>`` (not retried)."""
+
+
+class CacheClient:
+    """Pooled asyncio client with retry/backoff."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 9876,
+        pool_size: int = 4,
+        max_retries: int = 3,
+        backoff: float = 0.05,
+        timeout: float = 5.0,
+    ):
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive, got {pool_size}")
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.timeout = timeout
+        self._pool = asyncio.Queue()
+        self._open = 0
+        self._closed = False
+
+    # -- pool management ------------------------------------------------------
+
+    async def _acquire(self):
+        """Check a connection out of the pool, dialing a new one if allowed."""
+        if self._closed:
+            raise RuntimeError("client is closed")
+        while True:
+            try:
+                conn = self._pool.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if not conn[1].is_closing():
+                return conn
+            self._open -= 1  # stale connection: drop and look again
+        if self._open < self.pool_size:
+            self._open += 1
+            try:
+                return await asyncio.wait_for(
+                    asyncio.open_connection(self.host, self.port), self.timeout
+                )
+            except BaseException:
+                self._open -= 1
+                raise
+        return await self._pool.get()
+
+    def _release(self, conn) -> None:
+        if self._closed or conn[1].is_closing():
+            self._discard(conn)
+        else:
+            self._pool.put_nowait(conn)
+
+    def _discard(self, conn) -> None:
+        self._open -= 1
+        conn[1].close()
+
+    async def close(self) -> None:
+        """Close every pooled connection; in-flight requests finish first."""
+        self._closed = True
+        while self._open > 0:
+            try:
+                reader, writer = await asyncio.wait_for(self._pool.get(), 1.0)
+            except asyncio.TimeoutError:
+                break  # still checked out; the holder discards on release
+            self._open -= 1
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.close()
+
+    # -- request plumbing ------------------------------------------------------
+
+    async def _request(self, payload: bytes):
+        """Send one framed request, return the response header tokens + body."""
+        attempt = 0
+        while True:
+            conn = None
+            try:
+                conn = await self._acquire()
+                reader, writer = conn
+                writer.write(payload)
+                await writer.drain()
+                header = await asyncio.wait_for(reader.readline(), self.timeout)
+                if not header:
+                    raise ConnectionError("server closed connection")
+                tokens = header.decode("utf-8").split()
+                body = None
+                if tokens and tokens[0] in ("VALUE", "STATS"):
+                    length = int(tokens[1])
+                    if not 0 <= length <= MAX_VALUE_BYTES:
+                        raise ConnectionError(f"insane body length {length}")
+                    body = await asyncio.wait_for(
+                        reader.readexactly(length + 1), self.timeout
+                    )
+                    body = body[:-1]
+            except (ConnectionError, asyncio.IncompleteReadError,
+                    asyncio.TimeoutError, OSError) as exc:
+                if conn is not None:  # dial failures never joined the pool
+                    self._discard(conn)
+                attempt += 1
+                if attempt > self.max_retries:
+                    raise ConnectionError(
+                        f"request failed after {attempt} attempts: {exc}"
+                    ) from exc
+                await asyncio.sleep(self.backoff * (2 ** (attempt - 1)))
+                continue
+            self._release(conn)
+            if tokens and tokens[0] == "ERR":
+                raise ServerError(" ".join(tokens[1:]))
+            return tokens, body
+
+    # -- protocol commands -----------------------------------------------------
+
+    async def get(self, key: str):
+        """Value bytes for ``key``, or ``None`` on a miss."""
+        tokens, body = await self._request(f"GET {key}\n".encode("utf-8"))
+        if tokens[0] == "MISS":
+            return None
+        if tokens[0] == "VALUE":
+            return body
+        raise ServerError(f"unexpected response {tokens!r}")
+
+    async def set(self, key: str, value: bytes) -> bool:
+        """Offer ``value``; True if stored, False if only tagged (declined)."""
+        payload = b"SET %s %d\n%s\n" % (key.encode("utf-8"), len(value), value)
+        tokens, _ = await self._request(payload)
+        if tokens[0] == "STORED":
+            return True
+        if tokens[0] == "TAGGED":
+            return False
+        raise ServerError(f"unexpected response {tokens!r}")
+
+    async def delete(self, key: str) -> bool:
+        """Delete ``key``; True iff a stored value was removed."""
+        tokens, _ = await self._request(f"DEL {key}\n".encode("utf-8"))
+        if tokens[0] == "DELETED":
+            return True
+        if tokens[0] == "NOTFOUND":
+            return False
+        raise ServerError(f"unexpected response {tokens!r}")
+
+    async def stats(self) -> dict:
+        """The server's stats snapshot (per shard + aggregate)."""
+        tokens, body = await self._request(b"STATS\n")
+        if tokens[0] != "STATS":
+            raise ServerError(f"unexpected response {tokens!r}")
+        return json.loads(body.decode("utf-8"))
+
+    async def ping(self) -> bool:
+        """Round-trip health check."""
+        tokens, _ = await self._request(b"PING\n")
+        return tokens[0] == "PONG"

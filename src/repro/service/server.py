@@ -1,0 +1,250 @@
+"""Asyncio TCP front end for a :class:`~repro.service.sharding.ShardedStore`.
+
+The wire protocol is line-framed with length-prefixed values (one request,
+one response; see ``docs/service.md``):
+
+======================================  =========================================
+request                                 response
+======================================  =========================================
+``GET <key>\\n``                         ``VALUE <len>\\n<bytes>\\n`` or ``MISS\\n``
+``SET <key> <len>\\n<bytes>\\n``          ``STORED\\n`` or ``TAGGED\\n``
+``DEL <key>\\n``                         ``DELETED\\n`` or ``NOTFOUND\\n``
+``STATS\\n``                             ``STATS <len>\\n<json>\\n``
+``PING\\n``                              ``PONG\\n``
+``QUIT\\n``                              ``BYE\\n`` and the connection closes
+======================================  =========================================
+
+``TAGGED`` is the protocol-visible face of selective allocation: the server
+*declined* to store the value but recorded the key in the tag directory, so
+a client re-offering after the next miss will see ``STORED``.  Malformed
+requests get ``ERR <reason>\\n`` and keep the connection open; a request
+that exceeds ``request_timeout`` gets ``ERR timeout`` and the connection is
+dropped (its framing can no longer be trusted).
+
+Operational guards:
+
+* ``max_connections`` — further clients are turned away with ``ERR busy``;
+* per-request timeouts via :func:`asyncio.wait_for`;
+* graceful shutdown — :meth:`CacheServer.stop` stops accepting, waits for
+  in-flight requests to drain (bounded by ``drain_timeout``), then closes
+  idle connections.
+
+Request latency is recorded into the owning shard's stats, so STATS reports
+per-shard p50/p99 alongside hit and admission counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+from .sharding import ShardedStore
+
+#: hard cap on value size accepted over the wire (16 MiB)
+MAX_VALUE_BYTES = 16 * 1024 * 1024
+#: hard cap on request-line length (fits any sane key)
+MAX_LINE_BYTES = 64 * 1024
+
+
+class ProtocolError(Exception):
+    """Client spoke a malformed request; reported as ``ERR <reason>``."""
+
+
+class _Quit(Exception):
+    """Internal: client sent QUIT; close the connection cleanly."""
+
+
+class CacheServer:
+    """Serve a :class:`ShardedStore` over TCP with asyncio."""
+
+    def __init__(
+        self,
+        store: ShardedStore,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 256,
+        request_timeout: float = 5.0,
+    ):
+        self.store = store
+        self.host = host
+        self.port = port  # rewritten with the bound port after start()
+        self.max_connections = max_connections
+        self.request_timeout = request_timeout
+        self._server = None
+        self._writers = set()
+        self._inflight = 0
+        self._stopping = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` holds the real port."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Block serving requests until cancelled or :meth:`stop` is called."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        """Graceful shutdown: stop accepting, drain in-flight, close idle.
+
+        Requests already being processed (including a SET whose body is still
+        arriving) are given ``drain_timeout`` seconds to complete and be
+        answered; connections sitting idle between requests are then closed.
+        """
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + drain_timeout
+        while self._inflight and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+        for writer in list(self._writers):
+            writer.close()
+        while self._writers and loop.time() < deadline:
+            await asyncio.sleep(0.005)
+
+    @property
+    def connections(self) -> int:
+        """Number of currently open client connections."""
+        return len(self._writers)
+
+    @property
+    def inflight(self) -> int:
+        """Number of requests currently being processed."""
+        return self._inflight
+
+    # -- connection handling --------------------------------------------------
+
+    async def _handle_connection(self, reader, writer) -> None:
+        if self._stopping or len(self._writers) >= self.max_connections:
+            writer.write(b"ERR busy\n")
+            try:
+                await writer.drain()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+            writer.close()
+            return
+        self._writers.add(writer)
+        try:
+            while not self._stopping:
+                line = await reader.readline()
+                if not line:
+                    break
+                if len(line) > MAX_LINE_BYTES:
+                    writer.write(b"ERR line too long\n")
+                    await writer.drain()
+                    break
+                self._inflight += 1
+                try:
+                    await asyncio.wait_for(
+                        self._serve_request(line, reader, writer),
+                        self.request_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    writer.write(b"ERR timeout\n")
+                    await writer.drain()
+                    break
+                except ProtocolError as exc:
+                    writer.write(f"ERR {exc}\n".encode("utf-8"))
+                    await writer.drain()
+                except _Quit:
+                    break
+                finally:
+                    self._inflight -= 1
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client vanished mid-request
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_request(self, line: bytes, reader, writer) -> None:
+        try:
+            parts = line.decode("utf-8").split()
+        except UnicodeDecodeError:
+            raise ProtocolError("request not utf-8") from None
+        if not parts:
+            raise ProtocolError("empty request")
+        cmd = parts[0].upper()
+        start = time.perf_counter()
+
+        if cmd == "GET":
+            key = self._one_key(parts)
+            value = self.store.get(key)
+            if value is None:
+                writer.write(b"MISS\n")
+            else:
+                writer.write(b"VALUE %d\n" % len(value))
+                writer.write(value)
+                writer.write(b"\n")
+        elif cmd == "SET":
+            if len(parts) != 3:
+                raise ProtocolError("usage: SET <key> <len>")
+            key = parts[1]
+            try:
+                length = int(parts[2])
+            except ValueError:
+                raise ProtocolError(f"bad length {parts[2]!r}") from None
+            if not 0 <= length <= MAX_VALUE_BYTES:
+                raise ProtocolError(f"length {length} out of range")
+            try:
+                body = await reader.readexactly(length + 1)  # value + '\n'
+            except asyncio.IncompleteReadError:
+                raise ProtocolError("value body truncated") from None
+            if body[-1:] != b"\n":
+                raise ProtocolError("value not newline-terminated")
+            stored = self.store.set(key, body[:-1])
+            writer.write(b"STORED\n" if stored else b"TAGGED\n")
+        elif cmd == "DEL":
+            key = self._one_key(parts)
+            removed = self.store.delete(key)
+            writer.write(b"DELETED\n" if removed else b"NOTFOUND\n")
+        elif cmd == "STATS":
+            payload = json.dumps(self.store.stats_snapshot()).encode("utf-8")
+            writer.write(b"STATS %d\n" % len(payload))
+            writer.write(payload)
+            writer.write(b"\n")
+        elif cmd == "PING":
+            writer.write(b"PONG\n")
+        elif cmd == "QUIT":
+            writer.write(b"BYE\n")
+            await writer.drain()
+            raise _Quit
+        else:
+            raise ProtocolError(f"unknown command {cmd!r}")
+
+        await writer.drain()
+        if cmd in ("GET", "SET", "DEL"):
+            shard = self.store.shard_for(parts[1])
+            shard.stats.record_latency(time.perf_counter() - start)
+
+    @staticmethod
+    def _one_key(parts: list) -> str:
+        if len(parts) != 2:
+            raise ProtocolError(f"usage: {parts[0].upper()} <key>")
+        return parts[1]
+
+
+async def run_server(server: CacheServer) -> None:
+    """Start ``server`` and serve until cancelled, then stop gracefully."""
+    await server.start()
+    try:
+        await server.serve_forever()
+    finally:
+        await server.stop()

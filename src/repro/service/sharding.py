@@ -1,0 +1,105 @@
+"""Hash-based sharding of :class:`~repro.service.store.ReuseStore` instances.
+
+:class:`ShardedStore` spreads keys across N independent stores the way a
+banked SLLC spreads line addresses across banks: a stable hash of the key
+(low 32 bits of :func:`~repro.service.store.stable_hash`; the stores' tag
+directories index with the high bits, so the two maps stay decorrelated)
+picks the shard, and each shard serialises its own operations behind its own
+lock.  Disjoint keys on different shards therefore never contend — the
+property that lets the asyncio server and thread-pool clients scale.
+
+The key→shard map depends only on ``(key, num_shards)``, never on process
+state or insertion order, so a client computing shards locally and a server
+routing internally always agree.
+"""
+
+from __future__ import annotations
+
+from .stats import merge_snapshots
+from .store import ReuseStore, stable_hash
+
+
+class ShardedStore:
+    """N-way sharded front end over independent :class:`ReuseStore` shards."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        data_capacity: int = 1024,
+        tag_capacity: int | None = None,
+        tag_assoc: int = 8,
+        admission: str = "reuse",
+        seed: int = 0,
+    ):
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if data_capacity < num_shards:
+            raise ValueError(
+                f"data_capacity ({data_capacity}) must be >= num_shards "
+                f"({num_shards}) so every shard holds at least one entry"
+            )
+        self.num_shards = num_shards
+        self.admission = admission
+        per_shard_data = data_capacity // num_shards
+        per_shard_tags = tag_capacity // num_shards if tag_capacity else None
+        self.shards = [
+            ReuseStore(
+                data_capacity=per_shard_data,
+                tag_capacity=per_shard_tags,
+                tag_assoc=tag_assoc,
+                admission=admission,
+                seed=seed + i,
+            )
+            for i in range(num_shards)
+        ]
+        self.data_capacity = per_shard_data * num_shards
+
+    # -- routing -------------------------------------------------------------
+
+    def shard_of(self, key: str) -> int:
+        """Deterministic shard index for ``key`` (stable across processes)."""
+        return (stable_hash(key) & 0xFFFFFFFF) % self.num_shards
+
+    def shard_for(self, key: str) -> ReuseStore:
+        """The shard instance responsible for ``key``."""
+        return self.shards[self.shard_of(key)]
+
+    # -- key/value API (delegates under the owning shard's lock) -------------
+
+    def get(self, key: str):
+        """Look up ``key`` on its shard; value bytes or ``None``."""
+        return self.shard_for(key).get(key)
+
+    def set(self, key: str, value: bytes) -> bool:
+        """Offer ``value`` on the owning shard; True iff stored."""
+        return self.shard_for(key).set(key, value)
+
+    def delete(self, key: str) -> bool:
+        """Remove ``key`` from its shard; True iff a value was held."""
+        return self.shard_for(key).delete(key)
+
+    def contains(self, key: str) -> bool:
+        """True iff ``key``'s value is stored on its shard."""
+        return self.shard_for(key).contains(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def clear(self) -> None:
+        """Clear every shard (entries and stats)."""
+        for shard in self.shards:
+            shard.clear()
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats_snapshot(self) -> dict:
+        """Per-shard snapshots plus the cluster-wide aggregate."""
+        per_shard = [shard.stats.snapshot() for shard in self.shards]
+        return {
+            "num_shards": self.num_shards,
+            "admission": self.admission,
+            "data_capacity": self.data_capacity,
+            "stored_entries": sum(len(s) for s in self.shards),
+            "shards": per_shard,
+            "total": merge_snapshots(per_shard),
+        }

@@ -1,0 +1,131 @@
+"""Per-shard serving statistics for :mod:`repro.service`.
+
+Each shard owns one :class:`ShardStats`: monotonic counters mirroring the
+simulator's accounting (hits, misses, reuse admissions, evictions on both
+the tag and data sides) plus a bounded latency reservoir from which p50/p99
+are computed on demand.  Counters are plain ints mutated under the shard
+lock, so snapshots are consistent with the store contents they describe.
+
+The reservoir is a fixed-size ring buffer of the most recent request
+latencies (seconds).  A ring is preferred over reservoir sampling because
+serving latency drifts with load; quantiles over the recent window answer
+the operational question ("what is p99 *now*?") that STATS exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+#: default number of latency samples retained per shard
+LATENCY_WINDOW = 4096
+
+
+def quantile(samples: list, q: float) -> float:
+    """Linear-interpolated quantile of ``samples`` (``q`` in [0, 1])."""
+    if not samples:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(samples)
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+@dataclass
+class ShardStats:
+    """Counters and latency window for one shard."""
+
+    #: GETs served from the data store
+    hits: int = 0
+    #: GETs not served (tag-only or unknown key)
+    misses: int = 0
+    #: SETs admitted into the data store because the tag showed reuse
+    reuse_admissions: int = 0
+    #: SETs declined by the admission filter (key only tagged, no data stored)
+    tag_only_sets: int = 0
+    #: data-store entries evicted to make room (Clock victims)
+    data_evictions: int = 0
+    #: tag-directory entries evicted (NRR victims), i.e. reuse history lost
+    tag_evictions: int = 0
+    #: explicit DELs that removed a stored value
+    deletes: int = 0
+    #: bytes currently held by the data store
+    bytes_stored: int = 0
+    #: total bytes ever written into the data store
+    bytes_written: int = 0
+    #: recent request latencies in seconds (ring buffer)
+    latencies: list = field(default_factory=list, repr=False)
+    latency_window: int = LATENCY_WINDOW
+    _latency_pos: int = field(default=0, repr=False)
+
+    def record_latency(self, seconds: float) -> None:
+        """Append one request latency, overwriting the oldest past the window."""
+        if len(self.latencies) < self.latency_window:
+            self.latencies.append(seconds)
+        else:
+            self.latencies[self._latency_pos] = seconds
+            self._latency_pos = (self._latency_pos + 1) % self.latency_window
+
+    @property
+    def gets(self) -> int:
+        """Total GET requests observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of GETs served from the data store."""
+        total = self.gets
+        return self.hits / total if total else 0.0
+
+    def latency_quantiles(self) -> dict:
+        """p50/p99 over the retained latency window, in seconds."""
+        return {
+            "p50_s": quantile(self.latencies, 0.50),
+            "p99_s": quantile(self.latencies, 0.99),
+        }
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of the counters (used by the STATS command)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "gets": self.gets,
+            "hit_rate": self.hit_rate,
+            "reuse_admissions": self.reuse_admissions,
+            "tag_only_sets": self.tag_only_sets,
+            "data_evictions": self.data_evictions,
+            "tag_evictions": self.tag_evictions,
+            "deletes": self.deletes,
+            "bytes_stored": self.bytes_stored,
+            "bytes_written": self.bytes_written,
+            "latency_samples": len(self.latencies),
+            **self.latency_quantiles(),
+        }
+
+
+def merge_snapshots(snapshots: list) -> dict:
+    """Aggregate per-shard snapshots into a cluster-wide summary.
+
+    Counters add; the hit rate is recomputed from the summed counters, and
+    latency quantiles are reported as the max across shards (the slowest
+    shard bounds user-visible tail latency).
+    """
+    total = {k: 0 for k in (
+        "hits", "misses", "gets", "reuse_admissions", "tag_only_sets",
+        "data_evictions", "tag_evictions", "deletes",
+        "bytes_stored", "bytes_written", "latency_samples",
+    )}
+    p50 = p99 = 0.0
+    for snap in snapshots:
+        for key in total:
+            total[key] += snap[key]
+        p50 = max(p50, snap["p50_s"])
+        p99 = max(p99, snap["p99_s"])
+    total["hit_rate"] = total["hits"] / total["gets"] if total["gets"] else 0.0
+    total["p50_s"] = p50
+    total["p99_s"] = p99
+    return total

@@ -1,0 +1,285 @@
+"""In-process object cache with the paper's selective (reuse-based) admission.
+
+:class:`ReuseStore` transplants the reuse cache's decoupled tag/data design
+(Section 3 of the paper, :class:`repro.core.reuse_cache.ReuseCache`) from
+64-byte lines to key/value objects:
+
+* a **tag directory** tracks keys the store has *seen*, independently of
+  whether their value is held.  It is set-associative, sized independently
+  of the data store, and replaced with NRR
+  (:class:`repro.replacement.nrr.NRRPolicy`) so recently *reused* keys keep
+  their history;
+* a **data store** holds values only for keys whose reuse has been observed.
+  It is fully associative with Clock eviction
+  (:class:`repro.replacement.clock.ClockPolicy`), the paper's choice for the
+  fully associative data array.
+
+Admission mirrors the paper's state machine (``I → TO → S``):
+
+* first GET of a key **misses and allocates a tag only**;
+* a second GET while the tag is resident **detects reuse** — the next SET of
+  that key is admitted into the data store;
+* a SET whose key has no observed reuse is **declined**: the key is tagged
+  (first access) but the value is not stored, so one-touch streams never
+  displace the reused working set.
+
+Evicting a data entry demotes the key to tag-only *keeping its reuse
+history* (the paper's ``S → TO`` on DataRepl), so a re-fetch re-admits it.
+Evicting a tag drops everything, including any stored value (``* → I``).
+``admission="always"`` disables the filter — every SET stores — giving the
+conventional-cache baseline for apples-to-apples comparisons.
+
+All public methods are thread-safe (one re-entrant lock per store); the
+sharded front end in :mod:`repro.service.sharding` relies on this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import threading
+
+from ..replacement.clock import ClockPolicy
+from ..replacement.nrr import NRRPolicy
+from .stats import ShardStats
+
+#: admission policies understood by :class:`ReuseStore`
+ADMISSION_POLICIES = ("reuse", "always")
+
+
+def stable_hash(key: str) -> int:
+    """Deterministic 64-bit hash of ``key``, stable across processes.
+
+    Python's builtin ``hash`` on strings is salted per process, which would
+    scramble the key→shard and key→tag-set maps between a server and its
+    clients (and between runs); blake2b is not.
+    """
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class ReuseStore:
+    """Thread-safe object cache admitting only keys with observed reuse."""
+
+    def __init__(
+        self,
+        data_capacity: int,
+        tag_capacity: int | None = None,
+        tag_assoc: int = 8,
+        admission: str = "reuse",
+        seed: int = 0,
+    ):
+        if data_capacity <= 0:
+            raise ValueError(f"data_capacity must be positive, got {data_capacity}")
+        if tag_capacity is None:
+            tag_capacity = 4 * data_capacity  # paper: tags cover >> data entries
+        if tag_capacity < data_capacity:
+            raise ValueError(
+                f"tag directory ({tag_capacity}) cannot be smaller than the "
+                f"data store ({data_capacity}): every stored value is tracked"
+            )
+        if admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, got {admission!r}"
+            )
+        tag_assoc = min(tag_assoc, tag_capacity)
+
+        self.data_capacity = data_capacity
+        self.tag_assoc = tag_assoc
+        self.num_tag_sets = max(1, tag_capacity // tag_assoc)
+        self.tag_capacity = self.num_tag_sets * tag_assoc
+        self.admission = admission
+
+        rng = random.Random(seed)
+        # tag directory: key + reuse flag per way, NRR picks victims
+        self._tag_keys = [[None] * tag_assoc for _ in range(self.num_tag_sets)]
+        self._tag_reused = [[False] * tag_assoc for _ in range(self.num_tag_sets)]
+        self._tag_index = {}  # key -> (set_idx, way)
+        self._nrr = NRRPolicy(self.num_tag_sets, tag_assoc, rng)
+
+        # data store: fully associative value slots, Clock picks victims
+        self._values = [None] * data_capacity  # way -> value bytes
+        self._data_index = {}  # key -> way
+        self._data_key = [None] * data_capacity  # way -> key (reverse pointer)
+        self._free = list(range(data_capacity - 1, -1, -1))
+        self._clock = ClockPolicy(1, data_capacity, rng)
+
+        self.stats = ShardStats()
+        self._lock = threading.RLock()
+
+    # -- public API ----------------------------------------------------------
+
+    def get(self, key: str):
+        """Look up ``key``; returns the value bytes or ``None`` on a miss.
+
+        A miss on an untracked key allocates a tag-only entry (first access);
+        a miss on a tracked key marks it reused, arming admission for the
+        next SET (second access — the paper's ``TO`` hit).
+        """
+        with self._lock:
+            way = self._data_index.get(key)
+            if way is not None:
+                self._clock.on_hit(0, way)
+                set_idx, tag_way = self._tag_index[key]
+                self._nrr.on_hit(set_idx, tag_way)
+                self.stats.hits += 1
+                return self._values[way]
+
+            self.stats.misses += 1
+            loc = self._tag_index.get(key)
+            if loc is not None:
+                set_idx, tag_way = loc
+                self._tag_reused[set_idx][tag_way] = True
+                self._nrr.on_hit(set_idx, tag_way)
+            else:
+                self._insert_tag(key)
+            return None
+
+    def set(self, key: str, value: bytes) -> bool:
+        """Offer ``value`` for ``key``; returns True iff the value was stored.
+
+        Stored when the key already holds a value (update in place), when its
+        tag shows observed reuse, or when ``admission == "always"``.
+        Declined offers still tag the key, so the *next* GET+SET pair admits.
+        """
+        with self._lock:
+            way = self._data_index.get(key)
+            if way is not None:  # update in place
+                self.stats.bytes_stored += len(value) - len(self._values[way])
+                self.stats.bytes_written += len(value)
+                self._values[way] = value
+                self._clock.on_hit(0, way)
+                return True
+
+            loc = self._tag_index.get(key)
+            if loc is None:
+                loc = self._insert_tag(key)
+            set_idx, tag_way = loc
+
+            if self.admission == "reuse" and not self._tag_reused[set_idx][tag_way]:
+                self.stats.tag_only_sets += 1
+                return False
+
+            way = self._allocate_data_way()
+            self._values[way] = value
+            self._data_key[way] = key
+            self._data_index[key] = way
+            self._clock.on_fill(0, way)
+            self.stats.reuse_admissions += 1
+            self.stats.bytes_stored += len(value)
+            self.stats.bytes_written += len(value)
+            return True
+
+    def delete(self, key: str) -> bool:
+        """Drop ``key`` entirely (tag and value); True iff a value was held."""
+        with self._lock:
+            had_value = False
+            way = self._data_index.pop(key, None)
+            if way is not None:
+                self._release_data_way(way)
+                self.stats.deletes += 1
+                had_value = True
+            loc = self._tag_index.pop(key, None)
+            if loc is not None:
+                set_idx, tag_way = loc
+                self._tag_keys[set_idx][tag_way] = None
+                self._tag_reused[set_idx][tag_way] = False
+                self._nrr.on_invalidate(set_idx, tag_way)
+            return had_value
+
+    def contains(self, key: str) -> bool:
+        """True iff a value for ``key`` is currently stored."""
+        with self._lock:
+            return key in self._data_index
+
+    def is_tracked(self, key: str) -> bool:
+        """True iff ``key`` has a tag-directory entry (seen at least once)."""
+        with self._lock:
+            return key in self._tag_index
+
+    def __len__(self) -> int:
+        return len(self._data_index)
+
+    def clear(self) -> None:
+        """Drop every entry and reset counters (stats object is replaced)."""
+        with self._lock:
+            for set_idx in range(self.num_tag_sets):
+                for way in range(self.tag_assoc):
+                    self._tag_keys[set_idx][way] = None
+                    self._tag_reused[set_idx][way] = False
+                    self._nrr.on_invalidate(set_idx, way)
+            for way in range(self.data_capacity):
+                if self._values[way] is not None:
+                    self._clock.on_invalidate(0, way)
+                self._values[way] = None
+                self._data_key[way] = None
+            self._tag_index.clear()
+            self._data_index.clear()
+            self._free = list(range(self.data_capacity - 1, -1, -1))
+            self.stats = ShardStats()
+
+    # -- internals -----------------------------------------------------------
+
+    def _tag_set_of(self, key: str) -> int:
+        # decorrelate from the shard map, which uses the low bits of the
+        # same hash: take the set index from the high half
+        return (stable_hash(key) >> 32) % self.num_tag_sets
+
+    def _insert_tag(self, key: str):
+        """Allocate a tag-directory entry for ``key``; returns (set, way)."""
+        set_idx = self._tag_set_of(key)
+        keys = self._tag_keys[set_idx]
+        try:
+            way = keys.index(None)
+        except ValueError:
+            way = self._evict_tag(set_idx)
+        keys[way] = key
+        self._tag_reused[set_idx][way] = False
+        self._tag_index[key] = (set_idx, way)
+        self._nrr.on_fill(set_idx, way)
+        return set_idx, way
+
+    def _evict_tag(self, set_idx: int) -> int:
+        """Pick and clear an NRR tag victim; frees any stored value too."""
+        keys = self._tag_keys[set_idx]
+        # prefer tags without data (the paper's NRR filters out lines the
+        # directory pins); fall back to all ways when every tag holds data
+        candidates = [w for w in range(self.tag_assoc)
+                      if keys[w] not in self._data_index]
+        if not candidates:
+            candidates = list(range(self.tag_assoc))
+        way = self._nrr.victim(set_idx, candidates)
+        victim_key = keys[way]
+        data_way = self._data_index.pop(victim_key, None)
+        if data_way is not None:  # tag eviction frees both (paper: * -> I)
+            self._release_data_way(data_way)
+            self.stats.data_evictions += 1
+        del self._tag_index[victim_key]
+        keys[way] = None
+        self._tag_reused[set_idx][way] = False
+        self._nrr.on_invalidate(set_idx, way)
+        self.stats.tag_evictions += 1
+        return way
+
+    def _allocate_data_way(self) -> int:
+        """Grab a free data slot, evicting a Clock victim if none is free."""
+        if self._free:
+            return self._free.pop()
+        way = self._clock.victim(0, list(range(self.data_capacity)))
+        victim_key = self._data_key[way]
+        del self._data_index[victim_key]
+        self.stats.bytes_stored -= len(self._values[way])
+        self._values[way] = None
+        self._data_key[way] = None
+        self._clock.on_invalidate(0, way)
+        self.stats.data_evictions += 1
+        # demote, keeping the reuse history (paper: S -> TO on DataRepl);
+        # the tag stays resident so the next fetch re-admits the key
+        return way
+
+    def _release_data_way(self, way: int) -> None:
+        self.stats.bytes_stored -= len(self._values[way])
+        self._values[way] = None
+        self._data_key[way] = None
+        self._clock.on_invalidate(0, way)
+        self._free.append(way)

@@ -1,0 +1,490 @@
+"""Tests for :mod:`repro.service`: the sharded cache server with
+reuse-based admission (store semantics, sharding, protocol, concurrency,
+graceful shutdown, load generation)."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import (
+    CacheClient,
+    CacheServer,
+    ReuseStore,
+    ServerError,
+    ShardedStore,
+    merge_snapshots,
+    quantile,
+    replay_store,
+    value_of,
+)
+from repro.service.cli import build_service_parser, run_service_benchmark
+from repro.service.stats import ShardStats
+from repro.workloads.mixes import EXAMPLE_MIX, build_workload
+
+
+def run(coro):
+    """Drive one async test body (no pytest-asyncio in the toolchain)."""
+    return asyncio.run(asyncio.wait_for(coro, 60))
+
+
+# ---------------------------------------------------------------------------
+# store: selective allocation semantics
+# ---------------------------------------------------------------------------
+
+
+class TestAdmission:
+    def test_first_get_misses_and_tags(self):
+        s = ReuseStore(data_capacity=8)
+        assert s.get("k") is None
+        assert s.is_tracked("k") and not s.contains("k")
+        assert s.stats.misses == 1
+
+    def test_set_after_single_access_is_declined(self):
+        s = ReuseStore(data_capacity=8)
+        s.get("k")
+        assert s.set("k", b"v") is False
+        assert not s.contains("k")
+        assert s.stats.tag_only_sets == 1
+
+    def test_second_get_arms_admission(self):
+        s = ReuseStore(data_capacity=8)
+        s.get("k")          # first access: tag only
+        s.set("k", b"v")    # declined
+        s.get("k")          # reuse detected
+        assert s.set("k", b"v") is True
+        assert s.get("k") == b"v"
+        assert s.stats.reuse_admissions == 1
+        assert s.stats.hits == 1
+
+    def test_set_with_no_prior_get_tags_key(self):
+        s = ReuseStore(data_capacity=8)
+        assert s.set("k", b"v") is False  # first access via SET: tag only
+        s.get("k")                        # second access: reuse
+        assert s.set("k", b"v") is True
+
+    def test_admit_always_stores_immediately(self):
+        s = ReuseStore(data_capacity=8, admission="always")
+        assert s.set("k", b"v") is True
+        assert s.get("k") == b"v"
+
+    def test_update_in_place(self):
+        s = ReuseStore(data_capacity=8)
+        s.get("k"); s.get("k")
+        s.set("k", b"old")
+        assert s.set("k", b"newer") is True
+        assert s.get("k") == b"newer"
+        assert s.stats.bytes_stored == len(b"newer")
+
+    def test_delete_drops_tag_and_value(self):
+        s = ReuseStore(data_capacity=8)
+        s.get("k"); s.get("k"); s.set("k", b"v")
+        assert s.delete("k") is True
+        assert not s.contains("k") and not s.is_tracked("k")
+        assert s.delete("k") is False
+        # history gone: the key is back to square one
+        assert s.set("k", b"v") is False
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ReuseStore(data_capacity=0)
+        with pytest.raises(ValueError):
+            ReuseStore(data_capacity=16, tag_capacity=8)
+        with pytest.raises(ValueError):
+            ReuseStore(data_capacity=8, admission="lru")
+
+
+class TestEviction:
+    def _admit(self, store, key, payload=b"x"):
+        store.get(key); store.get(key)
+        assert store.set(key, payload) is True
+
+    def test_clock_eviction_under_capacity_pressure(self):
+        s = ReuseStore(data_capacity=4, tag_capacity=64)
+        for i in range(10):
+            self._admit(s, f"k{i}")
+        assert len(s) == 4
+        assert s.stats.data_evictions == 6
+        stored = [f"k{i}" for i in range(10) if s.contains(f"k{i}")]
+        assert len(stored) == 4
+
+    def test_data_eviction_keeps_reuse_history(self):
+        # paper: DataRepl demotes S -> TO, so the next fetch re-admits
+        s = ReuseStore(data_capacity=1, tag_capacity=16)
+        self._admit(s, "a")
+        self._admit(s, "b")     # evicts a's value, a stays tracked+reused
+        assert not s.contains("a") and s.is_tracked("a")
+        assert s.get("a") is None           # miss (read-through refetch)
+        assert s.set("a", b"x") is True     # re-admitted on the spot
+        assert s.stats.data_evictions == 2
+
+    def test_tag_eviction_frees_data_too(self):
+        # 4 tags total, 4 data slots: force tag-directory conflict misses
+        s = ReuseStore(data_capacity=4, tag_capacity=4, tag_assoc=4)
+        for i in range(16):
+            s.get(f"k{i}")
+        assert s.stats.tag_evictions > 0
+        tracked = sum(s.is_tracked(f"k{i}") for i in range(16))
+        assert tracked == 4
+
+    def test_bytes_accounting_across_evictions(self):
+        s = ReuseStore(data_capacity=2, tag_capacity=32)
+        for i in range(6):
+            self._admit(s, f"k{i}", payload=bytes(10))
+        assert s.stats.bytes_stored == 2 * 10
+        assert s.stats.bytes_written == 6 * 10
+
+
+# ---------------------------------------------------------------------------
+# sharding
+# ---------------------------------------------------------------------------
+
+
+class TestSharding:
+    def test_routing_is_stable_across_instances(self):
+        a = ShardedStore(num_shards=8, data_capacity=64)
+        b = ShardedStore(num_shards=8, data_capacity=1024, admission="always")
+        keys = [f"user:{i}" for i in range(200)]
+        assert [a.shard_of(k) for k in keys] == [b.shard_of(k) for k in keys]
+
+    def test_keys_spread_over_all_shards(self):
+        st = ShardedStore(num_shards=4, data_capacity=64)
+        used = {st.shard_of(f"key-{i}") for i in range(200)}
+        assert used == {0, 1, 2, 3}
+
+    def test_operations_land_on_owning_shard(self):
+        st = ShardedStore(num_shards=4, data_capacity=64)
+        st.get("k"); st.get("k")
+        assert st.set("k", b"v") is True
+        assert st.shard_for("k").contains("k")
+        others = [s for i, s in enumerate(st.shards) if i != st.shard_of("k")]
+        assert all(len(s) == 0 for s in others)
+        assert len(st) == 1
+
+    def test_stats_aggregate_sums_shards(self):
+        st = ShardedStore(num_shards=2, data_capacity=16)
+        for i in range(20):
+            st.get(f"k{i}")
+        snap = st.stats_snapshot()
+        assert snap["total"]["misses"] == 20
+        assert sum(s["misses"] for s in snap["shards"]) == 20
+        assert len(snap["shards"]) == 2
+
+    def test_capacity_split_validated(self):
+        with pytest.raises(ValueError):
+            ShardedStore(num_shards=8, data_capacity=4)
+
+
+# ---------------------------------------------------------------------------
+# stats helpers
+# ---------------------------------------------------------------------------
+
+
+class TestStats:
+    def test_quantile_interpolates(self):
+        assert quantile([4.0, 1.0, 3.0, 2.0], 0.5) == pytest.approx(2.5)
+        assert quantile([], 0.99) == 0.0
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+    def test_latency_window_wraps(self):
+        st = ShardStats(latency_window=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 10.0):
+            st.record_latency(v)
+        assert len(st.latencies) == 4
+        assert 10.0 in st.latencies and 1.0 not in st.latencies
+
+    def test_merge_snapshots(self):
+        a, b = ShardStats(), ShardStats()
+        a.hits, a.misses = 3, 1
+        b.hits, b.misses = 1, 3
+        b.record_latency(0.5)
+        total = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert total["hits"] == 4 and total["misses"] == 4
+        assert total["hit_rate"] == pytest.approx(0.5)
+        assert total["p99_s"] == pytest.approx(0.5)
+
+
+# ---------------------------------------------------------------------------
+# server + client over TCP
+# ---------------------------------------------------------------------------
+
+
+async def _started_server(**kwargs):
+    kwargs.setdefault("num_shards", 2)
+    kwargs.setdefault("data_capacity", 64)
+    server_opts = {
+        k: kwargs.pop(k)
+        for k in ("max_connections", "request_timeout")
+        if k in kwargs
+    }
+    store = ShardedStore(**kwargs)
+    server = CacheServer(store, port=0, **server_opts)
+    await server.start()
+    return server
+
+
+class TestServerProtocol:
+    def test_get_set_del_roundtrip(self):
+        async def body():
+            server = await _started_server()
+            try:
+                async with CacheClient("127.0.0.1", server.port) as c:
+                    assert await c.ping()
+                    assert await c.get("k") is None      # miss + tag
+                    assert await c.set("k", b"v1") is False  # TAGGED
+                    assert await c.get("k") is None      # reuse detected
+                    assert await c.set("k", b"v1") is True   # STORED
+                    assert await c.get("k") == b"v1"
+                    assert await c.delete("k") is True
+                    assert await c.delete("k") is False
+            finally:
+                await server.stop()
+        run(body())
+
+    def test_binary_values_with_newlines(self):
+        async def body():
+            server = await _started_server(admission="always")
+            try:
+                async with CacheClient("127.0.0.1", server.port) as c:
+                    payload = b"a\nb\r\nc\x00d" * 11
+                    await c.set("bin", payload)
+                    assert await c.get("bin") == payload
+            finally:
+                await server.stop()
+        run(body())
+
+    def test_malformed_requests_keep_connection_open(self):
+        async def body():
+            server = await _started_server()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", server.port)
+                writer.write(b"FROB key\n")
+                assert (await reader.readline()).startswith(b"ERR")
+                writer.write(b"SET toofew\n")
+                assert (await reader.readline()).startswith(b"ERR")
+                writer.write(b"PING\n")          # still usable
+                assert await reader.readline() == b"PONG\n"
+                writer.close()
+            finally:
+                await server.stop()
+        run(body())
+
+    def test_stats_command_reports_per_shard(self):
+        async def body():
+            server = await _started_server()
+            try:
+                async with CacheClient("127.0.0.1", server.port) as c:
+                    await c.get("x")
+                    await c.get("x")
+                    await c.set("x", b"v")
+                    stats = await c.stats()
+            finally:
+                await server.stop()
+            assert stats["num_shards"] == 2
+            total = stats["total"]
+            assert total["misses"] == 2
+            assert total["reuse_admissions"] == 1
+            assert total["latency_samples"] >= 3
+            for shard in stats["shards"]:
+                for field in ("hits", "misses", "reuse_admissions",
+                              "data_evictions", "tag_evictions",
+                              "p50_s", "p99_s"):
+                    assert field in shard
+        run(body())
+
+    def test_connection_limit_rejects_excess_clients(self):
+        async def body():
+            server = await _started_server(max_connections=1)
+            try:
+                r1, w1 = await asyncio.open_connection("127.0.0.1", server.port)
+                w1.write(b"PING\n")
+                assert await r1.readline() == b"PONG\n"
+                r2, w2 = await asyncio.open_connection("127.0.0.1", server.port)
+                assert (await r2.readline()).startswith(b"ERR busy")
+                w1.close(); w2.close()
+            finally:
+                await server.stop()
+        run(body())
+
+
+class TestConcurrentClients:
+    def test_two_clients_interleaved_traffic(self):
+        async def body():
+            server = await _started_server(num_shards=4, data_capacity=256,
+                                           admission="always")
+            keys = [f"shared:{i}" for i in range(40)]
+
+            async def worker(client):
+                ok = 0
+                for _ in range(3):
+                    for key in keys:
+                        value = await client.get(key)
+                        if value is None:
+                            await client.set(key, b"p" * 16)
+                        else:
+                            assert value == b"p" * 16
+                            ok += 1
+                return ok
+
+            try:
+                async with CacheClient("127.0.0.1", server.port) as c1, \
+                           CacheClient("127.0.0.1", server.port) as c2:
+                    hits = await asyncio.gather(worker(c1), worker(c2))
+                    stats = await c1.stats()
+            finally:
+                await server.stop()
+            # both clients observed hits and the server saw all the traffic
+            assert all(h > 0 for h in hits)
+            assert stats["total"]["gets"] == 2 * 3 * len(keys)
+            assert stats["stored_entries"] == len(keys)
+        run(body())
+
+
+class TestGracefulShutdown:
+    def test_stop_drains_inflight_request(self):
+        async def body():
+            server = await _started_server(admission="always",
+                                           request_timeout=10.0)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            # start a SET but hold back the value body: request is in flight
+            writer.write(b"SET slow 5\n")
+            await writer.drain()
+            while server.inflight == 0:     # wait until the server parsed it
+                await asyncio.sleep(0.001)
+            stopper = asyncio.ensure_future(server.stop(drain_timeout=5.0))
+            await asyncio.sleep(0.05)       # stop() is now draining
+            assert not stopper.done()
+            writer.write(b"hello\n")        # complete the request
+            await writer.drain()
+            assert await reader.readline() == b"STORED\n"  # answered, not cut
+            await stopper
+            assert server.inflight == 0
+            # new connections are refused after shutdown
+            with pytest.raises((ConnectionError, OSError)):
+                r, w = await asyncio.open_connection("127.0.0.1", server.port)
+                w.close()
+            writer.close()
+        run(body())
+
+    def test_stop_closes_idle_connections(self):
+        async def body():
+            server = await _started_server()
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", server.port)
+            writer.write(b"PING\n")
+            assert await reader.readline() == b"PONG\n"
+            await server.stop(drain_timeout=1.0)
+            assert await reader.readline() == b""   # EOF: server closed it
+            assert server.connections == 0
+        run(body())
+
+
+class TestClient:
+    def test_retry_reaches_server_started_late(self):
+        async def body():
+            server = await _started_server()
+            port = server.port
+            await server.stop()
+            client = CacheClient("127.0.0.1", port,
+                                 max_retries=8, backoff=0.05)
+
+            async def start_later():
+                await asyncio.sleep(0.15)
+                late = CacheServer(ShardedStore(num_shards=2,
+                                                data_capacity=64), port=port)
+                await late.start()
+                return late
+
+            starter = asyncio.ensure_future(start_later())
+            try:
+                assert await client.ping()   # retries until the server is up
+            finally:
+                await client.close()
+                await (await starter).stop()
+        run(body())
+
+    def test_server_errors_are_not_retried(self):
+        async def body():
+            server = await _started_server()
+            try:
+                async with CacheClient("127.0.0.1", server.port) as c:
+                    with pytest.raises(ServerError):
+                        await c._request(b"FROB x\n")
+            finally:
+                await server.stop()
+        run(body())
+
+
+# ---------------------------------------------------------------------------
+# load generation + benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+class TestLoadgen:
+    def test_value_of_is_deterministic(self):
+        assert value_of(123) == value_of(123)
+        assert len(value_of(123, 64)) == 64
+        assert value_of(123) != value_of(124)
+
+    def test_reuse_admission_beats_admit_always_when_downsized(self):
+        # the acceptance comparison: same data capacity, reuse admission
+        # filters one-touch streams and wins on hit rate
+        wl = build_workload(EXAMPLE_MIX, n_refs=4000, seed=2013, scale=32)
+        rates = {}
+        for admission in ("reuse", "always"):
+            store = ShardedStore(num_shards=4, data_capacity=512,
+                                 admission=admission, seed=1)
+            rates[admission] = replay_store(store, wl).hit_rate
+        assert rates["reuse"] > rates["always"]
+
+    def test_replay_matches_server_accounting(self):
+        async def body():
+            server = await _started_server(num_shards=2, data_capacity=128)
+            wl = build_workload(["gcc"], n_refs=400, seed=7, scale=32)
+            from repro.service import run_load
+            result = await run_load("127.0.0.1", server.port, wl,
+                                    sample_every=2)
+            await server.stop()
+            return result
+        result = run(body())
+        assert result.gets == 400
+        assert result.ops == result.gets + result.sets
+        total = result.server_stats["total"]
+        assert total["gets"] == result.gets
+        assert total["hits"] == result.hits
+        assert result.latencies_s and result.throughput > 0
+
+
+class TestServiceCLI:
+    def test_parser_defaults(self):
+        args = build_service_parser().parse_args(["serve"])
+        assert args.shards == 4 and args.admission == "reuse"
+        args = build_service_parser().parse_args(["bench-service"])
+        assert args.data_capacity == 512  # downsized regime by default
+
+    def test_main_dispatches_service_commands(self, capsys):
+        from repro.__main__ import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "serve" in out and "bench-service" in out
+
+    def test_bench_service_writes_comparison(self, tmp_path, capsys):
+        from repro.__main__ import main
+        out_json = tmp_path / "bench.json"
+        code = main(["bench-service", "--refs", "300", "--shards", "2",
+                     "--data-capacity", "128", "--json", str(out_json)])
+        assert code == 0
+        assert "hit-rate gain" in capsys.readouterr().out
+        data = json.loads(out_json.read_text())
+        assert set(data) >= {"reuse", "always", "hit_rate_gain"}
+        for mode in ("reuse", "always"):
+            assert data[mode]["server_total"]["gets"] > 0
+
+    def test_run_service_benchmark_overrides(self):
+        result = run_service_benchmark(refs=200, shards=2,
+                                       data_capacity=64, mix=["gcc", "mcf"])
+        assert result["cores"] == 2
+        assert result["reuse"]["admission"] == "reuse"
