@@ -15,6 +15,12 @@ dispatched to :mod:`repro.service.cli`::
 
     python -m repro serve --shards 4 --data-capacity 4096
     python -m repro bench-service --refs 20000 --json BENCH_service.json
+
+Static checks (see ``docs/devtools.md``) live under two more subcommands
+dispatched to :mod:`repro.devtools.cli`::
+
+    python -m repro lint src
+    python -m repro check-protocol --format json
 """
 
 from __future__ import annotations
@@ -26,6 +32,7 @@ import sys
 import time
 
 from . import experiments as ex
+from .devtools import cli as devtools_cli
 from .experiments import ExperimentParams
 from .service import cli as service_cli
 
@@ -138,6 +145,8 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] in service_cli.SERVICE_COMMANDS:
         return service_cli.main(argv)
+    if argv and argv[0] in devtools_cli.DEVTOOLS_COMMANDS:
+        return devtools_cli.main(argv)
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print("available experiments:")
@@ -145,6 +154,9 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("service commands (see 'repro serve --help'):")
         for name in service_cli.SERVICE_COMMANDS:
+            print(f"  {name}")
+        print("static checks (see 'repro lint --help'):")
+        for name in devtools_cli.DEVTOOLS_COMMANDS:
             print(f"  {name}")
         return 0
     params = ExperimentParams(

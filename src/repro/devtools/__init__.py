@@ -1,0 +1,42 @@
+"""Static-analysis devtools for the reuse-cache reproduction.
+
+Two engines guard the correctness-critical surfaces of the repo:
+
+* :mod:`repro.devtools.lint` — an AST-based lint framework with
+  repo-specific rules (determinism, async hygiene, layering); run it with
+  ``repro lint src``.
+* :mod:`repro.devtools.protocol_check` — a model checker that exhaustively
+  enumerates every ``(State, Event)`` pair against the executable
+  TO-MSI/TO-MOSI coherence tables; run it with ``repro check-protocol``.
+
+Both are wired into CI as a blocking job (see ``.github/workflows/ci.yml``)
+and documented in ``docs/devtools.md``.  This package sits at the very top
+of the layering order: it may import any ``repro`` package, and nothing
+below the CLI may import it.
+"""
+
+from __future__ import annotations
+
+from .lint import Finding, LintEngine, Rule, default_rules, run_lint
+from .protocol_check import (
+    ProtocolFinding,
+    ProtocolSpec,
+    all_specs,
+    base_spec,
+    check_protocol,
+    extended_spec,
+)
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "Rule",
+    "default_rules",
+    "run_lint",
+    "ProtocolFinding",
+    "ProtocolSpec",
+    "all_specs",
+    "base_spec",
+    "check_protocol",
+    "extended_spec",
+]

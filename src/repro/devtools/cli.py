@@ -1,0 +1,107 @@
+"""CLI for the static checks: ``repro lint`` / ``repro check-protocol``.
+
+Both commands exit 0 when clean and 1 when they report findings, so CI
+can gate on them (the ``lint`` job in ``.github/workflows/ci.yml`` runs
+both before the test matrix).  ``--format json`` emits the
+machine-readable reports whose schemas are pinned by
+``tests/test_lint.py`` and ``tests/test_protocol_check.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from . import protocol_check
+from .lint import RULES, default_rules, format_human, format_json, run_lint
+
+#: CLI names handled by this module (dispatched from repro.__main__)
+DEVTOOLS_COMMANDS = ("lint", "check-protocol")
+
+
+def build_devtools_parser() -> argparse.ArgumentParser:
+    """Argument parser for the devtools subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Static checks for the reuse-cache reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo-specific AST linter (REP001-REP008)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to lint (default: src, else cwd)",
+    )
+    lint.add_argument("--format", choices=("human", "json"), default="human")
+    lint.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
+    check = sub.add_parser(
+        "check-protocol",
+        help="model-check the TO-MSI / TO-MOSI coherence tables",
+    )
+    check.add_argument("--format", choices=("human", "json"), default="human")
+    return parser
+
+
+def default_lint_paths() -> list:
+    """``src`` when run from the repo root, else the current directory."""
+    return ["src"] if Path("src").is_dir() else ["."]
+
+
+def lint_main(args) -> int:
+    """Entry for ``repro lint``; returns the process exit code."""
+    if args.list_rules:
+        for cls in RULES.values():
+            print(f"{cls.id}  {cls.name:<22} [{cls.severity}] {cls.description}")
+        return 0
+    select = None
+    if args.select:
+        select = {code.strip().upper() for code in args.select.split(",")}
+    try:
+        findings, engine = run_lint(args.paths or default_lint_paths(), select)
+    except ValueError as exc:  # unknown --select code
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(findings, engine.files_checked, engine.rules))
+    else:
+        print(format_human(findings, engine.files_checked))
+    return 1 if findings else 0
+
+
+def check_protocol_main(args) -> int:
+    """Entry for ``repro check-protocol``; returns the process exit code."""
+    specs = protocol_check.all_specs()
+    findings = protocol_check.check_all(specs)
+    if args.format == "json":
+        print(
+            json.dumps(
+                protocol_check.findings_to_dict(findings, specs), indent=2
+            )
+        )
+    else:
+        print(protocol_check.format_findings_human(findings, specs))
+    return 1 if findings else 0
+
+
+def main(argv=None) -> int:
+    """Dispatch a devtools subcommand (called from ``repro.__main__``)."""
+    args = build_devtools_parser().parse_args(argv)
+    if args.command == "lint":
+        return lint_main(args)
+    return check_protocol_main(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

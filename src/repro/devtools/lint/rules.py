@@ -1,0 +1,391 @@
+"""Repo-specific lint rules (REP001–REP008).
+
+Each rule targets a hazard class that corrupts simulation results or
+serving behaviour *without failing any test*: nondeterminism (REP001,
+REP002), event-loop stalls (REP3/4), Python foot-guns (REP005–REP007) and
+architecture erosion (REP008).  ``docs/devtools.md`` documents the rule
+set and how to add one.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .engine import Rule, register
+
+#: packages whose results must be bit-reproducible given a seed
+SIMULATOR_SCOPE = (
+    "repro.cache",
+    "repro.coherence",
+    "repro.core",
+    "repro.dram",
+    "repro.hierarchy",
+    "repro.metrics",
+    "repro.replacement",
+    "repro.workloads",
+)
+
+#: the serving data path — shares the determinism rules (the admission
+#: decision must replay identically) but not the wall-clock ban (stats
+#: deliberately timestamp with ``perf_counter``)
+SERVICE_SCOPE = ("repro.service",)
+
+
+def dotted_name(node) -> str:
+    """``a.b.c`` for a Name/Attribute chain; ``""`` when not a plain chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+@register
+class UnseededRandomRule(Rule):
+    """Global/unseeded RNG use makes runs non-replayable.
+
+    Simulator and service code must draw randomness from an explicitly
+    seeded generator (``random.Random(seed)`` / ``np.random.default_rng(seed)``)
+    that is threaded through constructors, never from the process-global
+    state of the ``random`` or ``numpy.random`` modules.
+    """
+
+    id = "REP001"
+    name = "unseeded-random"
+    description = (
+        "unseeded or module-global RNG in simulator/service code "
+        "(breaks replay determinism)"
+    )
+    scope = SIMULATOR_SCOPE + SERVICE_SCOPE
+
+    _GLOBAL_FNS = frozenset(
+        {
+            "betavariate", "choice", "choices", "expovariate", "gauss",
+            "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+            "randbytes", "randint", "random", "randrange", "sample", "seed",
+            "shuffle", "triangular", "uniform", "vonmisesvariate",
+            "weibullvariate",
+        }
+    )
+    _NP_LEGACY_FNS = frozenset(
+        {
+            "choice", "normal", "permutation", "rand", "randint", "randn",
+            "random", "seed", "shuffle", "uniform",
+        }
+    )
+
+    def check_Call(self, node: ast.Call, ctx) -> None:
+        name = dotted_name(node.func)
+        if name == "random.Random" and not node.args and not node.keywords:
+            ctx.report(self, node, "random.Random() without an explicit seed")
+        elif (
+            name in ("numpy.random.default_rng", "np.random.default_rng")
+            and not node.args
+            and not node.keywords
+        ):
+            ctx.report(self, node, "default_rng() without an explicit seed")
+        elif name.startswith("random.") and name.count(".") == 1:
+            fn = name.split(".", 1)[1]
+            if fn in self._GLOBAL_FNS:
+                ctx.report(
+                    self,
+                    node,
+                    f"module-global random.{fn}() shares unseeded process "
+                    "state; use an injected random.Random(seed)",
+                )
+        elif name.startswith(("numpy.random.", "np.random.")):
+            fn = name.rsplit(".", 1)[1]
+            if fn in self._NP_LEGACY_FNS:
+                ctx.report(
+                    self,
+                    node,
+                    f"legacy global numpy.random.{fn}(); use "
+                    "np.random.default_rng(seed)",
+                )
+
+
+@register
+class WallClockRule(Rule):
+    """Wall-clock reads in simulator code leak real time into results.
+
+    Simulated time must come from the model's own cycle counters; stats
+    that genuinely need to time the host use ``time.perf_counter`` (a
+    monotonic interval clock), which this rule deliberately allows.
+    """
+
+    id = "REP002"
+    name = "wall-clock"
+    description = (
+        "wall-clock access (time.time / datetime.now) in simulator code"
+    )
+    scope = SIMULATOR_SCOPE
+
+    def check_Attribute(self, node: ast.Attribute, ctx) -> None:
+        name = dotted_name(node)
+        if name in ("time.time", "time.time_ns"):
+            ctx.report(
+                self, node,
+                f"{name} reads the wall clock; simulator paths must use "
+                "model cycle counts (or time.perf_counter for host timing)",
+            )
+        elif name.endswith((".now", ".utcnow", ".today")) and (
+            "datetime" in name or name.startswith("date.")
+        ):
+            ctx.report(self, node, f"wall-clock {name} in simulator code")
+
+
+@register
+class BlockingInAsyncRule(Rule):
+    """Synchronous blocking calls inside ``async def`` stall the event loop.
+
+    One blocked coroutine freezes every connection on the shard — the
+    serving path must use ``await asyncio.sleep`` and the streams API.
+    """
+
+    id = "REP003"
+    name = "blocking-in-async"
+    description = "blocking call (time.sleep, sync I/O) inside async def"
+
+    _BLOCKING = frozenset(
+        {
+            "time.sleep",
+            "socket.socket",
+            "socket.create_connection",
+            "subprocess.run",
+            "subprocess.call",
+            "subprocess.check_call",
+            "subprocess.check_output",
+            "subprocess.Popen",
+            "urllib.request.urlopen",
+            "open",
+            "input",
+        }
+    )
+
+    def check_Call(self, node: ast.Call, ctx) -> None:
+        if not ctx.in_async_function:
+            return
+        name = dotted_name(node.func)
+        if name in self._BLOCKING or name.startswith("requests."):
+            ctx.report(
+                self, node,
+                f"blocking {name}() inside async def blocks the event loop "
+                "(use the asyncio equivalent or run_in_executor)",
+            )
+
+
+@register
+class UnawaitedCoroutineRule(Rule):
+    """A coroutine called without ``await`` silently does nothing.
+
+    Flags expression statements whose value is a call to a coroutine
+    function defined in the same module (or a well-known asyncio
+    coroutine) with the returned coroutine object discarded.  Attribute
+    calls only match on ``self.method()`` — an arbitrary receiver (say a
+    ``StreamWriter``) may legitimately share a method name, like
+    ``close``, with a local ``async def``.
+    """
+
+    id = "REP004"
+    name = "unawaited-coroutine"
+    description = "coroutine called without await (result discarded)"
+
+    _ASYNCIO_COROS = frozenset(
+        {
+            "asyncio.sleep", "asyncio.wait_for", "asyncio.gather",
+            "asyncio.wait", "asyncio.open_connection", "asyncio.start_server",
+            "asyncio.to_thread",
+        }
+    )
+
+    def check_Expr(self, node: ast.Expr, ctx) -> None:
+        call = node.value
+        if not isinstance(call, ast.Call):
+            return
+        name = dotted_name(call.func)
+        local_coro = (
+            name in ctx.async_defs
+            or (
+                name.startswith("self.")
+                and name.count(".") == 1
+                and name.split(".", 1)[1] in ctx.async_defs
+            )
+        )
+        if name in self._ASYNCIO_COROS or local_coro:
+            ctx.report(
+                self, node, f"call to coroutine {name}() is never awaited"
+            )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """Mutable default arguments alias state across calls."""
+
+    id = "REP005"
+    name = "mutable-default"
+    description = "mutable default argument (list/dict/set literal or call)"
+
+    def _is_mutable(self, default) -> bool:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+            return True
+        return (
+            isinstance(default, ast.Call)
+            and dotted_name(default.func) in ("list", "dict", "set", "bytearray")
+        )
+
+    def _check_function(self, node, ctx) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if self._is_mutable(default):
+                ctx.report(
+                    self, default,
+                    f"mutable default in {node.name}(); use None and "
+                    "initialise inside the body",
+                )
+
+    check_FunctionDef = _check_function
+    check_AsyncFunctionDef = _check_function
+
+
+@register
+class FloatEqualityRule(Rule):
+    """``==``/``!=`` against float literals is brittle in metrics code.
+
+    Accumulated hit rates, IPC ratios and latency quantiles carry rounding
+    error; compare with ``math.isclose`` / ``pytest.approx`` instead.
+    """
+
+    id = "REP006"
+    name = "float-eq"
+    description = "float literal compared with == / != in metrics/stats code"
+    scope = ("repro.metrics", "repro.service.stats")
+
+    def check_Compare(self, node: ast.Compare, ctx) -> None:
+        operands = [node.left] + list(node.comparators)
+        for op, (lhs, rhs) in zip(node.ops, zip(operands, operands[1:])):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (lhs, rhs):
+                if isinstance(side, ast.Constant) and isinstance(
+                    side.value, float
+                ):
+                    ctx.report(
+                        self, node,
+                        f"float literal {side.value!r} compared with "
+                        "==/!=; use math.isclose",
+                    )
+                    break
+
+
+@register
+class BareExceptRule(Rule):
+    """``except:`` swallows KeyboardInterrupt/SystemExit and hides bugs."""
+
+    id = "REP007"
+    name = "bare-except"
+    description = "bare except clause"
+
+    def check_ExceptHandler(self, node: ast.ExceptHandler, ctx) -> None:
+        if node.type is None:
+            ctx.report(
+                self, node,
+                "bare except catches SystemExit/KeyboardInterrupt; name "
+                "the exceptions you expect",
+            )
+
+
+#: package -> layer index.  An import is legal when it targets a *lower*
+#: layer, the same package, or a whitelisted peer pair.  See
+#: docs/devtools.md for the rationale of each level.
+LAYERS = {
+    "repro.utils": 0,
+    "repro.coherence": 1,
+    "repro.replacement": 1,
+    "repro.workloads": 1,
+    "repro.dram": 1,
+    "repro.metrics": 1,
+    "repro.cache": 2,
+    "repro.core": 2,
+    "repro.hierarchy": 3,
+    "repro.experiments": 4,
+    "repro.service": 4,
+    "repro.devtools": 5,
+    "repro.__main__": 6,
+}
+
+#: same-layer cross-package imports that are explicitly allowed: the
+#: decoupled tag/data machinery is shared between the set-associative
+#: models (cache) and the reuse cache proper (core)
+ALLOWED_PEERS = {
+    ("repro.cache", "repro.core"),
+    ("repro.core", "repro.cache"),
+}
+
+
+def layer_package(module: str):
+    """The ``LAYERS`` key owning dotted ``module``, or ``None``."""
+    for prefix in LAYERS:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+@register
+class LayerImportRule(Rule):
+    """Cross-layer imports must point downward in the architecture.
+
+    ``repro.cache`` importing ``repro.service`` would let serving concerns
+    leak into the simulator; the layering table in this module is the
+    single source of truth for what may import what.
+    """
+
+    id = "REP008"
+    name = "layer-import"
+    description = "import that violates the package layering order"
+    scope = ("repro",)
+
+    def _check_target(self, node, ctx, target: str) -> None:
+        src_pkg = layer_package(ctx.module)
+        dst_pkg = layer_package(target)
+        if src_pkg is None or dst_pkg is None or src_pkg == dst_pkg:
+            return
+        if (src_pkg, dst_pkg) in ALLOWED_PEERS:
+            return
+        if LAYERS[dst_pkg] >= LAYERS[src_pkg]:
+            ctx.report(
+                self, node,
+                f"{ctx.module} (layer {LAYERS[src_pkg]}, {src_pkg}) must "
+                f"not import {target} (layer {LAYERS[dst_pkg]}, {dst_pkg})",
+            )
+
+    def check_Import(self, node: ast.Import, ctx) -> None:
+        for alias in node.names:
+            if alias.name == "repro" or alias.name.startswith("repro."):
+                self._check_target(node, ctx, alias.name)
+
+    def check_ImportFrom(self, node: ast.ImportFrom, ctx) -> None:
+        if node.level == 0:
+            target = node.module or ""
+            if target == "repro" or target.startswith("repro."):
+                self._check_target(node, ctx, target)
+            return
+        # resolve a relative import against the importing module's package
+        parts = ctx.module.split(".")
+        pkg_parts = parts if ctx.is_package else parts[:-1]
+        base = pkg_parts[: len(pkg_parts) - (node.level - 1)]
+        if not base:
+            return
+        target = ".".join(base + node.module.split(".")) if node.module else (
+            ".".join(base)
+        )
+        if node.module is None:
+            # ``from . import x`` — each name is a submodule of base
+            for alias in node.names:
+                self._check_target(node, ctx, target + "." + alias.name)
+        else:
+            self._check_target(node, ctx, target)

@@ -1,0 +1,393 @@
+"""Model checker for the executable coherence tables.
+
+Exhaustively enumerates every ``(State, Event)`` pair against the TO-MSI
+table (:mod:`repro.coherence.protocol`) and the full TO-MOSI table
+(:mod:`repro.coherence.extended`) and reports:
+
+* **unhandled** — a pair the protocol semantics say must be legal but the
+  table has no row for (a silent ``KeyError`` waiting to corrupt a run);
+* **unexpected** — a row for a pair the semantics say cannot occur;
+* **bad-error** — an illegal pair that does not raise the protocol's
+  dedicated error type (``ProtocolError``/``XProtocolError``), e.g. a raw
+  ``KeyError`` leaking out of the lookup;
+* **invariant** — a transition that moves data inconsistently (see below);
+* **unreachable** — a stable state no event sequence from ``I`` reaches;
+* **closure** — a transition that targets a state outside the stable set.
+
+The data-movement invariants are the structural properties the paper's
+Fig. 3 / Table 1 semantics hang on:
+
+* ``allocates_data`` exactly when the line moves from a tag-only group
+  into the tag+data group (reuse detection is the *only* way into the
+  data array);
+* ``deallocates_data`` exactly when it moves out of the tag+data group;
+* ``TagRepl`` — and only ``TagRepl`` — ends at ``I``;
+* ``DataRepl`` only fires in tag+data states and always demotes;
+* a writeback into the data array requires the destination to hold data;
+* when the only up-to-date copy leaves the system (a memory-stale state
+  transitions to a memory-clean one) the transition must write memory
+  back — the newest copy is never silently dropped.
+
+Which pairs are *expected* to be illegal is written out longhand in
+:func:`base_spec` and :func:`extended_spec`, with the physical reason for
+each; the checker fails when tables and expectations drift apart in
+either direction, so adding a transition forces the justification to be
+updated.  Run it with ``repro check-protocol`` (JSON via ``--format
+json``); tests seed violations through mutated :class:`ProtocolSpec`
+copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..coherence import extended as _ext
+from ..coherence import protocol as _base
+from ..coherence.extended import XProtocolError, XState
+from ..coherence.protocol import ProtocolError
+from ..coherence.states import Event, State
+
+__all__ = [
+    "ProtocolFinding",
+    "ProtocolSpec",
+    "all_specs",
+    "base_spec",
+    "check_protocol",
+    "extended_spec",
+    "format_findings_human",
+    "findings_to_dict",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolFinding:
+    """One defect the model checker found in a protocol table."""
+
+    protocol: str
+    kind: str  # unhandled | unexpected | bad-error | invariant | unreachable | closure
+    state: str
+    event: str  # "" for per-state findings (unreachable)
+    message: str
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "kind": self.kind,
+            "state": self.state,
+            "event": self.event,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything the checker needs to know about one protocol."""
+
+    name: str
+    states: tuple
+    events: tuple
+    table: dict
+    initial: object
+    error_type: type
+    #: (state, event) pairs that are illegal *by design*; everything else
+    #: must have a table row
+    expected_illegal: frozenset
+    #: apply function used to verify the error type on illegal pairs
+    apply_fn: object = None
+    #: predicate: state occupies a data-array entry
+    has_data: object = None
+    #: predicate: main memory does not hold the newest copy
+    memory_stale: object = None
+    #: events that replace the tag / the data entry
+    tag_repl: object = Event.TAG_REPL
+    data_repl: object = Event.DATA_REPL
+    invalid: object = None
+    extra: dict = field(default_factory=dict)
+
+
+def base_spec() -> ProtocolSpec:
+    """Spec for the simplified TO-MSI teaching protocol (paper Fig. 3)."""
+    illegal = frozenset(
+        {
+            # nothing is tracked in I: no private copy can be upgraded or
+            # evicted, and there is no tag or data entry to replace
+            (State.I, Event.UPG),
+            (State.I, Event.PUTS),
+            (State.I, Event.PUTX),
+            (State.I, Event.DATA_REPL),
+            (State.I, Event.TAG_REPL),
+            # TO has no data-array entry, so the data array cannot evict it
+            (State.TO, Event.DATA_REPL),
+        }
+    )
+    return ProtocolSpec(
+        name="TO-MSI",
+        states=tuple(State),
+        events=tuple(Event),
+        table=dict(_base._TABLE),
+        initial=State.I,
+        error_type=ProtocolError,
+        expected_illegal=illegal,
+        apply_fn=_base.apply,
+        has_data=lambda s: s.has_data,
+        # only M guarantees memory is stale; TO may be stale but the dirty
+        # copy then lives in a private cache, not here
+        memory_stale=lambda s: s is State.M,
+        invalid=State.I,
+    )
+
+
+def extended_spec() -> ProtocolSpec:
+    """Spec for the full TO-MOSI protocol (paper footnote 2)."""
+    illegal = frozenset(
+        {
+            # nothing is tracked in I (as in the base protocol)
+            (XState.I, Event.UPG),
+            (XState.I, Event.PUTS),
+            (XState.I, Event.PUTX),
+            (XState.I, Event.DATA_REPL),
+            (XState.I, Event.TAG_REPL),
+            # tag-only states have no data-array entry to evict
+            (XState.TS, Event.DATA_REPL),
+            (XState.TE, Event.DATA_REPL),
+            (XState.TM, Event.DATA_REPL),
+            # TS tracks only *clean* sharers: no dirty eviction can arrive
+            (XState.TS, Event.PUTX),
+            # TM's owner is already exclusive: nothing to upgrade, and it
+            # must downgrade with a data-carrying PUTX, never a PUTS
+            (XState.TM, Event.UPG),
+            (XState.TM, Event.PUTS),
+            # M has a single (possibly newer) private owner and no clean
+            # sharers, so no UPG request can be generated
+            (XState.M, Event.UPG),
+        }
+    )
+    return ProtocolSpec(
+        name="TO-MOSI",
+        states=tuple(XState),
+        events=tuple(Event),
+        table=dict(_ext._TABLE),
+        initial=XState.I,
+        error_type=XProtocolError,
+        expected_illegal=illegal,
+        apply_fn=_ext.apply_extended,
+        has_data=lambda s: s.has_data,
+        memory_stale=lambda s: s.memory_stale,
+        invalid=XState.I,
+    )
+
+
+def all_specs() -> list:
+    """The specs ``repro check-protocol`` verifies, in report order."""
+    return [base_spec(), extended_spec()]
+
+
+# -- the checker ------------------------------------------------------------
+
+
+def _check_coverage(spec: ProtocolSpec, out: list) -> None:
+    handled = set(spec.table)
+    for state in spec.states:
+        for event in spec.events:
+            pair = (state, event)
+            expected = pair not in spec.expected_illegal
+            if expected and pair not in handled:
+                out.append(
+                    ProtocolFinding(
+                        spec.name, "unhandled", state.value, event.value,
+                        f"legal pair ({state.value}, {event.value}) has no "
+                        "transition — a lookup would raise instead of "
+                        "advancing the line",
+                    )
+                )
+            elif not expected and pair in handled:
+                out.append(
+                    ProtocolFinding(
+                        spec.name, "unexpected", state.value, event.value,
+                        f"({state.value}, {event.value}) is illegal by the "
+                        "protocol semantics but the table defines it; "
+                        "update the expected-illegal justification if this "
+                        "transition is intentional",
+                    )
+                )
+
+
+def _check_error_type(spec: ProtocolSpec, out: list) -> None:
+    if spec.apply_fn is None:
+        return
+    for state, event in sorted(
+        spec.expected_illegal, key=lambda p: (p[0].value, p[1].value)
+    ):
+        if (state, event) in spec.table:
+            continue  # already reported as "unexpected"
+        try:
+            spec.apply_fn(state, event)
+        except spec.error_type:
+            continue
+        except Exception as exc:
+            out.append(
+                ProtocolFinding(
+                    spec.name, "bad-error", state.value, event.value,
+                    f"illegal pair raised {type(exc).__name__} instead of "
+                    f"{spec.error_type.__name__}",
+                )
+            )
+        else:
+            out.append(
+                ProtocolFinding(
+                    spec.name, "bad-error", state.value, event.value,
+                    "illegal pair did not raise "
+                    f"{spec.error_type.__name__}",
+                )
+            )
+
+
+def _check_invariants(spec: ProtocolSpec, out: list) -> None:
+    has_data = spec.has_data
+    for (state, event), transition in spec.table.items():
+        dst = transition.next_state
+
+        def bad(message, _s=state, _e=event):
+            out.append(
+                ProtocolFinding(
+                    spec.name, "invariant", _s.value, _e.value, message
+                )
+            )
+
+        if dst not in spec.states:
+            out.append(
+                ProtocolFinding(
+                    spec.name, "closure", state.value, event.value,
+                    f"transition targets {dst!r}, not a stable state",
+                )
+            )
+            continue
+        enters_data = not has_data(state) and has_data(dst)
+        leaves_data = has_data(state) and not has_data(dst)
+        if transition.allocates_data != enters_data:
+            bad(
+                f"allocates_data={transition.allocates_data} but the line "
+                f"{'enters' if enters_data else 'does not enter'} the data "
+                f"array ({state.value} -> {dst.value})"
+            )
+        if transition.deallocates_data != leaves_data:
+            bad(
+                f"deallocates_data={transition.deallocates_data} but the "
+                f"line {'leaves' if leaves_data else 'does not leave'} the "
+                f"data array ({state.value} -> {dst.value})"
+            )
+        if event == spec.tag_repl and dst is not spec.invalid:
+            bad(f"tag replacement must end at {spec.invalid.value}, "
+                f"ends at {dst.value}")
+        if event != spec.tag_repl and dst is spec.invalid:
+            bad(f"only tag replacement may invalidate, {event.value} does")
+        if event == spec.data_repl and not (has_data(state) and not has_data(dst)):
+            bad("a data-array eviction must demote tag+data to tag-only")
+        if transition.writeback_to_data_array and not has_data(dst):
+            bad("writeback_to_data_array targets a state without a data "
+                "entry")
+        if spec.memory_stale is not None:
+            if (
+                spec.memory_stale(state)
+                and not spec.memory_stale(dst)
+                and not transition.writeback_to_memory
+            ):
+                bad(
+                    f"{state.value} -> {dst.value} drops the only "
+                    "up-to-date copy without writing memory back"
+                )
+
+
+def _check_reachability(spec: ProtocolSpec, out: list) -> None:
+    reached = {spec.initial}
+    frontier = [spec.initial]
+    while frontier:
+        state = frontier.pop()
+        for (src, _event), transition in spec.table.items():
+            if src is state and transition.next_state not in reached:
+                if transition.next_state in spec.states:
+                    reached.add(transition.next_state)
+                    frontier.append(transition.next_state)
+    for state in spec.states:
+        if state not in reached:
+            out.append(
+                ProtocolFinding(
+                    spec.name, "unreachable", state.value, "",
+                    f"no event sequence from {spec.initial.value} reaches "
+                    f"{state.value}",
+                )
+            )
+
+
+def check_protocol(spec: ProtocolSpec) -> list:
+    """All findings for one protocol spec (empty list = table is sound)."""
+    findings: list = []
+    _check_coverage(spec, findings)
+    _check_error_type(spec, findings)
+    _check_invariants(spec, findings)
+    _check_reachability(spec, findings)
+    return findings
+
+
+def check_all(specs=None) -> list:
+    """Check every spec (default: both shipped protocols)."""
+    findings = []
+    for spec in specs if specs is not None else all_specs():
+        findings.extend(check_protocol(spec))
+    return findings
+
+
+def with_table(spec: ProtocolSpec, table: dict) -> ProtocolSpec:
+    """A copy of ``spec`` using ``table`` — the hook tests use to seed
+    violations.  The apply function is rebuilt over the new table so
+    error-type checking exercises the mutated dict."""
+
+    def apply_fn(state, event):
+        try:
+            return table[(state, event)]
+        except KeyError:
+            raise spec.error_type(
+                f"event {event.value} is illegal in state {state.value}"
+            ) from None
+
+    return replace(spec, table=dict(table), apply_fn=apply_fn)
+
+
+# -- output -----------------------------------------------------------------
+
+
+def format_findings_human(findings, specs) -> str:
+    """Human-readable report mirroring the lint output shape."""
+    lines = [
+        f"{f.protocol}: [{f.kind}] ({f.state}"
+        + (f", {f.event}" if f.event else "")
+        + f") {f.message}"
+        for f in findings
+    ]
+    checked = ", ".join(
+        f"{spec.name}: {len(spec.states)} states x {len(spec.events)} "
+        f"events, {len(spec.table)} transitions"
+        for spec in specs
+    )
+    lines.append(f"{len(findings)} finding(s) — checked {checked}")
+    return "\n".join(lines)
+
+
+def findings_to_dict(findings, specs) -> dict:
+    """JSON-ready report (schema asserted in tests)."""
+    return {
+        "version": 1,
+        "protocols": [
+            {
+                "name": spec.name,
+                "states": [s.value for s in spec.states],
+                "events": [e.value for e in spec.events],
+                "transitions": len(spec.table),
+                "expected_illegal": sorted(
+                    [s.value, e.value] for s, e in spec.expected_illegal
+                ),
+            }
+            for spec in specs
+        ],
+        "findings": [f.to_dict() for f in findings],
+    }

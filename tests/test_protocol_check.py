@@ -1,0 +1,204 @@
+"""Tests for the protocol model checker and table exhaustiveness.
+
+Two jobs: (1) the regression the issue asks for — both coherence tables
+cover every legal ``(State, Event)`` pair and raise their dedicated
+protocol error (never a bare ``KeyError``) on illegal ones; (2) the
+checker itself catches seeded violations: removed rows, broken data-flow
+invariants, wrong error types and unreachable states.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.coherence.extended import (
+    XProtocolError,
+    XState,
+    apply_extended,
+)
+from repro.coherence.protocol import ProtocolError, Transition, apply
+from repro.coherence.states import Event, State
+from repro.devtools.protocol_check import (
+    all_specs,
+    base_spec,
+    check_all,
+    check_protocol,
+    extended_spec,
+    findings_to_dict,
+    with_table,
+)
+
+
+def kinds(findings):
+    return [f.kind for f in findings]
+
+
+# -- exhaustiveness regression (satellite: both tables cover all legal pairs)
+
+
+class TestExhaustiveness:
+    @pytest.mark.parametrize("spec", [base_spec(), extended_spec()],
+                             ids=["TO-MSI", "TO-MOSI"])
+    def test_every_pair_is_handled_or_justified_illegal(self, spec):
+        for state in spec.states:
+            for event in spec.events:
+                pair = (state, event)
+                assert (pair in spec.table) != (pair in spec.expected_illegal), (
+                    f"{spec.name}: ({state.value}, {event.value}) must be "
+                    "either a transition or an expected-illegal pair"
+                )
+
+    def test_base_table_size(self):
+        spec = base_spec()
+        assert len(spec.table) == 22 and len(spec.expected_illegal) == 6
+        assert len(spec.table) + len(spec.expected_illegal) == 4 * 7
+
+    def test_extended_table_size(self):
+        spec = extended_spec()
+        assert len(spec.table) == 37 and len(spec.expected_illegal) == 12
+        assert len(spec.table) + len(spec.expected_illegal) == 7 * 7
+
+    @pytest.mark.parametrize("spec", [base_spec(), extended_spec()],
+                             ids=["TO-MSI", "TO-MOSI"])
+    def test_illegal_pairs_raise_protocol_error_not_keyerror(self, spec):
+        for state, event in spec.expected_illegal:
+            with pytest.raises(spec.error_type) as excinfo:
+                spec.apply_fn(state, event)
+            assert not isinstance(excinfo.value, KeyError)
+            assert state.value in str(excinfo.value)
+
+    def test_base_examples(self):
+        with pytest.raises(ProtocolError):
+            apply(State.TO, Event.DATA_REPL)
+        with pytest.raises(XProtocolError):
+            apply_extended(XState.M, Event.UPG)
+
+
+class TestShippedTablesAreSound:
+    def test_no_findings_on_either_protocol(self):
+        assert check_all() == []
+
+    def test_specs_report_both_protocols(self):
+        assert [s.name for s in all_specs()] == ["TO-MSI", "TO-MOSI"]
+
+
+# -- seeded violations: the checker must catch each defect class -------------
+
+
+class TestSeededViolations:
+    def test_removed_transition_reported_unhandled(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        del table[(State.TO, Event.GETS)]
+        findings = check_protocol(with_table(spec, table))
+        assert "unhandled" in kinds(findings)
+        (f,) = [f for f in findings if f.kind == "unhandled"]
+        assert (f.state, f.event) == ("TO", "GETS")
+
+    def test_transition_on_illegal_pair_reported_unexpected(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        table[(State.I, Event.PUTS)] = Transition(State.I)
+        findings = check_protocol(with_table(spec, table))
+        assert "unexpected" in kinds(findings)
+
+    def test_missing_allocate_flag_breaks_invariant(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        table[(State.TO, Event.GETS)] = Transition(State.S)  # no allocate
+        findings = check_protocol(with_table(spec, table))
+        assert any(
+            f.kind == "invariant" and "allocates_data" in f.message
+            for f in findings
+        )
+
+    def test_spurious_deallocate_breaks_invariant(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        table[(State.S, Event.GETS)] = Transition(
+            State.S, deallocates_data=True
+        )
+        findings = check_protocol(with_table(spec, table))
+        assert any(
+            f.kind == "invariant" and "deallocates_data" in f.message
+            for f in findings
+        )
+
+    def test_tag_replacement_not_ending_at_I_reported(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        table[(State.TO, Event.TAG_REPL)] = Transition(State.TO)
+        findings = check_protocol(with_table(spec, table))
+        assert any(
+            f.kind == "invariant" and "tag replacement" in f.message
+            for f in findings
+        )
+
+    def test_dropping_dirty_copy_without_writeback_reported(self):
+        spec = extended_spec()
+        table = dict(spec.table)
+        broken = dataclasses.replace(
+            table[(XState.O, Event.DATA_REPL)], writeback_to_memory=False
+        )
+        table[(XState.O, Event.DATA_REPL)] = broken
+        findings = check_protocol(with_table(spec, table))
+        assert any(
+            f.kind == "invariant" and "up-to-date copy" in f.message
+            for f in findings
+        )
+
+    def test_unreachable_state_reported(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        # sever both entries into TO's data-array group: S and M become
+        # unreachable from I
+        del table[(State.I, Event.GETS)]
+        del table[(State.I, Event.GETX)]
+        findings = check_protocol(with_table(spec, table))
+        unreachable = {f.state for f in findings if f.kind == "unreachable"}
+        assert unreachable == {"TO", "S", "M"}
+
+    def test_keyerror_instead_of_protocol_error_reported(self):
+        spec = base_spec()
+
+        def raw_lookup(state, event):
+            return spec.table[(state, event)]  # raises KeyError when absent
+
+        bad = dataclasses.replace(spec, apply_fn=raw_lookup)
+        findings = check_protocol(bad)
+        assert any(
+            f.kind == "bad-error" and "KeyError" in f.message
+            for f in findings
+        )
+
+    def test_closure_violation_reported(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        table[(State.S, Event.GETS)] = Transition(XState.S)  # foreign enum
+        findings = check_protocol(with_table(spec, table))
+        assert "closure" in kinds(findings)
+
+
+class TestReportFormats:
+    def test_json_schema(self):
+        specs = all_specs()
+        report = findings_to_dict(check_all(specs), specs)
+        assert report["version"] == 1
+        assert [p["name"] for p in report["protocols"]] == [
+            "TO-MSI", "TO-MOSI",
+        ]
+        base, ext = report["protocols"]
+        assert base["transitions"] == 22 and ext["transitions"] == 37
+        assert ["I", "DataRepl"] in base["expected_illegal"]
+        assert report["findings"] == []
+
+    def test_findings_serialise(self):
+        spec = base_spec()
+        table = dict(spec.table)
+        del table[(State.TO, Event.GETS)]
+        findings = check_protocol(with_table(spec, table))
+        payload = findings_to_dict(findings, [spec])
+        assert payload["findings"][0]["kind"] == "unhandled"
+        assert set(payload["findings"][0]) == {
+            "protocol", "kind", "state", "event", "message",
+        }
