@@ -21,6 +21,13 @@ dispatched to :mod:`repro.devtools.cli`::
 
     python -m repro lint src
     python -m repro check-protocol --format json
+
+Observability (see ``docs/observability.md``) adds a live dashboard and
+trace export, dispatched to :mod:`repro.obs.cli`::
+
+    python -m repro top --port 9876
+    python -m repro obs export --format chrome-trace --out trace.json
+    python -m repro obs validate trace.json
 """
 
 from __future__ import annotations
@@ -34,6 +41,8 @@ import time
 from . import experiments as ex
 from .devtools import cli as devtools_cli
 from .experiments import ExperimentParams
+from .obs import cli as obs_cli
+from .obs.logging import configure as configure_logging
 from .service import cli as service_cli
 
 #: experiment name -> (runner, formatter, needs_params)
@@ -143,10 +152,13 @@ def main(argv=None) -> int:
     """CLI entry point; returns the process exit code."""
     if argv is None:
         argv = sys.argv[1:]
+    configure_logging()
     if argv and argv[0] in service_cli.SERVICE_COMMANDS:
         return service_cli.main(argv)
     if argv and argv[0] in devtools_cli.DEVTOOLS_COMMANDS:
         return devtools_cli.main(argv)
+    if argv and argv[0] in obs_cli.OBS_COMMANDS:
+        return obs_cli.main(argv)
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         print("available experiments:")
@@ -157,6 +169,9 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("static checks (see 'repro lint --help'):")
         for name in devtools_cli.DEVTOOLS_COMMANDS:
+            print(f"  {name}")
+        print("observability (see 'repro obs --help'):")
+        for name in obs_cli.OBS_COMMANDS:
             print(f"  {name}")
         return 0
     params = ExperimentParams(

@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 
 from ..coherence.directory import Directory
+from ..obs.tracing import EVICTION, FILL
 from ..replacement import make_policy
 from ..utils import require_power_of_two
 from .llc_base import BaseLLC, LLCAccess
@@ -91,6 +92,9 @@ class ConventionalLLC(BaseLLC):
         self.recorder.on_fill(addr, now)
         self.tag_fills += 1
         self.data_fills += 1  # non-selective: every fill allocates data
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(FILL, ts=now, pid=self.trace_pid, tid=core, args={"addr": addr})
         return LLCAccess(
             "dram",
             dram_reads=1,
@@ -114,6 +118,16 @@ class ConventionalLLC(BaseLLC):
         inclusion_invals = tuple((c, victim_addr) for c in sharers)
         self.directory.clear(set_idx, way)
         self.repl.on_invalidate(set_idx, way)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                EVICTION, ts=now, pid=self.trace_pid,
+                args={
+                    "addr": victim_addr,
+                    "dirty": bool(writebacks),
+                    "inclusion_invals": len(inclusion_invals),
+                },
+            )
         return way, writebacks, inclusion_invals
 
     # -- prefetch --------------------------------------------------------------------

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import random
 
+from ..obs.tracing import NULL_TRACER
+
 
 class LLCAccess:
     """Outcome of one SLLC access (see module docstring)."""
@@ -86,6 +88,11 @@ class BaseLLC:
         #: generation recorder for liveness / hit-distribution metrics;
         #: replaced via :meth:`attach_recorder`
         self.recorder = NULL_RECORDER
+        #: event tracer (:mod:`repro.obs.tracing`); disabled by default so
+        #: hot paths only pay an ``if tr.enabled`` branch
+        self.tracer = NULL_TRACER
+        #: Chrome-trace process lane for this cache's events (the bank index)
+        self.trace_pid = 0
         # aggregate counters
         self.accesses = 0
         self.data_hits = 0  # served by the SLLC data array
@@ -101,6 +108,11 @@ class BaseLLC:
     def attach_recorder(self, recorder) -> None:
         """Install a generation recorder (see :mod:`repro.metrics`)."""
         self.recorder = recorder
+
+    def attach_tracer(self, tracer, pid: int = 0) -> None:
+        """Install an event tracer; ``pid`` becomes the trace process lane."""
+        self.tracer = tracer
+        self.trace_pid = pid
 
     # -- interface -------------------------------------------------------------
     def access(self, addr: int, core: int, is_write: bool, now: int) -> LLCAccess:

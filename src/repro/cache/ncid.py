@@ -28,6 +28,7 @@ import random
 
 from ..cache.llc_base import LLCAccess
 from ..core.reuse_cache import ReuseCache, _INV, _S, _TO
+from ..obs.tracing import FILL, TAG_ONLY_ALLOC, TAG_REPL
 from ..utils import require_power_of_two
 
 
@@ -129,6 +130,13 @@ class NCIDCache(ReuseCache):
             self.selective_fills += 1
             self._state[set_idx][way] = _TO
             self.tag_repl.fill_at_lru(set_idx, way)  # LRU-position insert
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                FILL if allocate_data else TAG_ONLY_ALLOC,
+                ts=now, pid=self.trace_pid, tid=core,
+                args={"addr": addr, "selective_mode": selective},
+            )
         return LLCAccess(
             "dram",
             dram_reads=1,
@@ -143,7 +151,8 @@ class NCIDCache(ReuseCache):
         way = self.tag_repl.victim(set_idx, candidates)
         victim_addr = self.tags.evict(set_idx, way)
         writebacks = ()
-        if self._fwd[set_idx][way] >= 0:
+        had_data = self._fwd[set_idx][way] >= 0
+        if had_data:
             dset = victim_addr & self._dmask
             writebacks = self._evict_data(dset, self._fwd[set_idx][way], now)
         sharers = directory.sharers(set_idx, way)
@@ -153,6 +162,12 @@ class NCIDCache(ReuseCache):
         self._fwd[set_idx][way] = -1
         self._to_count[set_idx][way] = 0
         self.tag_repl.on_invalidate(set_idx, way)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                TAG_REPL, ts=now, pid=self.trace_pid,
+                args={"addr": victim_addr, "had_data": had_data},
+            )
         return way, writebacks, inclusion_invals
 
     def stats(self) -> dict:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..obs.tracing import CAT_COHERENCE, COHERENCE_TRANSITION, NULL_TRACER
 from .states import Event, State
 
 
@@ -83,12 +84,34 @@ _TABLE = {
 }
 
 
-def apply(state: State, event: Event) -> Transition:
+# module-level tracer hook: protocol checks are rare (tests, tools, the
+# devtools model checker), so a global is simpler than threading a handle
+_TRACER = NULL_TRACER
+
+
+def set_tracer(tracer=None) -> None:
+    """Install (or with ``None`` remove) the tracer observing ``apply``."""
+    global _TRACER
+    _TRACER = tracer if tracer is not None else NULL_TRACER
+
+
+def apply(state: State, event: Event, ts: float = 0.0) -> Transition:
     """Apply ``event`` to stable ``state``; raises ProtocolError if illegal."""
     try:
-        return _TABLE[(state, event)]
+        transition = _TABLE[(state, event)]
     except KeyError:
         raise ProtocolError(f"event {event.value} is illegal in state {state.value}") from None
+    tr = _TRACER
+    if tr.enabled:
+        tr.emit(
+            COHERENCE_TRANSITION, cat=CAT_COHERENCE, ts=ts,
+            args={
+                "from": state.value,
+                "event": event.value,
+                "to": transition.next_state.value,
+            },
+        )
+    return transition
 
 
 def legal_events(state: State):

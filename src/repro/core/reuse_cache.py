@@ -35,6 +35,7 @@ from ..cache.llc_base import BaseLLC, LLCAccess
 from ..cache.set_assoc import TagStore
 from ..coherence.directory import Directory
 from ..coherence.states import State
+from ..obs.tracing import DATA_REPL, REUSE_DETECTED, TAG_ONLY_ALLOC, TAG_REPL
 from ..replacement import make_policy
 from ..utils import require_power_of_two
 
@@ -153,6 +154,12 @@ class ReuseCache(BaseLLC):
         self.directory.set_only(set_idx, way, core)
         self.tag_repl.on_fill(set_idx, way, core)
         self.tag_fills += 1
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                TAG_ONLY_ALLOC, ts=now, pid=self.trace_pid, tid=core,
+                args={"addr": addr},
+            )
         if self.reuse_threshold == 0:
             # degenerate non-selective mode: allocate data on first touch
             writebacks = writebacks + tuple(
@@ -176,6 +183,16 @@ class ReuseCache(BaseLLC):
             counts[way] += 1
         directory = self.directory
         peers = directory.others(set_idx, way, core)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                REUSE_DETECTED, ts=now, pid=self.trace_pid, tid=core,
+                args={
+                    "addr": addr,
+                    "source": "peer" if peers else "dram",
+                    "promoted": counts[way] >= self.reuse_threshold,
+                },
+            )
         if counts[way] < self.reuse_threshold:
             # not yet reused enough: serve the private caches, stay tag-only
             if peers:
@@ -281,6 +298,12 @@ class ReuseCache(BaseLLC):
         self._state[tag_set][tag_way] = _TO
         self._fwd[tag_set][tag_way] = -1
         self._to_count[tag_set][tag_way] = 0
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                DATA_REPL, ts=now, pid=self.trace_pid,
+                args={"addr": victim_addr, "dirty": bool(writebacks)},
+            )
         return writebacks
 
     def _evict_tag(self, set_idx, now):
@@ -294,7 +317,8 @@ class ReuseCache(BaseLLC):
         way = self.tag_repl.victim(set_idx, unshared if unshared else candidates)
         victim_addr = self.tags.evict(set_idx, way)
         writebacks = ()
-        if self._fwd[set_idx][way] >= 0:
+        had_data = self._fwd[set_idx][way] >= 0
+        if had_data:
             dset = victim_addr & self._dmask
             writebacks = self._evict_data(dset, self._fwd[set_idx][way], now)
         sharers = directory.sharers(set_idx, way)
@@ -304,6 +328,12 @@ class ReuseCache(BaseLLC):
         self._fwd[set_idx][way] = -1
         self._to_count[set_idx][way] = 0
         self.tag_repl.on_invalidate(set_idx, way)
+        tr = self.tracer
+        if tr.enabled:
+            tr.emit(
+                TAG_REPL, ts=now, pid=self.trace_pid,
+                args={"addr": victim_addr, "had_data": had_data},
+            )
         return way, writebacks, inclusion_invals
 
     # -- prefetch ----------------------------------------------------------------------

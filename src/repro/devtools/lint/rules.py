@@ -1,10 +1,10 @@
-"""Repo-specific lint rules (REP001–REP008).
+"""Repo-specific lint rules (REP001–REP009).
 
 Each rule targets a hazard class that corrupts simulation results or
 serving behaviour *without failing any test*: nondeterminism (REP001,
-REP002), event-loop stalls (REP3/4), Python foot-guns (REP005–REP007) and
-architecture erosion (REP008).  ``docs/devtools.md`` documents the rule
-set and how to add one.
+REP002), event-loop stalls (REP3/4), Python foot-guns (REP005–REP007),
+architecture erosion (REP008) and observability bypass (REP009).
+``docs/devtools.md`` documents the rule set and how to add one.
 """
 
 from __future__ import annotations
@@ -59,7 +59,7 @@ class UnseededRandomRule(Rule):
         "unseeded or module-global RNG in simulator/service code "
         "(breaks replay determinism)"
     )
-    scope = SIMULATOR_SCOPE + SERVICE_SCOPE
+    scope = SIMULATOR_SCOPE + SERVICE_SCOPE + ("repro.obs",)
 
     _GLOBAL_FNS = frozenset(
         {
@@ -304,6 +304,11 @@ class BareExceptRule(Rule):
 #: docs/devtools.md for the rationale of each level.
 LAYERS = {
     "repro.utils": 0,
+    # the obs CLI (dashboard/export) sits above the simulator and the
+    # service it drives; the longer prefix must precede "repro.obs"
+    # because layer_package() returns the first match
+    "repro.obs.cli": 5,
+    "repro.obs": 1,
     "repro.coherence": 1,
     "repro.replacement": 1,
     "repro.workloads": 1,
@@ -324,6 +329,10 @@ LAYERS = {
 ALLOWED_PEERS = {
     ("repro.cache", "repro.core"),
     ("repro.core", "repro.cache"),
+    # the coherence protocol emits trace events; the obs dashboard
+    # reuses the plotting helpers of repro.metrics
+    ("repro.coherence", "repro.obs"),
+    ("repro.obs", "repro.metrics"),
 }
 
 
@@ -389,3 +398,47 @@ class LayerImportRule(Rule):
                 self._check_target(node, ctx, target + "." + alias.name)
         else:
             self._check_target(node, ctx, target)
+
+
+@register
+class CounterBypassRule(Rule):
+    """Stat counters on *other* objects must go through their recorder API.
+
+    The instrumented modules own their counters behind ``record_*``
+    methods (service) or publish them through the obs registry collector
+    (simulator); reaching *into* another object and bumping a counter
+    attribute directly (``self.stats.hits += 1``) bypasses both, so the
+    mutation never shows up in METRICS/STATS and silently diverges from
+    the registry.  Plain counters on ``self`` (``self.hits += 1``) stay
+    legal — they are the object's own state and the collectors read them.
+    Genuinely non-metric nested mutation can opt out with
+    ``# repro: noqa=REP009``.
+    """
+
+    id = "REP009"
+    name = "counter-bypass"
+    description = (
+        "direct counter mutation on a nested attribute bypasses the "
+        "obs registry / stats recorder"
+    )
+    scope = (
+        "repro.cache",
+        "repro.core",
+        "repro.coherence",
+        "repro.hierarchy",
+        "repro.service",
+    )
+
+    def check_AugAssign(self, node: ast.AugAssign, ctx) -> None:
+        target = node.target
+        if not isinstance(target, ast.Attribute):
+            return
+        if not isinstance(target.value, ast.Attribute):
+            return
+        name = dotted_name(target) or f"<expr>.{target.attr}"
+        ctx.report(
+            self, node,
+            f"augmented assignment to nested attribute {name}; mutate "
+            "counters through the owner's record_* API or the obs "
+            "registry (# repro: noqa=REP009 if this is not a metric)",
+        )

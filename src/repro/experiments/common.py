@@ -20,7 +20,10 @@ from dataclasses import dataclass, field, replace
 
 from ..hierarchy.config import LLCSpec, SystemConfig
 from ..hierarchy.system import RunResult, run_workload
+from ..obs.logging import get_logger
 from ..workloads.mixes import build_mix_suite
+
+log = get_logger(__name__)
 
 #: the paper's baseline SLLC
 BASELINE_SPEC = LLCSpec.conventional(8.0, "lru")
@@ -98,6 +101,7 @@ class SpeedupStudy:
 
     def _run(self, spec: LLCSpec, workload) -> RunResult:
         config = self.params.system_config(spec)
+        log.debug("simulating %s on %s", spec.label, workload.name)
         return run_workload(
             config,
             workload,
@@ -112,6 +116,10 @@ class SpeedupStudy:
             run = self._run(spec, workload)
             result.runs.append(run)
             result.speedups.append(run.performance / base.performance)
+        log.info(
+            "%s: mean speedup %.4f over %d workload(s)",
+            spec.label, result.mean_speedup, len(result.speedups),
+        )
         return result
 
     def evaluate_many(self, specs) -> dict:

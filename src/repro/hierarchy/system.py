@@ -34,6 +34,7 @@ from ..cache.private_cache import PrivateHierarchy
 from ..core.reuse_cache import ReuseCache
 from ..dram.ddr3 import DDR3Memory
 from ..metrics.generations import GenerationLog, GenerationRecorder
+from ..obs import Observability
 from ..metrics.perf import aggregate_ipc, mpki
 from ..utils import ilog2
 from ..workloads.trace import Workload
@@ -136,6 +137,7 @@ class System:
         workload: Workload,
         record_generations: bool = False,
         capture_llc_trace: bool = False,
+        obs: Observability | None = None,
     ):
         config.validate()
         if workload.num_cores != config.num_cores:
@@ -156,6 +158,15 @@ class System:
         self._bank_mask = config.llc_banks - 1
         self._bank_bits = ilog2(config.llc_banks)
         self.dram = DDR3Memory(config.dram)
+        #: observability bundle; disabled by default so simulation speed and
+        #: results are untouched unless a caller opts in
+        self.obs = obs if obs is not None else Observability.disabled()
+        if self.obs.tracer.enabled:
+            # each SLLC bank gets its own Chrome-trace process lane
+            for b, bank in enumerate(self.banks):
+                bank.attach_tracer(self.obs.tracer, pid=b)
+        if self.obs.registry.enabled:
+            self.obs.registry.register_collector(self._publish_metrics)
         self.recorder = GenerationRecorder() if record_generations else None
         if self.recorder is not None:
             # bank-local addresses collide across banks; the adapter tags
@@ -409,6 +420,28 @@ class System:
             totals["fraction_not_entered"] = 1.0 - totals.get("data_fills", 0) / totals["tag_fills"]
         return totals
 
+    def _publish_metrics(self, registry) -> None:
+        """Collector mirroring bank/DRAM counters into the obs registry.
+
+        Registered via ``registry.register_collector`` so the simulator's
+        hot path keeps plain int counters; the registry pulls them only when
+        a snapshot is taken.
+        """
+        label = self.config.llc.label
+        for key, value in self._llc_stats().items():
+            registry.gauge(
+                f"repro_sim_llc_{key}",
+                help="summed SLLC bank counter (see BaseLLC.stats)",
+                config=label,
+            ).set(float(value))
+        for key, value in self.dram.stats().items():
+            if isinstance(value, (int, float)):
+                registry.gauge(
+                    f"repro_sim_dram_{key}",
+                    help="DDR3 channel counter (see DDR3Memory.stats)",
+                    config=label,
+                ).set(float(value))
+
 
 class _BankRecorder:
     """Adapter giving each bank a disjoint address space in one recorder."""
@@ -437,8 +470,9 @@ def run_workload(
     workload: Workload,
     record_generations: bool = False,
     warmup_frac: float = 0.2,
+    obs: Observability | None = None,
 ) -> RunResult:
     """Convenience wrapper: build a :class:`System` and run it."""
-    return System(config, workload, record_generations=record_generations).run(
+    return System(config, workload, record_generations=record_generations, obs=obs).run(
         warmup_frac=warmup_frac
     )

@@ -1,0 +1,116 @@
+"""repro.obs — observability shared by the simulator and the serving stack.
+
+The paper's claims are claims about *event counts* — reuses detected,
+tag-only allocations, ``DataRepl`` demotions, memory refetches — and the
+ROADMAP's performance goals need per-path measurements to aim at.  This
+package is the one place both live:
+
+* :mod:`repro.obs.registry` — named counters/gauges/log-bucketed histograms
+  with labels, snapshot/diff/merge, Prometheus-text and JSON exporters;
+* :mod:`repro.obs.tracing` — typed event tracing through a sampling ring
+  buffer, exported as JSONL or Chrome ``trace_event`` JSON (opens directly
+  in ``chrome://tracing`` / Perfetto);
+* :mod:`repro.obs.logging` — the repo-wide ``configure()`` /
+  ``get_logger()`` helpers (``REPRO_LOG_LEVEL`` env var);
+* :mod:`repro.obs.top` — renders the live ``repro top`` dashboard from
+  STATS snapshots (the CLI loop lives in :mod:`repro.obs.cli`).
+
+:class:`Observability` bundles one registry and one tracer so constructors
+thread a single handle.  The disabled bundle is a true no-op: null metrics,
+a disabled tracer, and hot paths that only pay an attribute load plus a
+branch (asserted by ``tests/test_obs_overhead.py``).
+
+Instrumented layers: :mod:`repro.core.reuse_cache`,
+:mod:`repro.cache.conventional`, :mod:`repro.cache.ncid`,
+:mod:`repro.coherence.protocol`, :mod:`repro.hierarchy.system` and the whole
+request path of :mod:`repro.service`.  See ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+from .registry import (
+    LATENCY_BOUNDS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    diff_snapshots,
+    format_prometheus,
+    log_bounds,
+    merge_registry_snapshots,
+)
+from .tracing import (
+    COHERENCE_TRANSITION,
+    DATA_REPL,
+    EVICTION,
+    FILL,
+    NULL_TRACER,
+    REUSE_DETECTED,
+    TAG_ONLY_ALLOC,
+    TAG_REPL,
+    TraceEvent,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Observability",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "TraceEvent",
+    "NULL_TRACER",
+    "diff_snapshots",
+    "merge_registry_snapshots",
+    "format_prometheus",
+    "log_bounds",
+    "validate_chrome_trace",
+    "LATENCY_BOUNDS_S",
+    "REUSE_DETECTED",
+    "TAG_ONLY_ALLOC",
+    "DATA_REPL",
+    "TAG_REPL",
+    "FILL",
+    "EVICTION",
+    "COHERENCE_TRANSITION",
+]
+
+
+class Observability:
+    """One registry + one tracer, threaded through constructors as a unit."""
+
+    def __init__(self, registry: MetricsRegistry, tracer):
+        self.registry = registry
+        self.tracer = tracer
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The no-op bundle: null metrics and a disabled tracer."""
+        return cls(MetricsRegistry(enabled=False), NULL_TRACER)
+
+    @classmethod
+    def enabled(
+        cls,
+        tracing: bool = False,
+        trace_capacity: int = 65536,
+        sample_every: int = 1,
+        time_unit: str = "cycles",
+    ) -> "Observability":
+        """Metrics on; tracing optional (ring ``trace_capacity``, 1-in-N)."""
+        tracer = (
+            Tracer(
+                capacity=trace_capacity,
+                sample_every=sample_every,
+                time_unit=time_unit,
+            )
+            if tracing
+            else NULL_TRACER
+        )
+        return cls(MetricsRegistry(enabled=True), tracer)
+
+    @property
+    def active(self) -> bool:
+        """True when either the registry or the tracer does real work."""
+        return self.registry.enabled or self.tracer.enabled

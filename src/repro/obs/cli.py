@@ -1,0 +1,188 @@
+"""CLI commands for observability: ``repro top`` and ``repro obs ...``.
+
+``top`` is the live dashboard: it polls a running ``repro serve`` instance's
+STATS verb and redraws :func:`repro.obs.top.render_dashboard` every
+``--interval`` seconds — per-shard hit rates, latency quantiles and request
+rates derived from successive snapshots.
+
+``obs export`` runs a short instrumented simulation (the fig6 reuse-cache
+configuration by default) with tracing enabled and writes the event stream
+as Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
+https://ui.perfetto.dev) or JSONL; ``--metrics-out`` additionally dumps the
+metrics registry in Prometheus text format.  ``obs validate`` checks that a
+trace file will load in those viewers (the CI smoke job gates on it).
+
+This module sits at the CLI layer (it imports the simulator and the service
+client); the rest of :mod:`repro.obs` stays importable from layer 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from ..hierarchy.config import LLCSpec, SystemConfig
+from ..hierarchy.system import System
+from ..service.client import CacheClient
+from ..workloads.mixes import EXAMPLE_MIX, build_workload
+from . import Observability
+from .logging import configure as configure_logging
+from .tracing import validate_chrome_trace
+from .top import CLEAR_SCREEN, render_dashboard
+
+#: CLI names handled by this module (dispatched from repro.__main__)
+OBS_COMMANDS = ("top", "obs")
+
+
+def build_obs_parser() -> argparse.ArgumentParser:
+    """Argument parser for the observability subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Observability tools of the reuse-cache reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    top = sub.add_parser("top", help="live dashboard over a running server")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=9876)
+    top.add_argument("--interval", type=float, default=1.0,
+                     help="seconds between STATS polls")
+    top.add_argument("--iterations", type=int, default=0,
+                     help="frames to draw (0 = until interrupted)")
+    top.add_argument("--no-clear", action="store_true",
+                     help="append frames instead of clearing the screen")
+
+    obs = sub.add_parser("obs", help="trace export / validation")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    export = obs_sub.add_parser(
+        "export", help="run a traced simulation and write the event stream"
+    )
+    export.add_argument("--format", choices=("chrome-trace", "jsonl"),
+                        default="chrome-trace")
+    export.add_argument("--out", metavar="FILE", default="trace.json",
+                        help="trace output path")
+    export.add_argument("--refs", type=int, default=5000,
+                        help="memory references per core")
+    export.add_argument("--scale", type=int, default=32,
+                        help="capacity divisor (matches the experiments)")
+    export.add_argument("--seed", type=int, default=2013)
+    export.add_argument("--tag-mbeq", type=float, default=8.0,
+                        help="reuse-cache tag array size (MBeq)")
+    export.add_argument("--data-mb", type=float, default=4.0,
+                        help="reuse-cache data array size (MB)")
+    export.add_argument("--sample-every", type=int, default=1,
+                        help="record every Nth event")
+    export.add_argument("--trace-capacity", type=int, default=1 << 18,
+                        help="ring-buffer capacity (older events drop)")
+    export.add_argument("--metrics-out", metavar="FILE", default=None,
+                        help="also dump the metrics registry (Prometheus text)")
+
+    validate = obs_sub.add_parser(
+        "validate", help="check a Chrome-trace file for viewer compatibility"
+    )
+    validate.add_argument("file", help="trace JSON file to validate")
+    return parser
+
+
+# -- repro top ---------------------------------------------------------------
+
+
+async def _top_loop(args) -> int:
+    client = CacheClient(args.host, args.port)
+    prev = None
+    frames = 0
+    try:
+        while True:
+            snapshot = await client.stats()
+            frame = render_dashboard(
+                snapshot, prev, interval=args.interval if prev else None
+            )
+            if not args.no_clear:
+                sys.stdout.write(CLEAR_SCREEN)
+            print(frame, flush=True)
+            prev = snapshot
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+    finally:
+        await client.close()
+
+
+def cmd_top(args) -> int:
+    """Poll STATS and redraw the dashboard until interrupted."""
+    try:
+        return asyncio.run(_top_loop(args))
+    except KeyboardInterrupt:
+        return 0
+    except ConnectionError as exc:
+        print(f"repro top: cannot reach {args.host}:{args.port} ({exc})",
+              file=sys.stderr)
+        return 1
+
+
+# -- repro obs export / validate ---------------------------------------------
+
+
+def cmd_export(args) -> int:
+    """Run one traced simulation and write its event stream."""
+    obs = Observability.enabled(
+        tracing=True,
+        trace_capacity=args.trace_capacity,
+        sample_every=args.sample_every,
+        time_unit="cycles",
+    )
+    workload = build_workload(
+        EXAMPLE_MIX, n_refs=args.refs, seed=args.seed, scale=args.scale
+    )
+    spec = LLCSpec.reuse(args.tag_mbeq, args.data_mb)
+    config = SystemConfig(
+        llc=spec, num_cores=workload.num_cores, scale=args.scale,
+        seed=args.seed,
+    )
+    result = System(config, workload, obs=obs).run()
+    tracer = obs.tracer
+    tracer.write(args.out, fmt=args.format)
+    print(f"{spec.label} on {workload.name}: IPC {result.performance:.3f}, "
+          f"{tracer.recorded} event(s) recorded "
+          f"({tracer.dropped} dropped by the ring)")
+    print(f"wrote {args.out} [{args.format}]"
+          + (" — open in chrome://tracing or ui.perfetto.dev"
+             if args.format == "chrome-trace" else ""))
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(obs.registry.to_prometheus())
+        print(f"wrote {args.metrics_out} [prometheus]")
+    return 0
+
+
+def cmd_validate(args) -> int:
+    """Validate a Chrome-trace file; exit 1 when a viewer would reject it."""
+    try:
+        with open(args.file, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"repro obs validate: {args.file}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(doc)
+    if problems:
+        for problem in problems:
+            print(f"{args.file}: {problem}", file=sys.stderr)
+        return 1
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    print(f"{args.file}: OK ({len(events)} event(s))")
+    return 0
+
+
+def main(argv) -> int:
+    """Entry point for the observability subcommands."""
+    configure_logging()
+    args = build_obs_parser().parse_args(argv)
+    if args.command == "top":
+        return cmd_top(args)
+    if args.obs_command == "export":
+        return cmd_export(args)
+    return cmd_validate(args)

@@ -1,0 +1,79 @@
+"""One logging setup for the whole repo: ``repro.obs.logging.configure()``.
+
+Every entry point (the ``repro`` CLI, the serving stack, ad-hoc experiment
+scripts) calls :func:`configure` once instead of rolling its own
+``logging.basicConfig`` variant, so log lines share one format and one
+knob: the ``REPRO_LOG_LEVEL`` environment variable (or an explicit
+``level=`` argument, which wins).
+
+The default level is WARNING: experiment drivers and benchmarks print their
+results on stdout, and logs go to stderr only when something deserves
+attention.  ``REPRO_LOG_LEVEL=INFO`` narrates server lifecycle and
+experiment progress; ``DEBUG`` adds per-connection detail.
+
+Modules obtain loggers with :func:`get_logger`, which anchors them under the
+``repro`` hierarchy so :func:`configure` governs them all::
+
+    from ..obs.logging import get_logger
+    log = get_logger(__name__)
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+
+#: single line format shared by every repro logger
+LOG_FORMAT = "%(asctime)s %(levelname).1s %(name)s: %(message)s"
+DATE_FORMAT = "%H:%M:%S"
+
+#: environment variable consulted when ``configure(level=None)``
+LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
+
+_configured = False
+
+
+def _resolve_level(level) -> int:
+    if level is None:
+        level = os.environ.get(LEVEL_ENV_VAR, "WARNING")
+    if isinstance(level, int):
+        return level
+    name = str(level).strip().upper()
+    resolved = logging.getLevelName(name)
+    if not isinstance(resolved, int):
+        raise ValueError(
+            f"unknown log level {level!r} (set {LEVEL_ENV_VAR} to "
+            "DEBUG/INFO/WARNING/ERROR)"
+        )
+    return resolved
+
+
+def configure(level=None, stream=None, force: bool = False) -> logging.Logger:
+    """Configure the ``repro`` logger hierarchy; returns the root logger.
+
+    Idempotent: repeat calls only adjust the level unless ``force=True``
+    (which also rebuilds the handler, e.g. after redirecting stderr in
+    tests).  ``level`` accepts a name or numeric level and defaults to the
+    ``REPRO_LOG_LEVEL`` environment variable, then WARNING.
+    """
+    global _configured
+    root = logging.getLogger("repro")
+    resolved = _resolve_level(level)
+    if _configured and not force:
+        root.setLevel(resolved)
+        return root
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(LOG_FORMAT, DATE_FORMAT))
+    root.handlers[:] = [handler]
+    root.setLevel(resolved)
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``repro.`` prefixed if needed)."""
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)

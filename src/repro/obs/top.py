@@ -1,0 +1,124 @@
+"""Render the ``repro top`` dashboard from server STATS snapshots.
+
+Pure formatting: :func:`render_dashboard` maps one (optionally two
+consecutive) ``stats_snapshot()`` dicts to the text frame the ``repro top``
+loop prints.  Keeping it snapshot-in/string-out makes the dashboard testable
+without sockets and reusable against recorded STATS dumps.
+
+With a previous snapshot and the poll interval, per-shard request rates are
+derived from counter deltas; without one, the frame shows lifetime totals
+only.  Layout: a cluster header, a per-shard table (hit rate, p50/p99,
+occupancy, evictions, request rate) and a hit-rate bar chart per shard
+(:func:`repro.metrics.textplot.bar_chart`).
+"""
+
+from __future__ import annotations
+
+from ..metrics.textplot import bar_chart
+
+#: ANSI sequence that clears the screen and homes the cursor
+CLEAR_SCREEN = "\x1b[2J\x1b[H"
+
+
+def _rate(new: dict, old: dict | None, key: str, interval) -> float:
+    if old is None or not interval:
+        return 0.0
+    return max(0.0, (new.get(key, 0) - old.get(key, 0)) / interval)
+
+
+def _fmt_bytes(n: float) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(n) < 1024.0 or unit == "GiB":
+            return f"{n:.0f}{unit}" if unit == "B" else f"{n:.1f}{unit}"
+        n /= 1024.0
+    return f"{n:.1f}GiB"
+
+
+def render_dashboard(
+    snapshot: dict,
+    prev: dict | None = None,
+    interval: float | None = None,
+    width: int = 36,
+) -> str:
+    """One dashboard frame for a ``stats_snapshot()`` dict.
+
+    ``prev``/``interval`` (the snapshot one poll earlier and the seconds
+    between polls) turn monotonic counters into rates; both default to off.
+    """
+    shards = snapshot.get("shards", [])
+    total = snapshot.get("total", {})
+    prev_shards = prev.get("shards", []) if prev else []
+    prev_total = prev.get("total") if prev else None
+
+    total_rps = _rate(total, prev_total, "gets", interval) + _rate(
+        total, prev_total, "reuse_admissions", interval
+    )
+    lines = [
+        "repro top — reuse-cache service"
+        + (f"  (refresh {interval:g}s)" if interval else ""),
+        (
+            f"shards {snapshot.get('num_shards', len(shards))}"
+            f" · admission {snapshot.get('admission', '?')}"
+            f" · entries {snapshot.get('stored_entries', 0)}"
+            f"/{snapshot.get('data_capacity', 0)}"
+            f" · bytes {_fmt_bytes(total.get('bytes_stored', 0))}"
+            f" · gets {total.get('gets', 0)}"
+            + (f" · ~{total_rps:.0f} req/s" if prev_total else "")
+        ),
+        "",
+        f"{'shard':>5} {'gets':>9} {'hit rate':>9} {'p50 ms':>8} {'p99 ms':>8} "
+        f"{'occup':>6} {'tagged':>8} {'evict':>7} {'req/s':>8}",
+    ]
+    for i, shard in enumerate(shards):
+        old = prev_shards[i] if i < len(prev_shards) else None
+        rps = _rate(shard, old, "gets", interval)
+        occupancy = shard.get("reservoir_occupancy", shard.get("latency_samples", 0))
+        lines.append(
+            f"{i:>5} {shard.get('gets', 0):>9} {shard.get('hit_rate', 0.0):>9.4f} "
+            f"{shard.get('p50_s', 0.0) * 1e3:>8.3f} "
+            f"{shard.get('p99_s', 0.0) * 1e3:>8.3f} "
+            f"{occupancy:>6} {shard.get('tag_only_sets', 0):>8} "
+            f"{shard.get('data_evictions', 0) + shard.get('tag_evictions', 0):>7} "
+            f"{rps:>8.0f}"
+        )
+    if total:
+        lines.append(
+            f"{'all':>5} {total.get('gets', 0):>9} {total.get('hit_rate', 0.0):>9.4f} "
+            f"{total.get('p50_s', 0.0) * 1e3:>8.3f} "
+            f"{total.get('p99_s', 0.0) * 1e3:>8.3f} "
+            f"{total.get('latency_samples', 0):>6} "
+            f"{total.get('tag_only_sets', 0):>8} "
+            f"{total.get('data_evictions', 0) + total.get('tag_evictions', 0):>7} "
+            f"{total_rps:>8.0f}"
+        )
+    if shards:
+        lines.append("")
+        lines.append(
+            bar_chart(
+                [
+                    (f"shard {i}", shard.get("hit_rate", 0.0))
+                    for i, shard in enumerate(shards)
+                ],
+                width=width,
+                fmt="{:.4f}",
+                title="hit rate by shard",
+            )
+        )
+    obs = snapshot.get("obs")
+    if obs:
+        lag = _gauge_value(obs, "repro_service_eventloop_lag_seconds")
+        conns = _gauge_value(obs, "repro_service_connections")
+        inflight = _gauge_value(obs, "repro_service_inflight")
+        lines.append("")
+        lines.append(
+            f"connections {conns:g} · inflight {inflight:g} · "
+            f"event-loop lag {lag * 1e3:.2f} ms"
+        )
+    return "\n".join(lines)
+
+
+def _gauge_value(obs_snapshot: dict, name: str) -> float:
+    family = obs_snapshot.get(name)
+    if not family or not family.get("series"):
+        return 0.0
+    return float(family["series"][0].get("value", 0.0))

@@ -18,6 +18,8 @@ import argparse
 import asyncio
 import json
 
+from ..obs import Observability
+from ..obs.logging import configure as configure_logging
 from ..workloads.mixes import EXAMPLE_MIX, build_workload
 from .loadgen import VALUE_BYTES, run_load
 from .server import CacheServer
@@ -54,6 +56,13 @@ def build_service_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=9876)
     serve.add_argument("--max-connections", type=int, default=256)
     serve.add_argument("--request-timeout", type=float, default=5.0)
+    serve.add_argument("--no-metrics", action="store_true",
+                       help="disable the obs metrics registry (and METRICS)")
+    serve.add_argument("--trace-file", metavar="FILE", default=None,
+                       help="record request spans; write a Chrome trace "
+                            "(chrome://tracing / Perfetto) on shutdown")
+    serve.add_argument("--trace-sample", type=int, default=1,
+                       help="record every Nth request span (default: all)")
 
     bench = sub.add_parser(
         "bench-service",
@@ -75,7 +84,7 @@ def build_service_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def make_store(args) -> ShardedStore:
+def make_store(args, obs: Observability | None = None) -> ShardedStore:
     """Build a :class:`ShardedStore` from parsed CLI arguments."""
     return ShardedStore(
         num_shards=args.shards,
@@ -84,25 +93,47 @@ def make_store(args) -> ShardedStore:
         tag_assoc=args.tag_assoc,
         admission=args.admission,
         seed=args.seed,
+        obs=obs,
     )
 
 
+def _serve_obs(args) -> Observability:
+    """Observability bundle for ``repro serve``: metrics on by default."""
+    tracing = args.trace_file is not None
+    if args.no_metrics and not tracing:
+        return Observability.disabled()
+    obs = Observability.enabled(
+        tracing=tracing, sample_every=args.trace_sample, time_unit="s"
+    )
+    if args.no_metrics:
+        obs.registry.enabled = False
+    return obs
+
+
 async def _serve(args) -> None:
+    obs = _serve_obs(args)
     server = CacheServer(
-        make_store(args),
+        make_store(args, obs=obs),
         host=args.host,
         port=args.port,
         max_connections=args.max_connections,
         request_timeout=args.request_timeout,
+        obs=obs,
     )
     await server.start()
     print(f"repro.service: {args.admission}-admission store, "
           f"{args.shards} shards x {args.data_capacity // args.shards} entries, "
           f"listening on {server.host}:{server.port}")
+    if not args.no_metrics:
+        print("repro.service: metrics on — `repro top` or the METRICS verb")
     try:
         await server.serve_forever()
     finally:
         await server.stop()
+        if args.trace_file:
+            obs.tracer.write(args.trace_file, fmt="chrome-trace")
+            print(f"repro.service: wrote {obs.tracer.recorded} request "
+                  f"span(s) to {args.trace_file}")
         print("repro.service: drained and stopped")
 
 
@@ -217,6 +248,7 @@ def cmd_bench_service(args) -> int:
 
 def main(argv) -> int:
     """Entry point for the service subcommands."""
+    configure_logging()
     args = build_service_parser().parse_args(argv)
     if args.command == "serve":
         return cmd_serve(args)

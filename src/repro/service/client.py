@@ -126,7 +126,7 @@ class CacheClient:
                     raise ConnectionError("server closed connection")
                 tokens = header.decode("utf-8").split()
                 body = None
-                if tokens and tokens[0] in ("VALUE", "STATS"):
+                if tokens and tokens[0] in ("VALUE", "STATS", "METRICS"):
                     length = int(tokens[1])
                     if not 0 <= length <= MAX_VALUE_BYTES:
                         raise ConnectionError(f"insane body length {length}")
@@ -186,6 +186,16 @@ class CacheClient:
         if tokens[0] != "STATS":
             raise ServerError(f"unexpected response {tokens!r}")
         return json.loads(body.decode("utf-8"))
+
+    async def metrics(self) -> str:
+        """The server's obs registry in Prometheus text format.
+
+        Empty when the server runs with observability disabled.
+        """
+        tokens, body = await self._request(b"METRICS\n")
+        if tokens[0] != "METRICS":
+            raise ServerError(f"unexpected response {tokens!r}")
+        return body.decode("utf-8")
 
     async def ping(self) -> bool:
         """Round-trip health check."""

@@ -25,9 +25,12 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 
+from ..obs.logging import get_logger
 from ..workloads.trace import Trace, Workload
 from .client import CacheClient
 from .stats import quantile
+
+log = get_logger(__name__)
 
 #: default value payload size (one cache line, matching the simulator)
 VALUE_BYTES = 64
@@ -174,6 +177,10 @@ async def run_load(
     runs.
     """
     result = LoadResult(name=workload.name)
+    log.debug(
+        "load %s: %d trace(s) against %s:%d",
+        workload.name, len(workload.traces), host, port,
+    )
     clients = [
         CacheClient(host, port, pool_size=pool_size)
         for _ in workload.traces
@@ -185,6 +192,10 @@ async def run_load(
             for client, trace in zip(clients, workload.traces)
         ])
         result.wall_s = time.perf_counter() - start
+        log.debug(
+            "load %s: %d ops in %.2fs (hit rate %.4f)",
+            workload.name, result.ops, result.wall_s, result.hit_rate,
+        )
         if fetch_server_stats:
             result.server_stats = await clients[0].stats()
     finally:

@@ -10,6 +10,7 @@ request                                 response
 ``SET <key> <len>\\n<bytes>\\n``          ``STORED\\n`` or ``TAGGED\\n``
 ``DEL <key>\\n``                         ``DELETED\\n`` or ``NOTFOUND\\n``
 ``STATS\\n``                             ``STATS <len>\\n<json>\\n``
+``METRICS\\n``                           ``METRICS <len>\\n<prometheus-text>\\n``
 ``PING\\n``                              ``PONG\\n``
 ``QUIT\\n``                              ``BYE\\n`` and the connection closes
 ======================================  =========================================
@@ -31,6 +32,14 @@ Operational guards:
 
 Request latency is recorded into the owning shard's stats, so STATS reports
 per-shard p50/p99 alongside hit and admission counters.
+
+Observability (:mod:`repro.obs`) is opt-in via the ``obs`` constructor
+argument: with an enabled registry the server labels request counters and
+latency histograms by command, samples its own event-loop lag, exposes
+connection-pool gauges, serves the whole registry over the ``METRICS`` verb
+and embeds a registry snapshot under the ``"obs"`` key of STATS.  With an
+enabled tracer every request becomes a Chrome-trace span on the owning
+shard's process lane, with the connection id as the thread lane.
 """
 
 from __future__ import annotations
@@ -39,7 +48,12 @@ import asyncio
 import json
 import time
 
+from ..obs import Observability
+from ..obs.logging import get_logger
+from ..obs.tracing import CAT_REQUEST
 from .sharding import ShardedStore
+
+log = get_logger(__name__)
 
 #: hard cap on value size accepted over the wire (16 MiB)
 MAX_VALUE_BYTES = 16 * 1024 * 1024
@@ -65,16 +79,36 @@ class CacheServer:
         port: int = 0,
         max_connections: int = 256,
         request_timeout: float = 5.0,
+        obs: Observability | None = None,
     ):
         self.store = store
         self.host = host
         self.port = port  # rewritten with the bound port after start()
         self.max_connections = max_connections
         self.request_timeout = request_timeout
+        self.obs = obs if obs is not None else Observability.disabled()
         self._server = None
         self._writers = set()
         self._inflight = 0
         self._stopping = False
+        self._next_conn_id = 0
+        self._lag_task = None
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.gauge_callback(
+                "repro_service_connections",
+                lambda: float(len(self._writers)),
+                help="currently open client connections",
+            )
+            registry.gauge_callback(
+                "repro_service_inflight",
+                lambda: float(self._inflight),
+                help="requests currently being processed",
+            )
+            registry.gauge(
+                "repro_service_max_connections",
+                help="connection cap (further clients get ERR busy)",
+            ).set(float(max_connections))
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -86,6 +120,10 @@ class CacheServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.obs.registry.enabled:
+            self._lag_task = asyncio.ensure_future(self._measure_eventloop_lag())
+        log.info("serving on %s:%d (%d shards, admission=%s)",
+                 self.host, self.port, self.store.num_shards, self.store.admission)
 
     async def serve_forever(self) -> None:
         """Block serving requests until cancelled or :meth:`stop` is called."""
@@ -104,6 +142,10 @@ class CacheServer:
         answered; connections sitting idle between requests are then closed.
         """
         self._stopping = True
+        log.info("stopping: draining %d in-flight request(s)", self._inflight)
+        if self._lag_task is not None:
+            self._lag_task.cancel()
+            self._lag_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -115,6 +157,26 @@ class CacheServer:
             writer.close()
         while self._writers and loop.time() < deadline:
             await asyncio.sleep(0.005)
+        log.info("stopped")
+
+    async def _measure_eventloop_lag(self, interval: float = 0.25) -> None:
+        """Sample how late ``asyncio.sleep`` wakes: a saturation signal.
+
+        A healthy loop wakes within a millisecond or two of the deadline;
+        lag grows when request handlers monopolise the loop.
+        """
+        gauge = self.obs.registry.gauge(
+            "repro_service_eventloop_lag_seconds",
+            help="how late the event loop wakes from a timed sleep",
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                before = loop.time()
+                await asyncio.sleep(interval)
+                gauge.set(max(0.0, loop.time() - before - interval))
+        except asyncio.CancelledError:
+            pass
 
     @property
     def connections(self) -> int:
@@ -130,6 +192,10 @@ class CacheServer:
 
     async def _handle_connection(self, reader, writer) -> None:
         if self._stopping or len(self._writers) >= self.max_connections:
+            log.warning(
+                "rejecting connection: %s",
+                "shutting down" if self._stopping else "connection cap reached",
+            )
             writer.write(b"ERR busy\n")
             try:
                 await writer.drain()
@@ -137,6 +203,9 @@ class CacheServer:
                 pass
             writer.close()
             return
+        self._next_conn_id += 1
+        conn_id = self._next_conn_id
+        log.debug("connection %d opened", conn_id)
         self._writers.add(writer)
         try:
             while not self._stopping:
@@ -150,10 +219,11 @@ class CacheServer:
                 self._inflight += 1
                 try:
                     await asyncio.wait_for(
-                        self._serve_request(line, reader, writer),
+                        self._serve_request(line, reader, writer, conn_id),
                         self.request_timeout,
                     )
                 except asyncio.TimeoutError:
+                    log.warning("connection %d: request timed out, dropping", conn_id)
                     writer.write(b"ERR timeout\n")
                     await writer.drain()
                     break
@@ -168,13 +238,14 @@ class CacheServer:
             pass  # client vanished mid-request
         finally:
             self._writers.discard(writer)
+            log.debug("connection %d closed", conn_id)
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
 
-    async def _serve_request(self, line: bytes, reader, writer) -> None:
+    async def _serve_request(self, line: bytes, reader, writer, conn_id: int = 0) -> None:
         try:
             parts = line.decode("utf-8").split()
         except UnicodeDecodeError:
@@ -216,8 +287,16 @@ class CacheServer:
             removed = self.store.delete(key)
             writer.write(b"DELETED\n" if removed else b"NOTFOUND\n")
         elif cmd == "STATS":
-            payload = json.dumps(self.store.stats_snapshot()).encode("utf-8")
+            snapshot = self.store.stats_snapshot()
+            if self.obs.registry.enabled:
+                snapshot["obs"] = self.obs.registry.snapshot()
+            payload = json.dumps(snapshot).encode("utf-8")
             writer.write(b"STATS %d\n" % len(payload))
+            writer.write(payload)
+            writer.write(b"\n")
+        elif cmd == "METRICS":
+            payload = self.obs.registry.to_prometheus().encode("utf-8")
+            writer.write(b"METRICS %d\n" % len(payload))
             writer.write(payload)
             writer.write(b"\n")
         elif cmd == "PING":
@@ -230,9 +309,29 @@ class CacheServer:
             raise ProtocolError(f"unknown command {cmd!r}")
 
         await writer.drain()
+        elapsed = time.perf_counter() - start
+        shard_idx = 0
         if cmd in ("GET", "SET", "DEL"):
-            shard = self.store.shard_for(parts[1])
-            shard.stats.record_latency(time.perf_counter() - start)
+            shard_idx = self.store.shard_of(parts[1])
+            self.store.shards[shard_idx].stats.record_latency(elapsed)
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter(
+                "repro_service_requests_total",
+                help="requests answered, by command",
+                cmd=cmd,
+            ).inc()
+            registry.histogram(
+                "repro_service_request_latency_seconds",
+                help="request service time, by command",
+                cmd=cmd,
+            ).observe(elapsed)
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.emit(
+                cmd, cat=CAT_REQUEST, ts=start, pid=shard_idx, tid=conn_id,
+                dur=elapsed,
+            )
 
     @staticmethod
     def _one_key(parts: list) -> str:

@@ -15,6 +15,7 @@ routing internally always agree.
 
 from __future__ import annotations
 
+from ..obs import Observability
 from .stats import merge_snapshots
 from .store import ReuseStore, stable_hash
 
@@ -30,6 +31,7 @@ class ShardedStore:
         tag_assoc: int = 8,
         admission: str = "reuse",
         seed: int = 0,
+        obs: Observability | None = None,
     ):
         if num_shards <= 0:
             raise ValueError(f"num_shards must be positive, got {num_shards}")
@@ -53,6 +55,12 @@ class ShardedStore:
             for i in range(num_shards)
         ]
         self.data_capacity = per_shard_data * num_shards
+        #: observability bundle (disabled by default: zero overhead).  When
+        #: metrics are on, a collector mirrors each shard's ShardStats into
+        #: the registry at snapshot time — the request path stays plain ints.
+        self.obs = obs if obs is not None else Observability.disabled()
+        if self.obs.registry.enabled:
+            self.obs.registry.register_collector(self._publish_metrics)
 
     # -- routing -------------------------------------------------------------
 
@@ -91,6 +99,40 @@ class ShardedStore:
             shard.clear()
 
     # -- stats ---------------------------------------------------------------
+
+    #: monotonic ShardStats fields mirrored as registry counters
+    _COUNTER_KEYS = (
+        "hits", "misses", "reuse_admissions", "tag_only_sets",
+        "data_evictions", "tag_evictions", "deletes", "bytes_written",
+        "latency_samples",
+    )
+
+    def _publish_metrics(self, registry) -> None:
+        """Collector mirroring per-shard ShardStats into the obs registry."""
+        for i, shard in enumerate(self.shards):
+            snap = shard.stats.snapshot()
+            label = str(i)
+            for key in self._COUNTER_KEYS:
+                registry.counter(
+                    f"repro_service_shard_{key}",
+                    help="per-shard ShardStats counter",
+                    shard=label,
+                ).set_total(snap[key])
+            registry.gauge(
+                "repro_service_shard_bytes_stored", shard=label
+            ).set(float(snap["bytes_stored"]))
+            registry.gauge(
+                "repro_service_shard_hit_rate", shard=label
+            ).set(snap["hit_rate"])
+            registry.gauge(
+                "repro_service_shard_p50_seconds", shard=label
+            ).set(snap["p50_s"])
+            registry.gauge(
+                "repro_service_shard_p99_seconds", shard=label
+            ).set(snap["p99_s"])
+            registry.gauge(
+                "repro_service_shard_reservoir_occupancy", shard=label
+            ).set(float(snap["reservoir_occupancy"]))
 
     def stats_snapshot(self) -> dict:
         """Per-shard snapshots plus the cluster-wide aggregate."""

@@ -4,16 +4,22 @@ Each shard owns one :class:`ShardStats`: monotonic counters mirroring the
 simulator's accounting (hits, misses, reuse admissions, evictions on both
 the tag and data sides) plus a bounded latency reservoir from which p50/p99
 are computed on demand.  Counters are plain ints mutated under the shard
-lock, so snapshots are consistent with the store contents they describe.
+lock through the ``record_*`` methods — :class:`ReuseStore` never pokes the
+fields directly, so the obs registry's collectors (and the REP009 lint rule)
+see one well-defined write path per statistic.
 
-The reservoir is a fixed-size ring buffer of the most recent request
-latencies (seconds).  A ring is preferred over reservoir sampling because
-serving latency drifts with load; quantiles over the recent window answer
-the operational question ("what is p99 *now*?") that STATS exists for.
+Latencies use **seeded reservoir sampling** (Vitter's Algorithm R): every
+request has an equal probability of being retained, so the quantiles
+estimate the whole run rather than just the most recent window, and the
+seeded :class:`random.Random` keeps a replayed workload byte-for-byte
+reproducible (no global RNG, per REP001).  ``reservoir_occupancy`` /
+``reservoir_capacity`` in the snapshot expose how full the reservoir is;
+``latency_samples`` counts every latency ever offered.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 
@@ -37,7 +43,7 @@ def quantile(samples: list, q: float) -> float:
 
 @dataclass
 class ShardStats:
-    """Counters and latency window for one shard."""
+    """Counters and latency reservoir for one shard."""
 
     #: GETs served from the data store
     hits: int = 0
@@ -57,18 +63,74 @@ class ShardStats:
     bytes_stored: int = 0
     #: total bytes ever written into the data store
     bytes_written: int = 0
-    #: recent request latencies in seconds (ring buffer)
+    #: retained request latencies in seconds (the reservoir)
     latencies: list = field(default_factory=list, repr=False)
     latency_window: int = LATENCY_WINDOW
-    _latency_pos: int = field(default=0, repr=False)
+    #: latencies ever offered to the reservoir (retained or not)
+    latency_count: int = 0
+    #: seed of the reservoir's private RNG (the shard's seed)
+    seed: int = 0
+
+    def __post_init__(self):
+        self._rng = random.Random(self.seed)
+
+    # -- recording (one method per statistic; see module docstring) ------------
 
     def record_latency(self, seconds: float) -> None:
-        """Append one request latency, overwriting the oldest past the window."""
+        """Offer one request latency to the reservoir (Algorithm R).
+
+        The first ``latency_window`` samples are always kept; afterwards
+        sample *i* replaces a uniformly chosen slot with probability
+        ``window / i``, giving every request the same retention probability.
+        """
+        self.latency_count += 1
         if len(self.latencies) < self.latency_window:
             self.latencies.append(seconds)
         else:
-            self.latencies[self._latency_pos] = seconds
-            self._latency_pos = (self._latency_pos + 1) % self.latency_window
+            slot = self._rng.randrange(self.latency_count)
+            if slot < self.latency_window:
+                self.latencies[slot] = seconds
+
+    def record_hit(self) -> None:
+        """A GET served from the data store."""
+        self.hits += 1
+
+    def record_miss(self) -> None:
+        """A GET that found no stored value."""
+        self.misses += 1
+
+    def record_admission(self, nbytes: int) -> None:
+        """A SET admitted into the data store (reuse observed)."""
+        self.reuse_admissions += 1
+        self.bytes_stored += nbytes
+        self.bytes_written += nbytes
+
+    def record_update(self, new_bytes: int, old_bytes: int) -> None:
+        """A SET updating an already-stored value in place."""
+        self.bytes_stored += new_bytes - old_bytes
+        self.bytes_written += new_bytes
+
+    def record_tag_only_set(self) -> None:
+        """A SET declined by the admission filter (key tagged, no store)."""
+        self.tag_only_sets += 1
+
+    def record_data_eviction(self) -> None:
+        """A stored value evicted to make room (or freed by a tag eviction)."""
+        self.data_evictions += 1
+
+    def record_tag_eviction(self) -> None:
+        """A tag-directory entry evicted (reuse history lost)."""
+        self.tag_evictions += 1
+
+    def record_delete(self) -> None:
+        """An explicit DEL that removed a stored value."""
+        self.deletes += 1
+
+    def record_value_freed(self, nbytes: int) -> None:
+        """A stored value released (eviction or delete): bytes accounting."""
+        self.bytes_stored -= nbytes
+
+    # -- derived views -----------------------------------------------------------
 
     @property
     def gets(self) -> int:
@@ -82,7 +144,7 @@ class ShardStats:
         return self.hits / total if total else 0.0
 
     def latency_quantiles(self) -> dict:
-        """p50/p99 over the retained latency window, in seconds."""
+        """p50/p99 over the retained reservoir, in seconds."""
         return {
             "p50_s": quantile(self.latencies, 0.50),
             "p99_s": quantile(self.latencies, 0.99),
@@ -102,7 +164,9 @@ class ShardStats:
             "deletes": self.deletes,
             "bytes_stored": self.bytes_stored,
             "bytes_written": self.bytes_written,
-            "latency_samples": len(self.latencies),
+            "latency_samples": self.latency_count,
+            "reservoir_occupancy": len(self.latencies),
+            "reservoir_capacity": self.latency_window,
             **self.latency_quantiles(),
         }
 
@@ -118,11 +182,12 @@ def merge_snapshots(snapshots: list) -> dict:
         "hits", "misses", "gets", "reuse_admissions", "tag_only_sets",
         "data_evictions", "tag_evictions", "deletes",
         "bytes_stored", "bytes_written", "latency_samples",
+        "reservoir_occupancy", "reservoir_capacity",
     )}
     p50 = p99 = 0.0
     for snap in snapshots:
         for key in total:
-            total[key] += snap[key]
+            total[key] += snap.get(key, 0)
         p50 = max(p50, snap["p50_s"])
         p99 = max(p99, snap["p99_s"])
     total["hit_rate"] = total["hits"] / total["gets"] if total["gets"] else 0.0

@@ -104,7 +104,8 @@ class ReuseStore:
         self._free = list(range(data_capacity - 1, -1, -1))
         self._clock = ClockPolicy(1, data_capacity, rng)
 
-        self.stats = ShardStats()
+        self._seed = seed
+        self.stats = ShardStats(seed=seed)
         self._lock = threading.RLock()
 
     # -- public API ----------------------------------------------------------
@@ -122,10 +123,10 @@ class ReuseStore:
                 self._clock.on_hit(0, way)
                 set_idx, tag_way = self._tag_index[key]
                 self._nrr.on_hit(set_idx, tag_way)
-                self.stats.hits += 1
+                self.stats.record_hit()
                 return self._values[way]
 
-            self.stats.misses += 1
+            self.stats.record_miss()
             loc = self._tag_index.get(key)
             if loc is not None:
                 set_idx, tag_way = loc
@@ -145,8 +146,7 @@ class ReuseStore:
         with self._lock:
             way = self._data_index.get(key)
             if way is not None:  # update in place
-                self.stats.bytes_stored += len(value) - len(self._values[way])
-                self.stats.bytes_written += len(value)
+                self.stats.record_update(len(value), len(self._values[way]))
                 self._values[way] = value
                 self._clock.on_hit(0, way)
                 return True
@@ -157,7 +157,7 @@ class ReuseStore:
             set_idx, tag_way = loc
 
             if self.admission == "reuse" and not self._tag_reused[set_idx][tag_way]:
-                self.stats.tag_only_sets += 1
+                self.stats.record_tag_only_set()
                 return False
 
             way = self._allocate_data_way()
@@ -165,9 +165,7 @@ class ReuseStore:
             self._data_key[way] = key
             self._data_index[key] = way
             self._clock.on_fill(0, way)
-            self.stats.reuse_admissions += 1
-            self.stats.bytes_stored += len(value)
-            self.stats.bytes_written += len(value)
+            self.stats.record_admission(len(value))
             return True
 
     def delete(self, key: str) -> bool:
@@ -177,7 +175,7 @@ class ReuseStore:
             way = self._data_index.pop(key, None)
             if way is not None:
                 self._release_data_way(way)
-                self.stats.deletes += 1
+                self.stats.record_delete()
                 had_value = True
             loc = self._tag_index.pop(key, None)
             if loc is not None:
@@ -216,7 +214,7 @@ class ReuseStore:
             self._tag_index.clear()
             self._data_index.clear()
             self._free = list(range(self.data_capacity - 1, -1, -1))
-            self.stats = ShardStats()
+            self.stats = ShardStats(seed=self._seed)
 
     # -- internals -----------------------------------------------------------
 
@@ -253,12 +251,12 @@ class ReuseStore:
         data_way = self._data_index.pop(victim_key, None)
         if data_way is not None:  # tag eviction frees both (paper: * -> I)
             self._release_data_way(data_way)
-            self.stats.data_evictions += 1
+            self.stats.record_data_eviction()
         del self._tag_index[victim_key]
         keys[way] = None
         self._tag_reused[set_idx][way] = False
         self._nrr.on_invalidate(set_idx, way)
-        self.stats.tag_evictions += 1
+        self.stats.record_tag_eviction()
         return way
 
     def _allocate_data_way(self) -> int:
@@ -268,17 +266,17 @@ class ReuseStore:
         way = self._clock.victim(0, list(range(self.data_capacity)))
         victim_key = self._data_key[way]
         del self._data_index[victim_key]
-        self.stats.bytes_stored -= len(self._values[way])
+        self.stats.record_value_freed(len(self._values[way]))
         self._values[way] = None
         self._data_key[way] = None
         self._clock.on_invalidate(0, way)
-        self.stats.data_evictions += 1
+        self.stats.record_data_eviction()
         # demote, keeping the reuse history (paper: S -> TO on DataRepl);
         # the tag stays resident so the next fetch re-admits the key
         return way
 
     def _release_data_way(self, way: int) -> None:
-        self.stats.bytes_stored -= len(self._values[way])
+        self.stats.record_value_freed(len(self._values[way]))
         self._values[way] = None
         self._data_key[way] = None
         self._clock.on_invalidate(0, way)

@@ -60,8 +60,8 @@ class TestEngine:
         assert codes(findings) == ["REP000"]
         assert "syntax error" in findings[0].message
 
-    def test_registry_has_the_eight_repo_rules(self):
-        assert sorted(RULES) == [f"REP00{i}" for i in range(1, 9)]
+    def test_registry_has_the_nine_repo_rules(self):
+        assert sorted(RULES) == [f"REP00{i}" for i in range(1, 10)]
 
     def test_select_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown rule ids"):
@@ -462,6 +462,88 @@ class TestLayerImport:
             "  # repro: noqa=REP008\n"
         )
         assert lint_snippet(src, module="repro.cache.vway") == []
+
+
+class TestCounterBypass:
+    def test_flags_nested_counter_mutation(self):
+        findings = lint_snippet("""
+        class Shard:
+            def hit(self):
+                self.stats.hits += 1
+        """, module="repro.service.store")
+        assert codes(findings) == ["REP009"]
+        assert "self.stats.hits" in findings[0].message
+
+    def test_flags_deeper_chains(self):
+        src = """
+        def bump(server):
+            server.shard.stats.misses += 1
+        """
+        assert codes(lint_snippet(src, module="repro.hierarchy.system")) == [
+            "REP009"
+        ]
+
+    def test_own_counters_and_subscripts_pass(self):
+        assert lint_snippet("""
+        class Bank:
+            def access(self):
+                self.hits += 1
+                self.counts[3] += 1
+                total = 0
+                total += 1
+                return total
+        """, module="repro.cache.vway") == []
+
+    def test_out_of_scope_module_ignored(self):
+        src = "def f(r):\n    r.stats.hits += 1\n"
+        assert lint_snippet(src, module="repro.experiments.fig5") == []
+        assert lint_snippet(src, module="repro.obs.registry") == []
+
+    def test_suppression(self):
+        assert lint_snippet("""
+        class Shard:
+            def tick(self):
+                self.clock.hand += 1  # repro: noqa=REP009
+        """, module="repro.service.store") == []
+
+
+class TestObsLayering:
+    def test_obs_is_layer_one_and_cli_sits_above(self):
+        assert LAYERS["repro.obs"] == 1
+        assert LAYERS["repro.obs.cli"] == 5
+        assert layer_package("repro.obs.cli") == "repro.obs.cli"
+        assert layer_package("repro.obs.registry") == "repro.obs"
+
+    def test_simulator_may_import_obs(self):
+        assert lint_snippet(
+            "from ..obs.tracing import NULL_TRACER\n",
+            module="repro.cache.llc_base",
+        ) == []
+
+    def test_coherence_peer_pair_allowed(self):
+        assert lint_snippet(
+            "from ..obs.tracing import NULL_TRACER\n",
+            module="repro.coherence.protocol",
+        ) == []
+
+    def test_obs_must_not_import_simulator(self):
+        findings = lint_snippet(
+            "from repro.cache.vway import VWayLLC\n",
+            module="repro.obs.registry",
+        )
+        assert codes(findings) == ["REP008"]
+
+    def test_obs_cli_may_import_hierarchy_and_service(self):
+        assert lint_snippet("""
+        from repro.hierarchy.system import System
+        from repro.service.client import CacheClient
+        """, module="repro.obs.cli") == []
+
+    def test_obs_uses_seeded_random_rules(self):
+        src = "import random\nrng = random.Random()\n"
+        assert codes(lint_snippet(src, module="repro.obs.registry")) == [
+            "REP001"
+        ]
 
 
 # -- plugin API --------------------------------------------------------------

@@ -1,0 +1,98 @@
+"""The no-op observability contract, asserted as a benchmark.
+
+``docs/observability.md`` promises that a disabled
+:class:`~repro.obs.Observability` bundle costs the simulator's hot paths
+one attribute load and a branch per event site — close enough to free that
+every experiment driver can accept an ``obs`` handle unconditionally.  This
+suite pins that promise two ways:
+
+* **runtime** — a small fig6-style reuse-cache simulation with the disabled
+  bundle must stay within 5% of the un-instrumented baseline (``obs=None``,
+  which resolves to the same disabled bundle internally, plus a pure-python
+  guard margin for timer noise);
+* **results** — enabling metrics *and* tracing must not change a single
+  simulated number (the registry only mirrors counters at snapshot time and
+  the tracer only records, never steers).
+
+Timing methodology: interleaved min-of-N.  Each repetition times baseline
+and no-op back-to-back so CPU frequency drift hits both alike, and the
+minimum over repetitions estimates the noise floor rather than the noise.
+"""
+
+import time
+
+import pytest
+
+from repro.hierarchy.config import LLCSpec, SystemConfig
+from repro.hierarchy.system import System
+from repro.obs import Observability
+from repro.workloads.mixes import EXAMPLE_MIX, build_workload
+
+#: relative slack for the no-op runtime (the documented budget)
+MAX_OVERHEAD = 0.05
+#: absolute slack absorbing timer granularity on very fast runs
+ABS_SLACK_S = 0.010
+REPEATS = 4
+
+
+def _simulate(obs, n_refs=4000):
+    workload = build_workload(EXAMPLE_MIX, n_refs=n_refs, seed=11, scale=32)
+    config = SystemConfig(
+        llc=LLCSpec.reuse(8, 1), num_cores=workload.num_cores,
+        scale=32, seed=11,
+    )
+    return System(config, workload, obs=obs).run()
+
+
+def _timed(obs) -> float:
+    start = time.perf_counter()
+    _simulate(obs)
+    return time.perf_counter() - start
+
+
+class TestNoopOverhead:
+    def test_disabled_obs_within_five_percent(self):
+        baseline_s = []
+        noop_s = []
+        for _ in range(REPEATS):
+            baseline_s.append(_timed(None))
+            noop_s.append(_timed(Observability.disabled()))
+        base, noop = min(baseline_s), min(noop_s)
+        assert noop <= base * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S, (
+            f"no-op obs run took {noop:.3f}s vs baseline {base:.3f}s "
+            f"({(noop / base - 1.0) * 100:+.1f}%, budget "
+            f"{MAX_OVERHEAD * 100:.0f}% + {ABS_SLACK_S * 1e3:.0f}ms)"
+        )
+
+
+class TestObservabilityNeutrality:
+    def test_enabled_obs_reproduces_baseline_numbers(self):
+        baseline = _simulate(None)
+        observed = _simulate(
+            Observability.enabled(tracing=True, trace_capacity=1 << 16)
+        )
+        assert observed.performance == baseline.performance
+        assert observed.instructions == baseline.instructions
+        assert observed.cycles == baseline.cycles
+        assert observed.llc_mpki == baseline.llc_mpki
+
+    def test_disabled_bundle_is_the_default(self):
+        workload = build_workload(EXAMPLE_MIX, n_refs=200, seed=11, scale=32)
+        config = SystemConfig(
+            llc=LLCSpec.reuse(8, 1), num_cores=workload.num_cores,
+            scale=32, seed=11,
+        )
+        system = System(config, workload)
+        assert system.obs.active is False
+
+    def test_performance_close_across_three_modes(self):
+        # belt and braces: the three obs modes agree to full float equality,
+        # so approx comparisons in downstream tests never mask a drift
+        runs = [
+            _simulate(None, n_refs=1000),
+            _simulate(Observability.disabled(), n_refs=1000),
+            _simulate(Observability.enabled(), n_refs=1000),
+        ]
+        perfs = {r.performance for r in runs}
+        assert len(perfs) == 1, f"obs mode changed results: {perfs}"
+        assert runs[0].performance == pytest.approx(runs[1].performance)

@@ -187,12 +187,32 @@ class TestStats:
         with pytest.raises(ValueError):
             quantile([1.0], 1.5)
 
-    def test_latency_window_wraps(self):
+    def test_latency_reservoir_bounded_and_deterministic(self):
+        # reservoir sampling: occupancy is capped, every offer is counted,
+        # and the seeded RNG makes the retained set reproducible
+        a = ShardStats(latency_window=4, seed=7)
+        b = ShardStats(latency_window=4, seed=7)
+        for v in range(100):
+            a.record_latency(float(v))
+            b.record_latency(float(v))
+        assert len(a.latencies) == 4
+        assert a.latency_count == 100
+        assert a.latencies == b.latencies
+        # a different seed retains a different sample (overwhelmingly likely
+        # over 100 offers into 4 slots)
+        c = ShardStats(latency_window=4, seed=8)
+        for v in range(100):
+            c.record_latency(float(v))
+        assert c.latencies != a.latencies
+
+    def test_latency_reservoir_snapshot_keys(self):
         st = ShardStats(latency_window=4)
-        for v in (1.0, 2.0, 3.0, 4.0, 10.0):
+        for v in (1.0, 2.0):
             st.record_latency(v)
-        assert len(st.latencies) == 4
-        assert 10.0 in st.latencies and 1.0 not in st.latencies
+        snap = st.snapshot()
+        assert snap["reservoir_occupancy"] == 2
+        assert snap["reservoir_capacity"] == 4
+        assert snap["latency_samples"] == 2
 
     def test_merge_snapshots(self):
         a, b = ShardStats(), ShardStats()
