@@ -1,46 +1,19 @@
 """Benchmark: ablations of the reuse cache's design choices (DESIGN.md).
 
-Not a paper table — quantifies the contribution of NRR tags, Clock data
-replacement and selective allocation on the same workload suite.
-"""
+Not a paper table - quantifies the contribution of NRR tags, Clock data
+replacement and selective allocation on the same workload suite."""
 
-from conftest import run_once
-
-from repro.experiments.ablation import (
-    format_ablation,
-    run_allocation_ablation,
-    run_data_policy_ablation,
-    run_tag_policy_ablation,
-    run_threshold_ablation,
-)
+from conftest import run_experiment
 
 
 def test_ablation_tag_policy(benchmark, params, report):
-    result = run_once(benchmark, run_tag_policy_ablation, params)
-    report(format_ablation(result, "Ablation: RC-4/1 tag-array replacement policy"))
-
+    run_experiment(benchmark, report, "ablation-tag", params)
 
 def test_ablation_data_policy(benchmark, params, report):
-    result = run_once(benchmark, run_data_policy_ablation, params)
-    report(format_ablation(result, "Ablation: RC-4/1 data-array replacement policy"))
-
+    run_experiment(benchmark, report, "ablation-data", params)
 
 def test_ablation_reuse_threshold(benchmark, params, report):
-    result = run_once(benchmark, run_threshold_ablation, params)
-    report(
-        format_ablation(
-            result,
-            "Ablation: RC-4/1 reuse threshold (0 = allocate-on-miss, "
-            "1 = the paper's rule)",
-        )
-    )
-
+    run_experiment(benchmark, report, "ablation-threshold", params)
 
 def test_ablation_allocation(benchmark, params, report):
-    result = run_once(benchmark, run_allocation_ablation, params)
-    report(
-        format_ablation(
-            result,
-            "Ablation: selective allocation vs allocate-on-miss at 1 MB data",
-        )
-    )
+    run_experiment(benchmark, report, "ablation-alloc", params)

@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Section 5.8 (memory-bandwidth sweep)."""
 
-from conftest import run_once
-
-from repro.experiments import format_bandwidth, run_bandwidth
+from conftest import run_experiment
 
 
 def test_bandwidth_sensitivity(benchmark, params, report):
-    result = run_once(benchmark, run_bandwidth, params)
-    report(format_bandwidth(result))
+    run_experiment(benchmark, report, "bandwidth", params)

@@ -1,10 +1,7 @@
 """Benchmark: energy study (the paper's Section 1 power motivation)."""
 
-from conftest import run_once
-
-from repro.experiments.energy import format_energy, run_energy_study
+from conftest import run_experiment
 
 
 def test_energy_study(benchmark, params, report):
-    result = run_once(benchmark, run_energy_study, params)
-    report(format_energy(result))
+    run_experiment(benchmark, report, "energy", params)

@@ -1,15 +1,10 @@
 """Benchmark: regenerate paper Figure 1 (SLLC line-usage analysis)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig1a, format_fig1b, run_fig1a, run_fig1b
+from conftest import run_experiment
 
 
 def test_fig1a_live_lines_over_time(benchmark, params, report):
-    result = run_once(benchmark, run_fig1a, params)
-    report(format_fig1a(result))
-
+    run_experiment(benchmark, report, "fig1a", params)
 
 def test_fig1b_hit_distribution(benchmark, params, report):
-    result = run_once(benchmark, run_fig1b, params)
-    report(format_fig1b(result))
+    run_experiment(benchmark, report, "fig1b", params)

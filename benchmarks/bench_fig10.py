@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Figure 10 (per-application quartiles)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig10, run_fig10
+from conftest import run_experiment
 
 
 def test_fig10_per_application(benchmark, params, report):
-    result = run_once(benchmark, run_fig10, params)
-    report(format_fig10(result))
+    run_experiment(benchmark, report, "fig10", params)

@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Figure 11 (parallel applications)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig11, run_fig11
+from conftest import run_experiment
 
 
 def test_fig11_parallel_apps(benchmark, params, report):
-    result = run_once(benchmark, run_fig11, params)
-    report(format_fig11(result))
+    run_experiment(benchmark, report, "fig11", params)

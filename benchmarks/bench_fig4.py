@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Figure 4 (data size x associativity)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig4, run_fig4
+from conftest import run_experiment
 
 
 def test_fig4_data_size_and_associativity(benchmark, params, report):
-    result = run_once(benchmark, run_fig4, params)
-    report(format_fig4(result))
+    run_experiment(benchmark, report, "fig4", params)

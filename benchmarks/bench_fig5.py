@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Figure 5 (tag-array size sweep)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig5, run_fig5
+from conftest import run_experiment
 
 
 def test_fig5_tag_array_sweep(benchmark, params, report):
-    result = run_once(benchmark, run_fig5, params)
-    report(format_fig5(result))
+    run_experiment(benchmark, report, "fig5", params)

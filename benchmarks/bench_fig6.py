@@ -1,14 +1,7 @@
 """Benchmark: regenerate paper Figure 6 (per-workload speedups)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig6, run_fig6
+from conftest import run_experiment
 
 
 def test_fig6_per_workload_speedups(benchmark, params, report):
-    result = run_once(benchmark, run_fig6, params)
-    lines = [format_fig6(result), "", "sorted speedup curves:"]
-    for label, d in result.items():
-        curve = " ".join(f"{s:.2f}" for s in d["sorted_speedups"])
-        lines.append(f"  {label:<10} {curve}")
-    report("\n".join(lines))
+    run_experiment(benchmark, report, "fig6", params)

@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Figure 7 (live-line fractions)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig7, run_fig7
+from conftest import run_experiment
 
 
 def test_fig7_live_fractions(benchmark, params, report):
-    result = run_once(benchmark, run_fig7, params)
-    report(format_fig7(result))
+    run_experiment(benchmark, report, "fig7", params)

@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Figure 8 (RC vs DRRIP/NRR + storage)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig8, run_fig8
+from conftest import run_experiment
 
 
 def test_fig8_vs_state_of_the_art(benchmark, params, report):
-    result = run_once(benchmark, run_fig8, params)
-    report(format_fig8(result))
+    run_experiment(benchmark, report, "fig8", params)

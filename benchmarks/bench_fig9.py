@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Figure 9 (reuse cache vs NCID)."""
 
-from conftest import run_once
-
-from repro.experiments import format_fig9, run_fig9
+from conftest import run_experiment
 
 
 def test_fig9_vs_ncid(benchmark, params, report):
-    result = run_once(benchmark, run_fig9, params)
-    report(format_fig9(result))
+    run_experiment(benchmark, report, "fig9", params)

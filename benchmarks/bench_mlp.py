@@ -1,10 +1,7 @@
 """Benchmark: core-model (MLP) sensitivity of the key comparisons."""
 
-from conftest import run_once
-
-from repro.experiments.mlp import format_mlp, run_mlp
+from conftest import run_experiment
 
 
 def test_mlp_sensitivity(benchmark, params, report):
-    result = run_once(benchmark, run_mlp, params)
-    report(format_mlp(result))
+    run_experiment(benchmark, report, "mlp", params)

@@ -1,10 +1,7 @@
 """Benchmark: Belady OPT bound study (extension beyond the paper)."""
 
-from conftest import run_once
-
-from repro.experiments.opt_bound import format_opt_bound, run_opt_bound
+from conftest import run_experiment
 
 
 def test_opt_bound(benchmark, params, report):
-    result = run_once(benchmark, run_opt_bound, params)
-    report(format_opt_bound(result))
+    run_experiment(benchmark, report, "opt", params)

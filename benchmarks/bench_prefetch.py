@@ -1,10 +1,7 @@
 """Benchmark: the prefetching extension study (paper Section 6 discussion)."""
 
-from conftest import run_once
-
-from repro.experiments.prefetch import format_prefetch, run_prefetch
+from conftest import run_experiment
 
 
 def test_prefetch_extension(benchmark, params, report):
-    result = run_once(benchmark, run_prefetch, params)
-    report(format_prefetch(result))
+    run_experiment(benchmark, report, "prefetch", params)

@@ -1,10 +1,7 @@
 """Benchmark: scale-robustness of the reproduction's conclusions."""
 
-from conftest import run_once
-
-from repro.experiments.robustness import format_robustness, run_robustness
+from conftest import run_experiment
 
 
 def test_scale_robustness(benchmark, params, report):
-    result = run_once(benchmark, run_robustness, params)
-    report(format_robustness(result))
+    run_experiment(benchmark, report, "robustness", params)

@@ -1,21 +1,11 @@
 """Benchmark: regenerate paper Tables 2 (hardware cost, exact) and 3
-(access-latency comparison via the CACTI surrogate)."""
+(access latency, CACTI surrogate) via the experiment registry."""
 
-from conftest import run_once
-
-from repro.experiments import (
-    format_table2,
-    format_table3,
-    run_table2,
-    run_table3,
-)
+from conftest import run_experiment
 
 
-def test_table2_hardware_cost(benchmark, report):
-    result = run_once(benchmark, run_table2)
-    report(format_table2(result))
+def test_table2_hardware_cost(benchmark, params, report):
+    run_experiment(benchmark, report, "table2", params)
 
-
-def test_table3_latency(benchmark, report):
-    result = run_once(benchmark, run_table3)
-    report(format_table3(result))
+def test_table3_latency(benchmark, params, report):
+    run_experiment(benchmark, report, "table3", params)

@@ -1,18 +1,7 @@
 """Benchmark: regenerate paper Table 5 (baseline per-app MPKIs)."""
 
-from conftest import run_once
-
-from repro.experiments import format_table5, run_table5
-from repro.workloads.profiles import TABLE5_TARGETS
+from conftest import run_experiment
 
 
 def test_table5_baseline_mpki(benchmark, params, report):
-    result = run_once(benchmark, run_table5, params)
-    lines = [format_table5(result), "", "paper targets (L1/L2/LLC):"]
-    for app, d in result.items():
-        t = TABLE5_TARGETS[app]
-        lines.append(
-            f"  {app:<12} measured {d['l1']:6.1f}/{d['l2']:6.1f}/{d['llc']:6.1f}"
-            f"   paper {t[0]:6.1f}/{t[1]:6.1f}/{t[2]:6.1f}"
-        )
-    report("\n".join(lines))
+    run_experiment(benchmark, report, "table5", params)

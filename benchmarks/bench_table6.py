@@ -1,10 +1,7 @@
 """Benchmark: regenerate paper Table 6 (data-allocation selectivity)."""
 
-from conftest import run_once
-
-from repro.experiments import format_table6, run_table6
+from conftest import run_experiment
 
 
 def test_table6_selectivity(benchmark, params, report):
-    result = run_once(benchmark, run_table6, params)
-    report(format_table6(result))
+    run_experiment(benchmark, report, "table6", params)

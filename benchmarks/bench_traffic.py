@@ -1,10 +1,7 @@
 """Benchmark: DRAM traffic study (adjunct to paper Table 6 / Section 5.3)."""
 
-from conftest import run_once
-
-from repro.experiments.traffic import format_traffic, run_traffic
+from conftest import run_experiment
 
 
 def test_traffic_study(benchmark, params, report):
-    result = run_once(benchmark, run_traffic, params)
-    report(format_traffic(result))
+    run_experiment(benchmark, report, "traffic", params)

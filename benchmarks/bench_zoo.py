@@ -1,10 +1,7 @@
 """Benchmark: the replacement-policy zoo (extension of paper Fig. 8)."""
 
-from conftest import run_once
-
-from repro.experiments.zoo import format_zoo, run_zoo
+from conftest import run_experiment
 
 
 def test_replacement_zoo(benchmark, params, report):
-    result = run_once(benchmark, run_zoo, params)
-    report(format_zoo(result))
+    run_experiment(benchmark, report, "zoo", params)

@@ -46,3 +46,28 @@ def report():
 def run_once(benchmark, fn, *args, **kwargs):
     """Run an experiment exactly once under pytest-benchmark timing."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def run_experiment(benchmark, report, name, params, runner=None):
+    """Benchmark one registered experiment end to end.
+
+    Resolves *name* in :mod:`repro.experiments.registry`, executes it once
+    through the engine (``Runner.default()`` honours ``REPRO_PARALLEL`` and
+    ``REPRO_CACHE_DIR``), prints and persists its formatted rows, and
+    returns the raw result.
+    """
+    from repro.experiments.registry import get
+    from repro.runner import Runner
+
+    spec = get(name)
+    if runner is None:
+        runner = Runner.default()
+    result = benchmark.pedantic(
+        spec.execute,
+        args=(params,),
+        kwargs={"runner": runner},
+        rounds=1,
+        iterations=1,
+    )
+    report(spec.format(result))
+    return result

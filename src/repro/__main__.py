@@ -1,14 +1,22 @@
 """Command-line interface: regenerate any table/figure of the paper.
 
-Usage::
+The front door is the experiment registry (see ``docs/runner.md``)::
 
-    python -m repro list
-    python -m repro fig5 --workloads 8 --refs 30000
-    python -m repro table6 --scale 32 --seed 7
-    python -m repro all
+    python -m repro list-experiments
+    python -m repro run fig7 --parallel 4
+    python -m repro run fig5 fig6 --workloads 8 --refs 30000
+    python -m repro run all --cache-dir /tmp/rc --stats-json stats.json
+    python -m repro run fig7 --plan
 
-Each experiment prints the same rows the paper reports; see EXPERIMENTS.md
-for the paper-vs-measured comparison.
+``repro run`` executes through :class:`repro.runner.Runner`: cells fan out
+over ``--parallel N`` worker processes and results are memoized in a
+content-addressed cache (``--cache-dir``, default ``.repro-cache``;
+disable with ``--no-cache``, recompute with ``--force``).  Re-runs and
+interrupted sweeps resume from cache with byte-identical output.
+
+The legacy spellings (``python -m repro fig5``, ``list``, ``all``) still
+work but print a deprecation note; so do the per-module entry points
+(``python -m repro.experiments.fig5``).
 
 Serving mode (see ``docs/service.md``) lives under two extra subcommands
 dispatched to :mod:`repro.service.cli`::
@@ -35,54 +43,21 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 
-from . import experiments as ex
 from .devtools import cli as devtools_cli
 from .experiments import ExperimentParams
+from .experiments import registry
 from .obs import cli as obs_cli
 from .obs.logging import configure as configure_logging
+from .runner import ResultCache, Runner, cell_key
+from .runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
 from .service import cli as service_cli
 
-#: experiment name -> (runner, formatter, needs_params)
-EXPERIMENTS = {
-    "fig1a": (ex.run_fig1a, ex.format_fig1a, True),
-    "fig1b": (ex.run_fig1b, ex.format_fig1b, True),
-    "table2": (ex.run_table2, ex.format_table2, False),
-    "table3": (ex.run_table3, ex.format_table3, False),
-    "table5": (ex.run_table5, ex.format_table5, True),
-    "table6": (ex.run_table6, ex.format_table6, True),
-    "fig4": (ex.run_fig4, ex.format_fig4, True),
-    "fig5": (ex.run_fig5, ex.format_fig5, True),
-    "fig6": (ex.run_fig6, ex.format_fig6, True),
-    "fig7": (ex.run_fig7, ex.format_fig7, True),
-    "fig8": (ex.run_fig8, ex.format_fig8, True),
-    "fig9": (ex.run_fig9, ex.format_fig9, True),
-    "fig10": (ex.run_fig10, ex.format_fig10, True),
-    "fig11": (ex.run_fig11, ex.format_fig11, True),
-    "bandwidth": (ex.run_bandwidth, ex.format_bandwidth, True),
-    # extensions beyond the paper's evaluation
-    "zoo": (ex.run_zoo, ex.format_zoo, True),
-    "energy": (ex.run_energy_study, ex.format_energy, True),
-    "traffic": (ex.run_traffic, ex.format_traffic, True),
-    "opt": (ex.run_opt_bound, ex.format_opt_bound, True),
-    "prefetch": (ex.run_prefetch, ex.format_prefetch, True),
-    "robustness": (ex.run_robustness, ex.format_robustness, True),
-    "mlp": (ex.run_mlp, ex.format_mlp, True),
-}
 
-
-def build_parser() -> argparse.ArgumentParser:
-    """Build the argparse CLI."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description="Reproduce tables/figures of 'The Reuse Cache' (MICRO 2013).",
-    )
-    parser.add_argument(
-        "experiment",
-        help="experiment name (see 'list'), or 'all', or 'list'",
-    )
+def _add_param_args(parser: argparse.ArgumentParser) -> None:
     defaults = ExperimentParams()
     parser.add_argument("--workloads", type=int, default=defaults.n_workloads,
                         help="number of multiprogrammed mixes")
@@ -101,6 +76,60 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also append everything printed to FILE (report capture)",
     )
+
+
+def build_run_parser() -> argparse.ArgumentParser:
+    """The ``repro run`` subcommand parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro run",
+        description="Run experiments through the parallel, cached engine.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help="experiment name(s) (see 'list-experiments'), or 'all'",
+    )
+    _add_param_args(parser)
+    parser.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="worker processes (default: $REPRO_PARALLEL or serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help=f"result cache directory (default: ${CACHE_DIR_ENV} or "
+             f"{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache entirely",
+    )
+    parser.add_argument(
+        "--force", action="store_true",
+        help="recompute every cell, overwriting cached entries",
+    )
+    parser.add_argument(
+        "--plan", action="store_true",
+        help="show what would run (and what is already cached) and exit",
+    )
+    parser.add_argument(
+        "--stats-json", metavar="FILE",
+        help="dump runner statistics (cells run/cached/failed) as JSON",
+    )
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The legacy single-positional CLI (``repro fig5``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce tables/figures of 'The Reuse Cache' (MICRO 2013).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment name (see 'list-experiments'), or 'all', or 'list'",
+    )
+    _add_param_args(parser)
     return parser
 
 
@@ -135,17 +164,137 @@ def _jsonable(obj):
     return str(obj)
 
 
-def run_one(name: str, params: ExperimentParams, json_path=None) -> None:
-    """Run one experiment, print its rows, optionally dump JSON."""
-    runner, formatter, needs_params = EXPERIMENTS[name]
+def _resolve_names(requested) -> list:
+    """Expand 'all' and validate every requested experiment name."""
+    names = []
+    for name in requested:
+        if name == "all":
+            names.extend(registry.names())
+        elif name in registry.names():
+            names.append(name)
+        else:
+            raise SystemExit(
+                f"unknown experiment {name!r}; try 'repro list-experiments'"
+            )
+    return names
+
+
+def _build_runner(args) -> Runner:
+    """Translate ``repro run`` flags into a configured engine."""
+    if args.parallel is not None and args.parallel < 0:
+        raise SystemExit("--parallel must be >= 0")
+    parallel = args.parallel
+    if parallel is None:
+        parallel = int(os.environ.get("REPRO_PARALLEL", "0") or 0)
+    cache = None
+    if not args.no_cache:
+        cache_dir = (args.cache_dir or os.environ.get(CACHE_DIR_ENV)
+                     or DEFAULT_CACHE_DIR)
+        cache = ResultCache(cache_dir)
+    return Runner(parallel=parallel, cache=cache, force=args.force)
+
+
+def _print_plan(names, params: ExperimentParams, runner: Runner) -> None:
+    """Preview the cells each experiment would request and their cache state."""
+    for name in names:
+        spec = registry.get(name)
+        print(f"{name}: {spec.title}")
+        if not spec.needs_params:
+            print("  analytical (no simulation cells)")
+            continue
+        if spec.cells is None:
+            print("  cells enumerated internally by the driver")
+            continue
+        cells = spec.cells(params)
+        cached = 0
+        if runner.cache is not None:
+            fingerprint = runner._fingerprint
+            cached = sum(
+                1 for cell in cells
+                if runner.cache.contains(cell_key(cell, fingerprint))
+            )
+        state = f", {cached} already cached" if runner.cache is not None else ""
+        print(f"  {len(cells)} cell(s){state}")
+        for cell in cells:
+            print(f"    {cell.label}")
+
+
+def _run_stats_line(runner: Runner) -> str:
+    s = runner.stats
+    return (f"[cells: {s.run} run, {s.cached} cached, {s.failed} failed"
+            f" | cache hit rate {s.hit_rate:.0%}"
+            f" | compute {s.seconds:.1f}s]")
+
+
+def run_one(name: str, params: ExperimentParams, runner: Runner,
+            json_results=None) -> None:
+    """Run one experiment, print its rows, optionally collect JSON."""
+    spec = registry.get(name)
     start = time.time()
-    result = runner(params) if needs_params else runner()
-    print(formatter(result))
+    result = spec.execute(params, runner=runner)
+    print(spec.format(result))
     print(f"[{name}: {time.time() - start:.1f}s]\n")
-    if json_path:
-        with open(json_path, "w") as fh:
-            json.dump({name: _jsonable(result)}, fh, indent=2)
-        print(f"wrote {json_path}")
+    if json_results is not None:
+        json_results[name] = _jsonable(result)
+
+
+def cmd_run(argv) -> int:
+    """``repro run <name>... `` — the registry + runner front door."""
+    args = build_run_parser().parse_args(argv)
+    names = _resolve_names(args.experiments)
+    params = ExperimentParams(
+        n_workloads=args.workloads,
+        n_refs=args.refs,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    runner = _build_runner(args)
+    if args.plan:
+        _print_plan(names, params, runner)
+        return 0
+    json_results = {} if args.json else None
+    out_fh = open(args.out, "a") if args.out else None
+    original_stdout = sys.stdout
+    if out_fh:
+        sys.stdout = _Tee(original_stdout, out_fh)
+    try:
+        for name in names:
+            run_one(name, params, runner, json_results)
+        print(_run_stats_line(runner))
+    finally:
+        if out_fh:
+            sys.stdout = original_stdout
+            out_fh.close()
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(json_results, fh, indent=2)
+        print(f"wrote {args.json}")
+    if args.stats_json:
+        s = runner.stats
+        with open(args.stats_json, "w") as fh:
+            json.dump(
+                {
+                    "run": s.run,
+                    "cached": s.cached,
+                    "failed": s.failed,
+                    "total": s.total,
+                    "hit_rate": s.hit_rate,
+                    "compute_seconds": s.seconds,
+                },
+                fh,
+                indent=2,
+            )
+        print(f"wrote {args.stats_json}")
+    return 0
+
+
+def cmd_list_experiments() -> int:
+    """``repro list-experiments`` — every registered experiment."""
+    width = max(len(name) for name in registry.names())
+    for spec in registry.all_specs():
+        kind = "analytical" if not spec.needs_params else "/".join(spec.tags)
+        print(f"  {spec.name:<{width}}  {spec.title}  [{kind}]")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -159,10 +308,16 @@ def main(argv=None) -> int:
         return devtools_cli.main(argv)
     if argv and argv[0] in obs_cli.OBS_COMMANDS:
         return obs_cli.main(argv)
+    if argv and argv[0] == "run":
+        return cmd_run(argv[1:])
+    if argv and argv[0] == "list-experiments":
+        return cmd_list_experiments()
+
+    # ---- legacy spellings ---------------------------------------------------
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
-        print("available experiments:")
-        for name in EXPERIMENTS:
+        print("experiments (run with 'repro run <name>'):")
+        for name in registry.names():
             print(f"  {name}")
         print("service commands (see 'repro serve --help'):")
         for name in service_cli.SERVICE_COMMANDS:
@@ -174,31 +329,25 @@ def main(argv=None) -> int:
         for name in obs_cli.OBS_COMMANDS:
             print(f"  {name}")
         return 0
-    params = ExperimentParams(
-        n_workloads=args.workloads,
-        n_refs=args.refs,
-        scale=args.scale,
-        seed=args.seed,
+    if args.experiment != "all" and args.experiment not in registry.names():
+        print(f"unknown experiment {args.experiment!r}; try 'list-experiments'",
+              file=sys.stderr)
+        return 2
+    print(
+        f"DEPRECATED: 'repro {args.experiment}' is superseded by "
+        f"'repro run {args.experiment}' (parallel + cached engine); "
+        "forwarding.",
+        file=sys.stderr,
     )
-    out_fh = open(args.out, "a") if args.out else None
-    original_stdout = sys.stdout
-    if out_fh:
-        sys.stdout = _Tee(original_stdout, out_fh)
-    try:
-        if args.experiment == "all":
-            for name in EXPERIMENTS:
-                run_one(name, params)
-            return 0
-        if args.experiment not in EXPERIMENTS:
-            print(f"unknown experiment {args.experiment!r}; try 'list'",
-                  file=sys.stderr)
-            return 2
-        run_one(args.experiment, params, json_path=args.json)
-        return 0
-    finally:
-        if out_fh:
-            sys.stdout = original_stdout
-            out_fh.close()
+    forward = [args.experiment]
+    forward += ["--workloads", str(args.workloads), "--refs", str(args.refs),
+                "--scale", str(args.scale), "--seed", str(args.seed),
+                "--no-cache"]
+    if args.json:
+        forward += ["--json", args.json]
+    if args.out:
+        forward += ["--out", args.out]
+    return cmd_run(forward)
 
 
 if __name__ == "__main__":

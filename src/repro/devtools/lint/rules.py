@@ -1,10 +1,11 @@
-"""Repo-specific lint rules (REP001–REP009).
+"""Repo-specific lint rules (REP001–REP010).
 
 Each rule targets a hazard class that corrupts simulation results or
 serving behaviour *without failing any test*: nondeterminism (REP001,
 REP002), event-loop stalls (REP3/4), Python foot-guns (REP005–REP007),
-architecture erosion (REP008) and observability bypass (REP009).
-``docs/devtools.md`` documents the rule set and how to add one.
+architecture erosion (REP008), observability bypass (REP009) and
+decentralised parallelism (REP010).  ``docs/devtools.md`` documents the
+rule set and how to add one.
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ SIMULATOR_SCOPE = (
     "repro.hierarchy",
     "repro.metrics",
     "repro.replacement",
+    "repro.runner",
     "repro.workloads",
 )
 
@@ -317,8 +319,11 @@ LAYERS = {
     "repro.cache": 2,
     "repro.core": 2,
     "repro.hierarchy": 3,
-    "repro.experiments": 4,
+    # the runner executes simulator cells; the experiment drivers sit on
+    # top of it, so they moved up a layer when the engine was introduced
+    "repro.runner": 4,
     "repro.service": 4,
+    "repro.experiments": 5,
     "repro.devtools": 5,
     "repro.__main__": 6,
 }
@@ -442,3 +447,59 @@ class CounterBypassRule(Rule):
             "counters through the owner's record_* API or the obs "
             "registry (# repro: noqa=REP009 if this is not a metric)",
         )
+
+
+@register
+class DecentralisedParallelismRule(Rule):
+    """Process-level parallelism belongs to :mod:`repro.runner` alone.
+
+    The engine guarantees that parallel execution is deterministic (cells
+    carry their own seeds, results return in submission order) and
+    observable (cells run/cached/failed counters, latency histogram).  A
+    stray ``ProcessPoolExecutor`` or ``multiprocessing`` pool elsewhere
+    would fork work that no cache key covers and no counter counts —
+    every fan-out must go through ``Runner.run_cells``.
+    """
+
+    id = "REP010"
+    name = "decentralised-parallelism"
+    description = (
+        "multiprocessing / concurrent.futures used outside repro.runner"
+    )
+    scope = ("repro",)
+
+    _BANNED = ("multiprocessing", "concurrent.futures", "concurrent")
+
+    def _allowed(self, ctx) -> bool:
+        return ctx.module == "repro.runner" or ctx.module.startswith(
+            "repro.runner."
+        )
+
+    def _is_banned(self, module: str) -> bool:
+        return any(
+            module == root or module.startswith(root + ".")
+            for root in self._BANNED
+        )
+
+    def check_Import(self, node: ast.Import, ctx) -> None:
+        if self._allowed(ctx):
+            return
+        for alias in node.names:
+            if self._is_banned(alias.name):
+                ctx.report(
+                    self, node,
+                    f"import of {alias.name} outside repro.runner; submit "
+                    "cells through repro.runner.Runner so parallelism stays "
+                    "seeded, cached and counted",
+                )
+
+    def check_ImportFrom(self, node: ast.ImportFrom, ctx) -> None:
+        if self._allowed(ctx) or node.level:
+            return
+        if self._is_banned(node.module or ""):
+            ctx.report(
+                self, node,
+                f"import from {node.module} outside repro.runner; submit "
+                "cells through repro.runner.Runner so parallelism stays "
+                "seeded, cached and counted",
+            )

@@ -11,6 +11,7 @@ from .ablation import (
     run_allocation_ablation,
     run_data_policy_ablation,
     run_tag_policy_ablation,
+    run_threshold_ablation,
 )
 from .bandwidth import format_bandwidth, run_bandwidth
 from .common import BASELINE_SPEC, ExperimentParams, SpeedupStudy, format_table
@@ -40,11 +41,17 @@ from .tables import (
     run_table5,
     run_table6,
 )
+from .registry import ExperimentSpec, all_specs, get, names, register
 
 __all__ = [
     "ExperimentParams",
+    "ExperimentSpec",
     "SpeedupStudy",
     "BASELINE_SPEC",
+    "all_specs",
+    "get",
+    "names",
+    "register",
     "format_table",
     "run_fig1a",
     "run_fig1b",
@@ -80,6 +87,7 @@ __all__ = [
     "run_tag_policy_ablation",
     "run_data_policy_ablation",
     "run_allocation_ablation",
+    "run_threshold_ablation",
     "format_ablation",
     "run_zoo",
     "format_zoo",

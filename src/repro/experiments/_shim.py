@@ -1,0 +1,37 @@
+"""Deprecation shims behind ``python -m repro.experiments.<module>``.
+
+The experiment modules used to double as ad-hoc entry points.  The single
+front door is now the registry-driven CLI::
+
+    python -m repro run fig7 --parallel 4
+    python -m repro list-experiments
+
+Each module keeps a two-line ``__main__`` block calling
+:func:`run_module_main`, which warns, then executes the module's registered
+experiments through the same registry/runner path as ``repro run``.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from ..runner import Runner
+from .common import ExperimentParams
+
+
+def run_module_main(*names: str) -> int:
+    """Run the named registered experiments with env-derived params."""
+    from .registry import get
+
+    print(
+        f"DEPRECATED: 'python -m repro.experiments.*' entry points are "
+        f"superseded by 'python -m repro run {' '.join(names)}' "
+        "(see 'python -m repro list-experiments')",
+        file=sys.stderr,
+    )
+    params = ExperimentParams.from_env()
+    runner = Runner.default()
+    for name in names:
+        spec = get(name)
+        print(spec.format(spec.execute(params, runner=runner)))
+    return 0

@@ -24,56 +24,83 @@ TAG_POLICIES = ("nrr", "lru", "srrip", "random")
 DATA_POLICIES = ("clock", "nru", "lru", "random")
 
 
-def run_tag_policy_ablation(params: ExperimentParams, tag_mbeq=4, data_mb=1) -> dict:
+def _sweep(params, named_specs, runner=None) -> dict:
+    """Evaluate ``[(name, spec), ...]`` as one runner batch."""
+    study = SpeedupStudy(params, runner=runner)
+    evaluations = study.evaluate_all([spec for _, spec in named_specs])
+    return {
+        name: result.mean_speedup
+        for (name, _), result in zip(named_specs, evaluations)
+    }
+
+
+def run_tag_policy_ablation(params: ExperimentParams, tag_mbeq=4, data_mb=1,
+                            runner=None) -> dict:
     """Swap the RC tag-array policy (NRR/LRU/SRRIP/random)."""
-    study = SpeedupStudy(params)
-    return {
-        policy: study.evaluate(
-            LLCSpec.reuse(tag_mbeq, data_mb, tag_policy=policy)
-        ).mean_speedup
-        for policy in TAG_POLICIES
-    }
+    return _sweep(
+        params,
+        [
+            (policy, LLCSpec.reuse(tag_mbeq, data_mb, tag_policy=policy))
+            for policy in TAG_POLICIES
+        ],
+        runner=runner,
+    )
 
 
-def run_data_policy_ablation(params: ExperimentParams, tag_mbeq=4, data_mb=1) -> dict:
+def run_data_policy_ablation(params: ExperimentParams, tag_mbeq=4, data_mb=1,
+                             runner=None) -> dict:
     """Swap the RC data-array policy (Clock/NRU/LRU/random)."""
-    study = SpeedupStudy(params)
-    return {
-        policy: study.evaluate(
-            LLCSpec.reuse(tag_mbeq, data_mb, data_policy=policy)
-        ).mean_speedup
-        for policy in DATA_POLICIES
-    }
+    return _sweep(
+        params,
+        [
+            (policy, LLCSpec.reuse(tag_mbeq, data_mb, data_policy=policy))
+            for policy in DATA_POLICIES
+        ],
+        runner=runner,
+    )
 
 
-def run_allocation_ablation(params: ExperimentParams, data_mb=1) -> dict:
+def run_allocation_ablation(params: ExperimentParams, data_mb=1,
+                            runner=None) -> dict:
     """Selective allocation vs allocate-on-miss at equal data capacity."""
-    study = SpeedupStudy(params)
-    return {
-        "RC-4/1 (selective)": study.evaluate(LLCSpec.reuse(4, data_mb)).mean_speedup,
-        "NCID-4/1 (5% duel)": study.evaluate(LLCSpec.ncid(4, data_mb)).mean_speedup,
-        "conv-1MB-lru": study.evaluate(
-            LLCSpec.conventional(data_mb, "lru")
-        ).mean_speedup,
-        "conv-1MB-nrr": study.evaluate(
-            LLCSpec.conventional(data_mb, "nrr")
-        ).mean_speedup,
-    }
+    return _sweep(
+        params,
+        [
+            ("RC-4/1 (selective)", LLCSpec.reuse(4, data_mb)),
+            ("NCID-4/1 (5% duel)", LLCSpec.ncid(4, data_mb)),
+            ("conv-1MB-lru", LLCSpec.conventional(data_mb, "lru")),
+            ("conv-1MB-nrr", LLCSpec.conventional(data_mb, "nrr")),
+        ],
+        runner=runner,
+    )
 
 
-def run_threshold_ablation(params: ExperimentParams, tag_mbeq=4, data_mb=1) -> dict:
+def run_threshold_ablation(params: ExperimentParams, tag_mbeq=4, data_mb=1,
+                           runner=None) -> dict:
     """Sweep the reuse threshold: 0 (allocate-on-miss, non-selective),
     1 (the paper's second-access rule), 2 and 3 (stricter selectivity)."""
-    study = SpeedupStudy(params)
-    return {
-        f"threshold={k}": study.evaluate(
-            LLCSpec.reuse(tag_mbeq, data_mb, reuse_threshold=k)
-        ).mean_speedup
-        for k in (0, 1, 2, 3)
-    }
+    return _sweep(
+        params,
+        [
+            (f"threshold={k}",
+             LLCSpec.reuse(tag_mbeq, data_mb, reuse_threshold=k))
+            for k in (0, 1, 2, 3)
+        ],
+        runner=runner,
+    )
 
 
 def format_ablation(result: dict, title: str) -> str:
     """Render one ablation result as a text table."""
     rows = [(name, f"{sp:.3f}") for name, sp in result.items()]
     return format_table(["variant", "speedup vs 8MB LRU"], rows, title=title)
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(
+        run_module_main(
+            "ablation-tag", "ablation-data", "ablation-threshold", "ablation-alloc"
+        )
+    )

@@ -8,34 +8,32 @@ memory system.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..dram.ddr3 import DDR3Config
 from ..hierarchy.config import LLCSpec
-from ..hierarchy.system import run_workload
+from ..runner import Runner
 from .common import BASELINE_SPEC, ExperimentParams, format_table
 
 CHANNEL_COUNTS = (1, 2, 4)
 SPECS = [BASELINE_SPEC, LLCSpec.reuse(4, 1)]
 
 
-def run_bandwidth(params: ExperimentParams) -> dict:
+def run_bandwidth(params: ExperimentParams, runner=None) -> dict:
     """Mean performance at 1/2/4 channels, normalised to 1 channel."""
-    workloads = params.workloads()
+    runner = runner if runner is not None else Runner.default()
+    refs = params.workload_refs()
+    cells = [
+        params.cell(spec, ref, dram=DDR3Config(channels=channels))
+        for spec in SPECS
+        for channels in CHANNEL_COUNTS
+        for ref in refs
+    ]
+    runs = iter(runner.run_cells(cells))
     out = {}
     for spec in SPECS:
         per_channels = {}
         for channels in CHANNEL_COUNTS:
-            dram = DDR3Config(channels=channels)
-            perf = 0.0
-            for workload in workloads:
-                config = replace(
-                    params.system_config(spec), dram=dram
-                )
-                perf += run_workload(
-                    config, workload, warmup_frac=params.warmup_frac
-                ).performance
-            per_channels[channels] = perf / len(workloads)
+            perf = sum(next(runs).performance for _ in refs)
+            per_channels[channels] = perf / len(refs)
         base = per_channels[1]
         out[spec.label] = {
             channels: perf / base for channels, perf in per_channels.items()
@@ -54,3 +52,9 @@ def format_bandwidth(result: dict) -> str:
         rows,
         title="Sec. 5.8: memory-bandwidth sensitivity (paper: <1% variation)",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("bandwidth"))

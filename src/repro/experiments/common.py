@@ -7,9 +7,14 @@ finishes in tens of seconds; the environment variables ``REPRO_WORKLOADS``,
 paper-scale runs without touching code.
 
 :class:`SpeedupStudy` evaluates a set of SLLC configurations over a common
-workload suite against the paper's baseline (conventional 8 MB LRU), caching
-the baseline run per workload.  Averages over workloads are arithmetic means
-of per-workload speedups, matching the paper's "average speedup relative to
+workload suite against the paper's baseline (conventional 8 MB LRU).  Since
+PR 4 it does not simulate directly: every (configuration, workload) pair
+becomes a :class:`~repro.runner.cells.Cell` executed by a
+:class:`~repro.runner.engine.Runner`, which can replay cells from the
+on-disk result cache and fan the rest out over worker processes — with
+results byte-identical to the historical serial path (the default runner
+*is* the serial path).  Averages over workloads are arithmetic means of
+per-workload speedups, matching the paper's "average speedup relative to
 the baseline" reporting.
 """
 
@@ -19,9 +24,9 @@ import os
 from dataclasses import dataclass, field, replace
 
 from ..hierarchy.config import LLCSpec, SystemConfig
-from ..hierarchy.system import RunResult, run_workload
 from ..obs.logging import get_logger
-from ..workloads.mixes import build_mix_suite
+from ..runner import Cell, Runner, WorkloadRef, as_workload_ref
+from ..workloads.mixes import build_mix_suite, make_mixes
 
 log = get_logger(__name__)
 
@@ -29,9 +34,21 @@ log = get_logger(__name__)
 BASELINE_SPEC = LLCSpec.conventional(8.0, "lru")
 
 
-def _env_int(name: str, default: int) -> int:
+def _env_int(name: str, default: int, minimum: int | None = None) -> int:
     raw = os.environ.get(name)
-    return int(raw) if raw else default
+    if not raw:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"environment variable {name} must be an integer, got {raw!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ValueError(
+            f"environment variable {name} must be >= {minimum}, got {value}"
+        )
+    return value
 
 
 @dataclass(frozen=True)
@@ -46,13 +63,18 @@ class ExperimentParams:
 
     @staticmethod
     def from_env() -> "ExperimentParams":
-        """Defaults overridden by REPRO_WORKLOADS/REFS/SCALE/SEED."""
+        """Defaults overridden by REPRO_WORKLOADS/REFS/SCALE/SEED.
+
+        Zero or negative workload/ref/scale counts would silently produce
+        empty or degenerate sweeps, so they raise :class:`ValueError`
+        naming the offending variable instead.
+        """
         p = ExperimentParams()
         return replace(
             p,
-            n_workloads=_env_int("REPRO_WORKLOADS", p.n_workloads),
-            n_refs=_env_int("REPRO_REFS", p.n_refs),
-            scale=_env_int("REPRO_SCALE", p.scale),
+            n_workloads=_env_int("REPRO_WORKLOADS", p.n_workloads, minimum=1),
+            n_refs=_env_int("REPRO_REFS", p.n_refs, minimum=1),
+            scale=_env_int("REPRO_SCALE", p.scale, minimum=1),
             seed=_env_int("REPRO_SEED", p.seed),
         )
 
@@ -64,6 +86,35 @@ class ExperimentParams:
         """The experiment's slice of the paper-style 100-mix suite."""
         return build_mix_suite(
             self.n_workloads, self.n_refs, scale=self.scale, seed=self.seed
+        )
+
+    def workload_refs(self) -> list:
+        """Declarative refs for :meth:`workloads` (same traces, rebuilt
+        on demand inside whichever process executes a cell)."""
+        mixes = make_mixes(100, seed=self.seed)[: self.n_workloads]
+        return [
+            WorkloadRef.mix(
+                mix, self.n_refs, seed=self.seed + i, scale=self.scale,
+                name=f"mix{i:03d}",
+            )
+            for i, mix in enumerate(mixes)
+        ]
+
+    def cell(
+        self,
+        spec: LLCSpec,
+        workload: WorkloadRef,
+        record_generations: bool = False,
+        capture_llc_trace: bool = False,
+        **config_overrides,
+    ) -> Cell:
+        """One runner cell for ``spec`` × ``workload`` at these params."""
+        return Cell(
+            config=self.system_config(spec, **config_overrides),
+            workload=workload,
+            warmup_frac=self.warmup_frac,
+            record_generations=record_generations,
+            capture_llc_trace=capture_llc_trace,
         )
 
 
@@ -82,7 +133,13 @@ class ConfigResult:
 
 
 class SpeedupStudy:
-    """Run many SLLC configurations over one workload suite vs the baseline."""
+    """Run many SLLC configurations over one workload suite vs the baseline.
+
+    All simulation goes through ``runner``; the default
+    :meth:`Runner.default` is serial and uncached, i.e. exactly the
+    pre-runner behaviour.  Pass a parallel/cached runner (or set
+    ``REPRO_PARALLEL`` / ``REPRO_CACHE_DIR``) to accelerate sweeps.
+    """
 
     def __init__(
         self,
@@ -90,41 +147,58 @@ class SpeedupStudy:
         baseline: LLCSpec = BASELINE_SPEC,
         record_generations: bool = False,
         workloads=None,
+        runner: Runner | None = None,
     ):
         self.params = params
         self.baseline_spec = baseline
         self.record_generations = record_generations
-        self.workloads = list(workloads) if workloads is not None else params.workloads()
-        self.baseline_runs = [
-            self._run(baseline, wl) for wl in self.workloads
-        ]
+        self.runner = runner if runner is not None else Runner.default()
+        if workloads is not None:
+            self.workload_refs = [as_workload_ref(w) for w in workloads]
+        else:
+            self.workload_refs = params.workload_refs()
+        self.baseline_runs = self.runner.run_cells(
+            [self._cell(baseline, ref) for ref in self.workload_refs]
+        )
 
-    def _run(self, spec: LLCSpec, workload) -> RunResult:
-        config = self.params.system_config(spec)
-        log.debug("simulating %s on %s", spec.label, workload.name)
-        return run_workload(
-            config,
-            workload,
-            record_generations=self.record_generations,
-            warmup_frac=self.params.warmup_frac,
+    def _cell(self, spec: LLCSpec, ref: WorkloadRef) -> Cell:
+        return self.params.cell(
+            spec, ref, record_generations=self.record_generations
         )
 
     def evaluate(self, spec: LLCSpec) -> ConfigResult:
         """Run ``spec`` on every workload; returns per-workload speedups."""
-        result = ConfigResult(spec)
-        for workload, base in zip(self.workloads, self.baseline_runs):
-            run = self._run(spec, workload)
-            result.runs.append(run)
-            result.speedups.append(run.performance / base.performance)
-        log.info(
-            "%s: mean speedup %.4f over %d workload(s)",
-            spec.label, result.mean_speedup, len(result.speedups),
-        )
-        return result
+        return self.evaluate_all([spec])[0]
+
+    def evaluate_all(self, specs) -> list:
+        """One :class:`ConfigResult` per spec, in submission order.
+
+        The whole sweep is submitted as one batch, so a parallel runner
+        overlaps cells across *configurations*, not just within one.
+        """
+        specs = list(specs)
+        cells = [
+            self._cell(spec, ref) for spec in specs for ref in self.workload_refs
+        ]
+        runs = self.runner.run_cells(cells)
+        out = []
+        n = len(self.workload_refs)
+        for k, spec in enumerate(specs):
+            result = ConfigResult(spec)
+            for run, base in zip(runs[k * n:(k + 1) * n], self.baseline_runs):
+                result.runs.append(run)
+                result.speedups.append(run.performance / base.performance)
+            log.info(
+                "%s: mean speedup %.4f over %d workload(s)",
+                spec.label, result.mean_speedup, len(result.speedups),
+            )
+            out.append(result)
+        return out
 
     def evaluate_many(self, specs) -> dict:
-        """label → :class:`ConfigResult` for each spec."""
-        return {spec.label: self.evaluate(spec) for spec in specs}
+        """label → :class:`ConfigResult` for each spec (labels must be
+        unique; use :meth:`evaluate_all` for sweeps that revisit one)."""
+        return {r.spec.label: r for r in self.evaluate_all(specs)}
 
 
 def format_table(headers, rows, title: str | None = None) -> str:

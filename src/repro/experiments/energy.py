@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..core.energy_model import EnergyBreakdown, run_energy
 from ..hierarchy.config import LLCSpec
-from ..hierarchy.system import run_workload
+from ..runner import Runner
 from .common import BASELINE_SPEC, ExperimentParams, format_table
 
 ENERGY_SPECS = [
@@ -22,23 +22,25 @@ ENERGY_SPECS = [
 ]
 
 
-def run_energy_study(params: ExperimentParams) -> dict:
+def run_energy_study(params: ExperimentParams, runner=None) -> dict:
     """Average energy breakdown per configuration over the suite."""
-    workloads = params.workloads()
+    runner = runner if runner is not None else Runner.default()
+    refs = params.workload_refs()
+    runs = iter(runner.run_cells(
+        [params.cell(spec, ref) for spec in ENERGY_SPECS for ref in refs]
+    ))
     out = {}
     for spec in ENERGY_SPECS:
         acc = {"tag": 0.0, "data": 0.0, "leak": 0.0, "dram": 0.0, "perf": 0.0}
-        for wl in workloads:
-            result = run_workload(
-                params.system_config(spec), wl, warmup_frac=params.warmup_frac
-            )
+        for _ in refs:
+            result = next(runs)
             e: EnergyBreakdown = run_energy(spec, result)
             acc["tag"] += e.tag_dynamic
             acc["data"] += e.data_dynamic
             acc["leak"] += e.leakage
             acc["dram"] += e.dram
             acc["perf"] += result.performance
-        n = len(workloads)
+        n = len(refs)
         out[spec.label] = {k: v / n for k, v in acc.items()}
     return out
 
@@ -64,3 +66,9 @@ def format_energy(result: dict) -> str:
         rows,
         title="Energy study: SLLC downsizing vs DRAM reload energy",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("energy"))

@@ -13,27 +13,30 @@
 from __future__ import annotations
 
 from ..hierarchy.config import LLCSpec
-from ..hierarchy.system import run_workload
-from ..workloads.mixes import EXAMPLE_MIX, build_workload
+from ..runner import Runner, WorkloadRef
+from ..workloads.mixes import EXAMPLE_MIX
 from .common import ExperimentParams, format_table
 
 
-def _example_run(params: ExperimentParams, policy: str):
-    workload = build_workload(
+def _example_cell(params: ExperimentParams, policy: str):
+    workload = WorkloadRef.mix(
         EXAMPLE_MIX, params.n_refs, seed=params.seed, scale=params.scale
     )
-    config = params.system_config(LLCSpec.conventional(8.0, policy))
-    return run_workload(
-        config, workload, record_generations=True, warmup_frac=params.warmup_frac
+    return params.cell(
+        LLCSpec.conventional(8.0, policy), workload, record_generations=True
     )
 
 
-def run_fig1a(params: ExperimentParams, n_samples: int = 60) -> dict:
+def run_fig1a(params: ExperimentParams, n_samples: int = 60, runner=None) -> dict:
     """Live-line fraction over time (LRU) + per-policy averages."""
+    runner = runner if runner is not None else Runner.default()
+    policies = ("lru", "drrip", "nrr")
+    runs = runner.run_cells(
+        [_example_cell(params, policy) for policy in policies]
+    )
     series = {}
     averages = {}
-    for policy in ("lru", "drrip", "nrr"):
-        run = _example_run(params, policy)
+    for policy, run in zip(policies, runs):
         log = run.generations
         span = max(1, log.end_time - log.start_time)
         interval = max(1, span // n_samples)
@@ -43,9 +46,10 @@ def run_fig1a(params: ExperimentParams, n_samples: int = 60) -> dict:
     return {"series": series, "averages": averages}
 
 
-def run_fig1b(params: ExperimentParams, n_groups: int = 200) -> dict:
+def run_fig1b(params: ExperimentParams, n_groups: int = 200, runner=None) -> dict:
     """Hit distribution across loaded lines for the LRU baseline."""
-    run = _example_run(params, "lru")
+    runner = runner if runner is not None else Runner.default()
+    run = runner.run_cell(_example_cell(params, "lru"))
     log = run.generations
     share, avg_hits = log.hit_distribution(n_groups)
     return {
@@ -95,3 +99,9 @@ def format_fig1b(result: dict) -> str:
         + f"  (paper: ~5%)\ntop group: {result['top_group_share']:.0%} of hits"
         + " (paper: 47%)"
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig1a", "fig1b"))

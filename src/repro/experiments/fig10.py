@@ -21,13 +21,14 @@ FIG10_SPECS = [
 ]
 
 
-def run_fig10(params: ExperimentParams) -> dict:
+def run_fig10(params: ExperimentParams, runner=None) -> dict:
     """Per-application speedup quartiles for RC-8/4, 8/2, 8/1."""
-    study = SpeedupStudy(params)
+    study = SpeedupStudy(params, runner=runner)
+    results = study.evaluate_many(FIG10_SPECS)
     out = {}
     for spec in FIG10_SPECS:
         per_app = defaultdict(list)
-        config_result = study.evaluate(spec)
+        config_result = results[spec.label]
         for run, base in zip(config_result.runs, study.baseline_runs):
             base_ipc = base.ipc
             run_ipc = run.ipc
@@ -64,3 +65,9 @@ def format_fig10(result: dict) -> str:
             )
         )
     return "\n\n".join(blocks)
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig10"))

@@ -9,8 +9,8 @@ even with the smallest data arrays.
 from __future__ import annotations
 
 from ..hierarchy.config import LLCSpec
-from ..hierarchy.system import run_workload
-from ..workloads.parallel import PARALLEL_APPS, generate_parallel_workload
+from ..runner import Runner, WorkloadRef
+from ..workloads.parallel import PARALLEL_APPS
 from .common import BASELINE_SPEC, ExperimentParams, format_table
 
 FIG11_SPECS = [
@@ -21,22 +21,24 @@ FIG11_SPECS = [
 ]
 
 
-def run_fig11(params: ExperimentParams) -> dict:
+def run_fig11(params: ExperimentParams, runner=None) -> dict:
     """Parallel-application speedups for the Fig. 11 configurations."""
-    out = {}
+    runner = runner if runner is not None else Runner.default()
+    specs = [BASELINE_SPEC] + list(FIG11_SPECS)
+    cells = []
     for app in PARALLEL_APPS:
-        workload = generate_parallel_workload(
+        workload = WorkloadRef.parallel(
             app, params.n_refs, seed=params.seed, scale=params.scale
         )
-        base = run_workload(
-            params.system_config(BASELINE_SPEC), workload, warmup_frac=params.warmup_frac
-        )
-        per_spec = {}
-        for spec in FIG11_SPECS:
-            run = run_workload(
-                params.system_config(spec), workload, warmup_frac=params.warmup_frac
-            )
-            per_spec[spec.label] = run.performance / base.performance
+        cells.extend(params.cell(spec, workload) for spec in specs)
+    runs = iter(runner.run_cells(cells))
+    out = {}
+    for app in PARALLEL_APPS:
+        base = next(runs)
+        per_spec = {
+            spec.label: next(runs).performance / base.performance
+            for spec in FIG11_SPECS
+        }
         out[app] = {
             "speedups": per_spec,
             "baseline_llc_mpki": sum(base.llc_mpki) / len(base.llc_mpki),
@@ -56,3 +58,9 @@ def format_fig11(result: dict) -> str:
     return format_table(
         headers, rows, title="Fig. 11: parallel-application speedups vs baseline"
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig11"))

@@ -15,16 +15,21 @@ DATA_SIZES_MB = (4, 2, 1, 0.5)
 ASSOCIATIVITIES = (16, 32, 64, 128, "full")
 
 
-def run_fig4(params: ExperimentParams, tag_mbeq: float = 8) -> dict:
+def run_fig4(params: ExperimentParams, tag_mbeq: float = 8, runner=None) -> dict:
     """{data_mb: {assoc: mean speedup}} relative to the 8 MB LRU baseline."""
-    study = SpeedupStudy(params)
+    study = SpeedupStudy(params, runner=runner)
+    specs = [
+        LLCSpec.reuse(tag_mbeq, data_mb, data_assoc=assoc)
+        for data_mb in DATA_SIZES_MB
+        for assoc in ASSOCIATIVITIES
+    ]
+    evaluations = iter(study.evaluate_all(specs))
     result = {}
     for data_mb in DATA_SIZES_MB:
-        per_assoc = {}
-        for assoc in ASSOCIATIVITIES:
-            spec = LLCSpec.reuse(tag_mbeq, data_mb, data_assoc=assoc)
-            per_assoc[str(assoc)] = study.evaluate(spec).mean_speedup
-        result[data_mb] = per_assoc
+        result[data_mb] = {
+            str(assoc): next(evaluations).mean_speedup
+            for assoc in ASSOCIATIVITIES
+        }
     return result
 
 
@@ -41,3 +46,9 @@ def format_fig4(result: dict) -> str:
         rows,
         title="Fig. 4: speedup vs baseline, 8 MBeq tags, varying data size/assoc",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig4"))

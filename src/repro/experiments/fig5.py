@@ -25,18 +25,23 @@ TAG_SWEEP = {
 CONV_SIZES = (4, 8, 16)
 
 
-def run_fig5(params: ExperimentParams) -> dict:
+def run_fig5(params: ExperimentParams, runner=None) -> dict:
     """Tag-size sweep per data size plus conventional reference points."""
-    study = SpeedupStudy(params)
+    study = SpeedupStudy(params, runner=runner)
+    reuse_specs = [
+        LLCSpec.reuse(tag, data_mb)
+        for data_mb, tag_options in TAG_SWEEP.items()
+        for tag in tag_options
+    ]
+    conv_specs = [LLCSpec.conventional(size, "lru") for size in CONV_SIZES]
+    evaluations = iter(study.evaluate_all(reuse_specs + conv_specs))
     reuse = {}
     for data_mb, tag_options in TAG_SWEEP.items():
         reuse[data_mb] = {
-            tag: study.evaluate(LLCSpec.reuse(tag, data_mb)).mean_speedup
-            for tag in tag_options
+            tag: next(evaluations).mean_speedup for tag in tag_options
         }
     conventional = {
-        size: study.evaluate(LLCSpec.conventional(size, "lru")).mean_speedup
-        for size in CONV_SIZES
+        size: next(evaluations).mean_speedup for size in CONV_SIZES
     }
     return {"reuse": reuse, "conventional": conventional}
 
@@ -59,3 +64,9 @@ def format_fig5(result: dict) -> str:
     )
     rows = [(label, f"{sp:.3f}") for label, sp in items]
     return chart + "\n\n" + format_table(["config", "speedup"], rows)
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig5"))

@@ -18,12 +18,13 @@ SELECTED_SPECS = [
 ]
 
 
-def run_fig6(params: ExperimentParams) -> dict:
+def run_fig6(params: ExperimentParams, runner=None) -> dict:
     """Per-workload speedups of the selected configurations."""
-    study = SpeedupStudy(params)
+    study = SpeedupStudy(params, runner=runner)
+    results = study.evaluate_many(SELECTED_SPECS)
     out = {}
     for spec in SELECTED_SPECS:
-        speedups = study.evaluate(spec).speedups
+        speedups = results[spec.label].speedups
         out[spec.label] = {
             "sorted_speedups": sorted(speedups),
             "wins": sum(1 for s in speedups if s > 1.0),
@@ -63,3 +64,9 @@ def format_fig6(result: dict) -> str:
         title="Fig. 6: per-workload speedups (sorted curves summarised)",
     )
     return plot + "\n\n" + table
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig6"))

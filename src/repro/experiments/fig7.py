@@ -33,14 +33,16 @@ PAPER_VALUES = {
 }
 
 
-def run_fig7(params: ExperimentParams) -> dict:
+def run_fig7(params: ExperimentParams, runner=None) -> dict:
     """Mean live-line fraction per configuration."""
-    study = SpeedupStudy(params, record_generations=True)
+    study = SpeedupStudy(params, record_generations=True, runner=runner)
+    results = study.evaluate_many(FIG7_SPECS)
     out = {}
     for spec in FIG7_SPECS:
-        fractions = []
-        for run in study.evaluate(spec).runs:
-            fractions.append(run.generations.mean_live_fraction())
+        fractions = [
+            run.generations.mean_live_fraction()
+            for run in results[spec.label].runs
+        ]
         out[spec.label] = sum(fractions) / len(fractions)
     return out
 
@@ -56,3 +58,9 @@ def format_fig7(result: dict) -> str:
         rows,
         title="Fig. 7: average fraction of live lines in the (data) array",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig7"))

@@ -27,22 +27,23 @@ CONV_SPECS = [
 ]
 
 
-def run_fig8(params: ExperimentParams) -> dict:
+def run_fig8(params: ExperimentParams, runner=None) -> dict:
     """Speedups plus exact storage Kbits for the Fig. 8 configurations."""
-    study = SpeedupStudy(params)
+    study = SpeedupStudy(params, runner=runner)
     storage = figure8_storage_kbits()
+    results = study.evaluate_many(list(RC_SPECS) + list(CONV_SPECS))
     out = {"reuse": {}, "conventional": {}}
     for spec in RC_SPECS:
         key = spec.label  # e.g. "RC-8/4"
         out["reuse"][key] = {
-            "speedup": study.evaluate(spec).mean_speedup,
+            "speedup": results[key].mean_speedup,
             "kbits": storage[key],
         }
     for spec in CONV_SPECS:
         size = int(spec.size_mb)
         kbits_key = f"conv-{size}MB-drrip" if spec.policy == "drrip" else f"conv-{size}MB"
         out["conventional"][spec.label] = {
-            "speedup": study.evaluate(spec).mean_speedup,
+            "speedup": results[spec.label].mean_speedup,
             "kbits": storage[kbits_key],
         }
     return out
@@ -59,3 +60,9 @@ def format_fig8(result: dict) -> str:
         rows,
         title="Fig. 8: speedups and storage of reuse vs conventional caches",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("fig8"))

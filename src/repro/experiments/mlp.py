@@ -11,10 +11,8 @@ but preserving the orderings.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..hierarchy.config import LLCSpec
-from ..hierarchy.system import run_workload
+from ..runner import Runner
 from .common import BASELINE_SPEC, ExperimentParams, format_table
 
 #: (label, core_model, mlp_window)
@@ -27,29 +25,32 @@ CORE_MODELS = [
 SPECS = [LLCSpec.conventional(16, "lru"), LLCSpec.reuse(8, 2), LLCSpec.reuse(4, 1)]
 
 
-def run_mlp(params: ExperimentParams) -> dict:
+def run_mlp(params: ExperimentParams, runner=None) -> dict:
     """Speedups vs the same-core-model 8 MB LRU baseline, per core model."""
-    workloads = params.workloads()
-    out = {}
-    for label, model, window in CORE_MODELS:
-        def config_for(spec):
-            return replace(
-                params.system_config(spec), core_model=model, mlp_window=window or 32
-            )
+    runner = runner if runner is not None else Runner.default()
+    refs = params.workload_refs()
 
-        base_perf = [
-            run_workload(config_for(BASELINE_SPEC), wl,
-                         warmup_frac=params.warmup_frac).performance
-            for wl in workloads
-        ]
+    def cell_for(spec, ref, model, window):
+        return params.cell(
+            spec, ref, core_model=model, mlp_window=window or 32
+        )
+
+    cells = []
+    for _, model, window in CORE_MODELS:
+        cells.extend(cell_for(BASELINE_SPEC, ref, model, window) for ref in refs)
+        cells.extend(
+            cell_for(spec, ref, model, window) for spec in SPECS for ref in refs
+        )
+    runs = iter(runner.run_cells(cells))
+    out = {}
+    for label, _, _ in CORE_MODELS:
+        base_perf = [next(runs).performance for _ in refs]
         per_spec = {}
         for spec in SPECS:
             total = 0.0
-            for wl, base in zip(workloads, base_perf):
-                run = run_workload(config_for(spec), wl,
-                                   warmup_frac=params.warmup_frac)
-                total += run.performance / base
-            per_spec[spec.label] = total / len(workloads)
+            for base in base_perf:
+                total += next(runs).performance / base
+            per_spec[spec.label] = total / len(refs)
         out[label] = per_spec
     return out
 
@@ -68,3 +69,9 @@ def format_mlp(result: dict) -> str:
         title="Core-model sensitivity: speedups vs the same-core 8 MB LRU "
         "baseline (overlap = simple MLP model)",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("mlp"))

@@ -18,43 +18,51 @@ from __future__ import annotations
 
 from ..cache.belady import belady_hit_ratio
 from ..hierarchy.config import LLCSpec, capacity_lines
-from ..hierarchy.system import System
+from ..runner import Runner
 from .common import BASELINE_SPEC, ExperimentParams, format_table
 
 #: data capacities (MB) at which OPT is evaluated
 CAPACITIES_MB = (8, 4, 2, 1, 0.5)
 
+#: configurations whose measured hit ratios bracket the OPT bound
+MEASURED_SPECS = (
+    BASELINE_SPEC,
+    LLCSpec.conventional(8, "nrr"),
+    LLCSpec.reuse(8, 2),
+    LLCSpec.reuse(4, 1),
+)
 
-def run_opt_bound(params: ExperimentParams) -> dict:
+
+def run_opt_bound(params: ExperimentParams, runner=None) -> dict:
     """OPT hit ratios on the captured stream plus measured ratios."""
-    workloads = params.workloads()
+    runner = runner if runner is not None else Runner.default()
+    refs = params.workload_refs()
+    capture_cells = [
+        params.cell(BASELINE_SPEC, ref, capture_llc_trace=True) for ref in refs
+    ]
+    measured_cells = [
+        params.cell(spec, ref) for spec in MEASURED_SPECS for ref in refs
+    ]
+    runs = runner.run_cells(capture_cells + measured_cells)
+
     opt = {mb: 0.0 for mb in CAPACITIES_MB}
-    measured = {}
-    for wl in workloads:
-        system = System(
-            params.system_config(BASELINE_SPEC), wl, capture_llc_trace=True
-        )
-        system.run(warmup_frac=params.warmup_frac)
-        trace = system.llc_trace
+    for run in runs[: len(refs)]:
+        trace = run.extra["llc_trace"]
         for mb in CAPACITIES_MB:
             opt[mb] += belady_hit_ratio(trace, capacity_lines(mb, params.scale))
 
-    for spec in (
-        BASELINE_SPEC,
-        LLCSpec.conventional(8, "nrr"),
-        LLCSpec.reuse(8, 2),
-        LLCSpec.reuse(4, 1),
-    ):
+    measured = {}
+    rest = iter(runs[len(refs):])
+    for spec in MEASURED_SPECS:
         total = 0.0
-        for wl in workloads:
-            system = System(params.system_config(spec), wl)
-            system.run(warmup_frac=params.warmup_frac)
-            accesses = sum(b.accesses for b in system.banks)
-            hits = sum(b.data_hits for b in system.banks)
+        for _ in refs:
+            stats = next(rest).llc_stats
+            accesses = stats.get("accesses", 0)
+            hits = stats.get("data_hits", 0)
             total += hits / accesses if accesses else 0.0
-        measured[spec.label] = total / len(workloads)
+        measured[spec.label] = total / len(refs)
 
-    n = len(workloads)
+    n = len(refs)
     return {
         "opt": {mb: v / n for mb, v in opt.items()},
         "measured": measured,
@@ -76,3 +84,9 @@ def format_opt_bound(result: dict) -> str:
         title="OPT bound: achievable vs measured hit ratios on the baseline "
         "demand stream",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("opt"))

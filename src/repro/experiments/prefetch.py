@@ -11,34 +11,36 @@ reuse) respond as the prefetch degree grows.
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from ..hierarchy.config import LLCSpec
-from ..hierarchy.system import run_workload
+from ..runner import Runner
 from .common import BASELINE_SPEC, ExperimentParams, format_table
 
 DEGREES = (0, 1, 2)
 SPECS = [BASELINE_SPEC, LLCSpec.reuse(4, 1)]
 
 
-def run_prefetch(params: ExperimentParams) -> dict:
+def run_prefetch(params: ExperimentParams, runner=None) -> dict:
     """{spec label: {degree: mean speedup vs degree-0 conventional baseline}}."""
-    workloads = params.workloads()
-    base_perf = [
-        run_workload(params.system_config(BASELINE_SPEC), wl,
-                     warmup_frac=params.warmup_frac).performance
-        for wl in workloads
+    runner = runner if runner is not None else Runner.default()
+    refs = params.workload_refs()
+    base_cells = [params.cell(BASELINE_SPEC, ref) for ref in refs]
+    sweep_cells = [
+        params.cell(spec, ref, prefetch_degree=degree)
+        for spec in SPECS
+        for degree in DEGREES
+        for ref in refs
     ]
+    runs = runner.run_cells(base_cells + sweep_cells)
+    base_perf = [run.performance for run in runs[: len(refs)]]
+    sweep = iter(runs[len(refs):])
     out = {}
     for spec in SPECS:
         per_degree = {}
         for degree in DEGREES:
             total = 0.0
-            for wl, base in zip(workloads, base_perf):
-                config = replace(params.system_config(spec), prefetch_degree=degree)
-                run = run_workload(config, wl, warmup_frac=params.warmup_frac)
-                total += run.performance / base
-            per_degree[degree] = total / len(workloads)
+            for base in base_perf:
+                total += next(sweep).performance / base
+            per_degree[degree] = total / len(refs)
         out[spec.label] = per_degree
     return out
 
@@ -54,3 +56,9 @@ def format_prefetch(result: dict) -> str:
         rows,
         title="Extension: sequential prefetching (Section 6 discussion)",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("prefetch"))

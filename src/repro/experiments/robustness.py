@@ -26,7 +26,7 @@ PROBE_SPECS = [
 ]
 
 
-def run_robustness(params: ExperimentParams) -> dict:
+def run_robustness(params: ExperimentParams, runner=None) -> dict:
     """Key-configuration speedups at scales 1/64, 1/32 and 1/16."""
     out = {}
     for scale in SCALES:
@@ -34,9 +34,10 @@ def run_robustness(params: ExperimentParams) -> dict:
         # coverage is comparable across scales
         refs = max(1000, params.n_refs * 32 // scale)
         scaled = replace(params, scale=scale, n_refs=refs)
-        study = SpeedupStudy(scaled)
+        study = SpeedupStudy(scaled, runner=runner)
         out[scale] = {
-            spec.label: study.evaluate(spec).mean_speedup for spec in PROBE_SPECS
+            r.spec.label: r.mean_speedup
+            for r in study.evaluate_all(PROBE_SPECS)
         }
     return out
 
@@ -72,3 +73,9 @@ def format_robustness(result: dict) -> str:
         f"\nordering stability: {decided_pairs - inversions}/{decided_pairs} "
         "decided pairs agree across all scales (ties within 1% ignored)"
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("robustness"))

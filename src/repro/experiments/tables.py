@@ -57,9 +57,9 @@ def format_table3(rows) -> str:
     )
 
 
-def run_table5(params: ExperimentParams) -> dict:
+def run_table5(params: ExperimentParams, runner=None) -> dict:
     """Average per-application MPKI at L1/L2/LLC in the baseline system."""
-    study = SpeedupStudy(params)
+    study = SpeedupStudy(params, runner=runner)
     sums = defaultdict(lambda: [0.0, 0.0, 0.0, 0])
     for run in study.baseline_runs:
         for core, app in enumerate(run.app_names):
@@ -92,13 +92,14 @@ def format_table5(result: dict) -> str:
     )
 
 
-def run_table6(params: ExperimentParams) -> dict:
+def run_table6(params: ExperimentParams, runner=None) -> dict:
     """Mean/min percentage of lines never entered in the data array."""
-    study = SpeedupStudy(params)
+    study = SpeedupStudy(params, runner=runner)
+    results = study.evaluate_many(TABLE6_SPECS)
     out = {}
     for spec in TABLE6_SPECS:
         fractions = []
-        for run in study.evaluate(spec).runs:
+        for run in results[spec.label].runs:
             fractions.append(run.llc_stats["fraction_not_entered"])
         out[spec.label] = {
             "avg": sum(fractions) / len(fractions),
@@ -120,3 +121,9 @@ def format_table6(result: dict) -> str:
         title="Table 6: lines not entered in the data array "
         "(paper avg: 93/93/95.4/95%, conventional 0%)",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("table2", "table3", "table5", "table6"))

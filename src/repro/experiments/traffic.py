@@ -11,7 +11,7 @@ data array.
 from __future__ import annotations
 
 from ..hierarchy.config import LLCSpec
-from ..hierarchy.system import run_workload
+from ..runner import Runner
 from .common import BASELINE_SPEC, ExperimentParams, format_table
 
 TRAFFIC_SPECS = [
@@ -23,16 +23,18 @@ TRAFFIC_SPECS = [
 ]
 
 
-def run_traffic(params: ExperimentParams) -> dict:
+def run_traffic(params: ExperimentParams, runner=None) -> dict:
     """DRAM reads/reloads/writes per kilo-instruction per config."""
-    workloads = params.workloads()
+    runner = runner if runner is not None else Runner.default()
+    refs = params.workload_refs()
+    runs = iter(runner.run_cells(
+        [params.cell(spec, ref) for spec in TRAFFIC_SPECS for ref in refs]
+    ))
     out = {}
     for spec in TRAFFIC_SPECS:
         acc = {"reads": 0, "writes": 0, "reloads": 0, "kinst": 0.0}
-        for wl in workloads:
-            result = run_workload(
-                params.system_config(spec), wl, warmup_frac=params.warmup_frac
-            )
+        for _ in refs:
+            result = next(runs)
             acc["reads"] += result.dram_stats["reads"]
             acc["writes"] += result.dram_stats["writes"]
             acc["reloads"] += result.llc_stats.get("reuse_reloads", 0)
@@ -68,3 +70,9 @@ def format_traffic(result: dict) -> str:
         rows,
         title="Memory traffic: the double-fetch cost of selective allocation",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("traffic"))

@@ -19,16 +19,15 @@ ZOO_POLICIES = ("lru", "nru", "random", "dip", "srrip", "drrip", "slru", "ship",
 RC_REFERENCES = [LLCSpec.reuse(8, 2), LLCSpec.reuse(4, 1), LLCSpec.vway(8)]
 
 
-def run_zoo(params: ExperimentParams, size_mb: float = 8) -> dict:
+def run_zoo(params: ExperimentParams, size_mb: float = 8, runner=None) -> dict:
     """Mean speedup of every zoo policy plus the RC/V-way references."""
-    study = SpeedupStudy(params)
-    out = {}
-    for policy in ZOO_POLICIES:
-        spec = LLCSpec.conventional(size_mb, policy)
-        out[spec.label] = study.evaluate(spec).mean_speedup
-    for spec in RC_REFERENCES:
-        out[spec.label] = study.evaluate(spec).mean_speedup
-    return out
+    study = SpeedupStudy(params, runner=runner)
+    specs = [
+        LLCSpec.conventional(size_mb, policy) for policy in ZOO_POLICIES
+    ] + list(RC_REFERENCES)
+    return {
+        r.spec.label: r.mean_speedup for r in study.evaluate_all(specs)
+    }
 
 
 def format_zoo(result: dict) -> str:
@@ -42,3 +41,9 @@ def format_zoo(result: dict) -> str:
         rows,
         title="Replacement zoo: related-work policies vs the reuse cache",
     )
+
+
+if __name__ == "__main__":  # pragma: no cover - deprecation shim
+    from ._shim import run_module_main
+
+    raise SystemExit(run_module_main("zoo"))

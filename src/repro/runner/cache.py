@@ -1,0 +1,125 @@
+"""Content-addressed on-disk cache of simulation results.
+
+Each entry is one cell's :class:`~repro.hierarchy.system.RunResult`,
+pickled under ``<cache_dir>/<kk>/<key>.pkl`` where ``key`` is the SHA-256
+of the canonical JSON of (cell key material, code fingerprint, format
+version) and ``kk`` its first two hex digits (fan-out keeps directories
+small at paper scale).  Properties:
+
+* **content-addressed** — two cells with identical configuration, workload
+  recipe and simulator source share one entry; renaming an experiment or
+  re-ordering a sweep never recomputes;
+* **self-invalidating** — the code fingerprint changes whenever any
+  simulation-relevant module changes, so edits dirty exactly the results
+  they could affect;
+* **crash-safe** — entries are written to a temporary file in the cache
+  directory and published with :func:`os.replace`, so an interrupted sweep
+  leaves only whole entries and resumes where it stopped;
+* **tolerant** — any unreadable entry (corrupt, truncated, wrong pickle
+  protocol) is treated as a miss and silently recomputed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from .cells import Cell
+from .fingerprint import code_fingerprint
+
+#: bump when the on-disk entry layout changes incompatibly
+CACHE_FORMAT = 1
+
+#: environment variable naming the default cache directory
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: default directory (relative to the working directory) when neither a
+#: path nor the environment variable is given
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def canonical_json(obj) -> str:
+    """Deterministic JSON used for hashing (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def cell_key(cell: Cell, fingerprint: str | None = None) -> str:
+    """The cache key of ``cell``: SHA-256 over cell + code fingerprint."""
+    material = {
+        "format": CACHE_FORMAT,
+        "code": fingerprint if fingerprint is not None else code_fingerprint(),
+        "cell": cell.key_dict(),
+    }
+    return hashlib.sha256(canonical_json(material).encode()).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed store of pickled cell results."""
+
+    def __init__(self, path: str | os.PathLike | None = None):
+        if path is None:
+            path = os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+        self.path = Path(path)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, key: str) -> Path:
+        return self.path / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str):
+        """The cached result for ``key``, or None (any failure = miss)."""
+        entry = self._entry_path(key)
+        try:
+            with entry.open("rb") as fh:
+                payload = pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if payload.get("format") != CACHE_FORMAT or payload.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry for ``key`` exists (without deserialising it)."""
+        return self._entry_path(key).is_file()
+
+    def put(self, key: str, result) -> None:
+        """Atomically publish ``result`` under ``key``."""
+        entry = self._entry_path(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT, "key": key, "result": result}
+        fd, tmp = tempfile.mkstemp(dir=entry.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, entry)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        """Number of entries currently on disk."""
+        if not self.path.is_dir():
+            return 0
+        return sum(1 for _ in self.path.glob("*/*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for entry in self.path.glob("*/*.pkl"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

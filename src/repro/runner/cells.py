@@ -1,0 +1,143 @@
+"""The cell model: picklable, hashable units of experiment work.
+
+A *cell* is one (system configuration, workload) simulation.  Workloads are
+carried as :class:`WorkloadRef` — a declarative recipe (mix apps, seed,
+scale, length) rebuilt deterministically inside whichever process executes
+the cell — instead of materialised traces, so a cell pickles in a few
+hundred bytes and its cache key depends only on the recipe, never on object
+identity.  Ad-hoc in-memory workloads still fit through
+:func:`as_workload_ref`, which wraps them with a content digest.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+from dataclasses import asdict, dataclass, field
+
+from ..hierarchy.config import SystemConfig
+from ..workloads.mixes import build_workload
+from ..workloads.parallel import generate_parallel_workload
+from ..workloads.trace import Workload
+
+
+@dataclass(frozen=True)
+class WorkloadRef:
+    """A deterministic recipe for (re)building one workload.
+
+    ``kind`` selects the generator:
+
+    * ``"mix"`` — :func:`repro.workloads.mixes.build_workload` over ``apps``;
+    * ``"parallel"`` — :func:`repro.workloads.parallel.generate_parallel_workload`
+      for application ``apps[0]``;
+    * ``"custom"`` — a pre-built in-memory :class:`Workload` carried by
+      value (``payload``), keyed by a content digest of its traces.
+    """
+
+    kind: str
+    apps: tuple = ()
+    n_refs: int = 0
+    seed: int = 0
+    scale: int = 32
+    name: str | None = None
+    #: custom kind only: the workload itself (pickled by value) — excluded
+    #: from the cache key, which uses ``digest`` instead
+    payload: Workload | None = field(default=None, compare=False)
+    #: custom kind only: content hash of the payload's traces
+    digest: str = ""
+
+    # -- constructors ----------------------------------------------------------
+    @staticmethod
+    def mix(apps, n_refs: int, seed: int, scale: int = 32,
+            name: str | None = None) -> "WorkloadRef":
+        """A multiprogrammed mix (one app name per core)."""
+        return WorkloadRef(kind="mix", apps=tuple(apps), n_refs=n_refs,
+                           seed=seed, scale=scale, name=name)
+
+    @staticmethod
+    def parallel(app: str, n_refs: int, seed: int,
+                 scale: int = 32) -> "WorkloadRef":
+        """A PARSEC/SPLASH-2-style parallel application."""
+        return WorkloadRef(kind="parallel", apps=(app,), n_refs=n_refs,
+                           seed=seed, scale=scale, name=app)
+
+    @staticmethod
+    def custom(workload: Workload) -> "WorkloadRef":
+        """Wrap an already-built workload (content-addressed by digest)."""
+        h = hashlib.sha256()
+        h.update(workload.name.encode())
+        for trace in workload.traces:
+            h.update(trace.name.encode())
+            h.update(pickle.dumps((trace.gaps, trace.addrs, trace.writes),
+                                  protocol=pickle.HIGHEST_PROTOCOL))
+        return WorkloadRef(kind="custom", name=workload.name,
+                           n_refs=workload.traces[0].n_refs if workload.traces else 0,
+                           payload=workload, digest=h.hexdigest())
+
+    # -- behaviour -------------------------------------------------------------
+    def build(self) -> Workload:
+        """Materialise the workload; identical output in every process."""
+        if self.kind == "mix":
+            return build_workload(list(self.apps), self.n_refs, seed=self.seed,
+                                  scale=self.scale, name=self.name)
+        if self.kind == "parallel":
+            return generate_parallel_workload(self.apps[0], self.n_refs,
+                                              seed=self.seed, scale=self.scale)
+        if self.kind == "custom":
+            if self.payload is None:
+                raise ValueError("custom WorkloadRef lost its payload")
+            return self.payload
+        raise ValueError(f"unknown workload kind {self.kind!r}")
+
+    def key_dict(self) -> dict:
+        """The cache-key material: everything that determines the traces."""
+        if self.kind == "custom":
+            return {"kind": "custom", "digest": self.digest}
+        return {
+            "kind": self.kind,
+            "apps": list(self.apps),
+            "n_refs": self.n_refs,
+            "seed": self.seed,
+            "scale": self.scale,
+            "name": self.name,
+        }
+
+    @property
+    def label(self) -> str:
+        """Short human name for progress lines."""
+        return self.name or "+".join(self.apps)
+
+
+def as_workload_ref(workload) -> WorkloadRef:
+    """Coerce a :class:`Workload` or :class:`WorkloadRef` to a ref."""
+    if isinstance(workload, WorkloadRef):
+        return workload
+    if isinstance(workload, Workload):
+        return WorkloadRef.custom(workload)
+    raise TypeError(f"expected Workload or WorkloadRef, got {type(workload)!r}")
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent simulation: configuration × workload × run options."""
+
+    config: SystemConfig
+    workload: WorkloadRef
+    warmup_frac: float = 0.2
+    record_generations: bool = False
+    capture_llc_trace: bool = False
+
+    def key_dict(self) -> dict:
+        """Stable, JSON-serialisable cache-key material for this cell."""
+        return {
+            "config": asdict(self.config),
+            "workload": self.workload.key_dict(),
+            "warmup_frac": self.warmup_frac,
+            "record_generations": self.record_generations,
+            "capture_llc_trace": self.capture_llc_trace,
+        }
+
+    @property
+    def label(self) -> str:
+        """``<config>×<workload>`` for progress and error messages."""
+        return f"{self.config.llc.label}×{self.workload.label}"

@@ -1,0 +1,251 @@
+"""The parallel experiment engine.
+
+:class:`Runner` executes batches of :class:`~repro.runner.cells.Cell` with
+three interchangeable strategies that produce byte-identical results:
+
+* **in-process serial** (``parallel <= 1``) — exactly the code path the
+  experiment drivers used before the runner existed;
+* **process pool** (``parallel > 1``) — cells fan out over a
+  ``ProcessPoolExecutor``; every worker rebuilds its workload from the
+  cell's declarative :class:`~repro.runner.cells.WorkloadRef` with the same
+  seeds, so scheduling order cannot influence any result, and the engine
+  restores submission order before returning;
+* **cache replay** — with a :class:`~repro.runner.cache.ResultCache`
+  attached, clean cells load from disk and only dirty ones recompute,
+  which is what makes interrupted or re-run sweeps resume instantly.
+
+Observability: when given an enabled :class:`~repro.obs.Observability`
+bundle the runner publishes ``repro_runner_cells_total{status=...}``
+counters and a per-cell wall-latency histogram, and emits one progress
+callback per finished cell (the ``repro run`` CLI renders these).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from ..hierarchy.system import RunResult, System
+from ..obs import Observability
+from ..obs.logging import get_logger
+from .cache import ResultCache, cell_key
+from .cells import Cell
+from .fingerprint import code_fingerprint
+
+log = get_logger(__name__)
+
+#: histogram buckets for per-cell wall latency (seconds)
+CELL_SECONDS_BOUNDS = (0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
+                       120.0, 300.0, 600.0)
+
+
+def execute_cell(cell: Cell) -> RunResult:
+    """Run one cell to completion (also the worker-process entry point).
+
+    Deterministic by construction: the workload is rebuilt from the cell's
+    recipe and every random decision inside :class:`System` draws from
+    generators seeded by the cell's own configuration.
+    """
+    workload = cell.workload.build()
+    system = System(
+        cell.config,
+        workload,
+        record_generations=cell.record_generations,
+        capture_llc_trace=cell.capture_llc_trace,
+    )
+    result = system.run(warmup_frac=cell.warmup_frac)
+    if cell.capture_llc_trace:
+        result.extra["llc_trace"] = system.llc_trace
+    return result
+
+
+@dataclass
+class RunnerStats:
+    """Cumulative outcome counts over a runner's lifetime."""
+
+    run: int = 0
+    cached: int = 0
+    failed: int = 0
+    seconds: float = 0.0
+    #: per-status cell counts of the most recent ``run_cells`` batch
+    last_batch: dict = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        """Cells that reached a terminal state (run, cached or failed)."""
+        return self.run + self.cached + self.failed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of completed cells served from the cache."""
+        done = self.run + self.cached
+        return self.cached / done if done else 0.0
+
+
+def _env_parallel() -> int:
+    raw = os.environ.get("REPRO_PARALLEL")
+    if not raw:
+        return 0
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"REPRO_PARALLEL must be >= 0, got {raw!r}")
+    return value
+
+
+class Runner:
+    """Executes cells serially or in parallel, memoizing through a cache."""
+
+    def __init__(
+        self,
+        parallel: int = 0,
+        cache: ResultCache | None = None,
+        force: bool = False,
+        obs: Observability | None = None,
+        progress=None,
+    ):
+        self.parallel = parallel
+        self.cache = cache
+        self.force = force
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.progress = progress
+        self.stats = RunnerStats()
+        # one fingerprint per runner: cells of a batch must share a key basis
+        self._fingerprint = code_fingerprint() if cache is not None else None
+
+    @classmethod
+    def default(cls) -> "Runner":
+        """The environment-driven runner every driver falls back to.
+
+        Serial and uncached unless ``REPRO_PARALLEL`` / ``REPRO_CACHE_DIR``
+        say otherwise, so library behaviour is unchanged for callers that
+        never heard of the runner.
+        """
+        cache_dir = os.environ.get("REPRO_CACHE_DIR")
+        return cls(
+            parallel=_env_parallel(),
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        )
+
+    # -- single cell -----------------------------------------------------------
+    def run_cell(self, cell: Cell) -> RunResult:
+        """Execute (or replay) one cell."""
+        return self.run_cells([cell])[0]
+
+    # -- batch ----------------------------------------------------------------
+    def run_cells(self, cells) -> list:
+        """Execute a batch; results come back in submission order.
+
+        Cached cells are replayed from disk, the rest run serially or on
+        the process pool.  Any worker failure is re-raised with the cell's
+        label attached after the batch's already-running cells are drained.
+        """
+        cells = list(cells)
+        results = [None] * len(cells)
+        pending = []  # (index, cell, key)
+        batch = {"run": 0, "cached": 0, "failed": 0}
+
+        for i, cell in enumerate(cells):
+            key = None
+            if self.cache is not None and not self.force:
+                key = cell_key(cell, self._fingerprint)
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    batch["cached"] += 1
+                    self._account("cached", cell, 0.0, len(cells), batch)
+                    continue
+            elif self.cache is not None:
+                key = cell_key(cell, self._fingerprint)
+            pending.append((i, cell, key))
+
+        if pending:
+            if self.parallel and self.parallel > 1 and len(pending) > 1:
+                self._run_pool(pending, results, batch, len(cells))
+            else:
+                self._run_serial(pending, results, batch, len(cells))
+
+        self.stats.last_batch = batch
+        return results
+
+    # -- execution strategies ----------------------------------------------------
+    def _run_serial(self, pending, results, batch, total) -> None:
+        for i, cell, key in pending:
+            start = time.perf_counter()
+            try:
+                result = execute_cell(cell)
+            except Exception as exc:
+                self._fail(cell, batch, exc)
+            self._commit(i, cell, key, result, results, batch,
+                         time.perf_counter() - start, total)
+
+    def _run_pool(self, pending, results, batch, total) -> None:
+        workers = min(self.parallel, len(pending))
+        log.info("fanning %d cell(s) out over %d worker process(es)",
+                 len(pending), workers)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {}
+            started = {}
+            for i, cell, key in pending:
+                future = pool.submit(execute_cell, cell)
+                futures[future] = (i, cell, key)
+                started[future] = time.perf_counter()
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    i, cell, key = futures[future]
+                    exc = future.exception()
+                    if exc is not None:
+                        for other in outstanding:
+                            other.cancel()
+                        self._fail(cell, batch, exc)
+                    self._commit(i, cell, key, future.result(), results,
+                                 batch, time.perf_counter() - started[future],
+                                 total)
+
+    # -- bookkeeping -------------------------------------------------------------
+    def _commit(self, i, cell, key, result, results, batch, seconds, total):
+        results[i] = result
+        if key is not None:
+            self.cache.put(key, result)
+        batch["run"] += 1
+        self._account("run", cell, seconds, total, batch)
+
+    def _fail(self, cell: Cell, batch, exc: Exception):
+        batch["failed"] += 1
+        self.stats.failed += 1
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter(
+                "repro_runner_cells_total",
+                help="cells by terminal status", status="failed",
+            ).inc()
+        log.error("cell %s failed: %s", cell.label, exc)
+        raise RuntimeError(f"cell {cell.label} failed") from exc
+
+    def _account(self, status, cell, seconds, total, batch):
+        if status == "run":
+            self.stats.run += 1
+            self.stats.seconds += seconds
+        else:
+            self.stats.cached += 1
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter(
+                "repro_runner_cells_total",
+                help="cells by terminal status", status=status,
+            ).inc()
+            if status == "run":
+                registry.histogram(
+                    "repro_runner_cell_seconds",
+                    help="wall-clock latency of executed cells",
+                    bounds=CELL_SECONDS_BOUNDS,
+                ).observe(seconds)
+        done = batch["run"] + batch["cached"] + batch["failed"]
+        log.debug("cell %d/%d %s (%s, %.2fs)", done, total, cell.label,
+                  status, seconds)
+        if self.progress is not None:
+            self.progress(done, total, cell, status, seconds)

@@ -4,7 +4,8 @@ import json
 
 import pytest
 
-from repro.__main__ import EXPERIMENTS, _jsonable, build_parser, main
+from repro.__main__ import _jsonable, build_parser, main
+from repro.experiments import registry
 
 
 class TestParser:
@@ -24,7 +25,7 @@ class TestMain:
     def test_list(self, capsys):
         assert main(["list"]) == 0
         out = capsys.readouterr().out
-        for name in EXPERIMENTS:
+        for name in registry.names():
             assert name in out
 
     def test_unknown_experiment(self, capsys):
@@ -37,9 +38,12 @@ class TestMain:
             "fig9", "fig10", "fig11", "table2", "table3", "table5",
             "table6", "bandwidth",
         }
-        assert paper_artifacts <= set(EXPERIMENTS)
+        assert paper_artifacts <= set(registry.names())
         extensions = {"zoo", "energy", "traffic", "opt", "prefetch", "robustness", "mlp"}
-        assert extensions <= set(EXPERIMENTS)
+        assert extensions <= set(registry.names())
+        ablations = {"ablation-tag", "ablation-data", "ablation-alloc",
+                     "ablation-threshold"}
+        assert ablations <= set(registry.names())
 
     def test_run_analytic_experiment(self, capsys):
         assert main(["table2"]) == 0

@@ -60,8 +60,8 @@ class TestEngine:
         assert codes(findings) == ["REP000"]
         assert "syntax error" in findings[0].message
 
-    def test_registry_has_the_nine_repo_rules(self):
-        assert sorted(RULES) == [f"REP00{i}" for i in range(1, 10)]
+    def test_registry_has_the_ten_repo_rules(self):
+        assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 11)]
 
     def test_select_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown rule ids"):
@@ -581,3 +581,47 @@ class TestPluginAPI:
         engine = LintEngine([ScopedRule()])
         assert engine.lint_source("x = 1\n", "src/repro/metrics/a.py")
         assert not engine.lint_source("x = 1\n", "src/repro/cache/a.py")
+
+
+class TestDecentralisedParallelism:
+    def test_flags_executor_import_outside_runner(self):
+        findings = lint_snippet(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            module="repro.experiments.fig7",
+        )
+        assert codes(findings) == ["REP010"]
+        assert "repro.runner" in findings[0].message
+
+    def test_flags_multiprocessing_import(self):
+        findings = lint_snippet(
+            "import multiprocessing\n", module="repro.service.server"
+        )
+        assert codes(findings) == ["REP010"]
+
+    def test_flags_submodule_imports(self):
+        assert codes(lint_snippet(
+            "import multiprocessing.pool\n", module="repro.hierarchy.system"
+        )) == ["REP010"]
+        assert codes(lint_snippet(
+            "import concurrent.futures as cf\n", module="repro.obs.registry"
+        )) == ["REP010"]
+
+    def test_runner_package_is_exempt(self):
+        src = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "import multiprocessing\n"
+        )
+        assert lint_snippet(src, module="repro.runner.engine") == []
+        assert lint_snippet(src, module="repro.runner") == []
+
+    def test_concurrent_prefix_does_not_overmatch(self):
+        # a third-party package that merely starts with "concurrent" is fine
+        assert lint_snippet(
+            "import concurrently\n", module="repro.experiments.fig7"
+        ) == []
+
+    def test_suppression(self):
+        assert lint_snippet(
+            "import multiprocessing  # repro: noqa=REP010\n",
+            module="repro.experiments.fig7",
+        ) == []
