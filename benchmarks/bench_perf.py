@@ -1,0 +1,31 @@
+"""Benchmark: the perf-baseline layer itself (`repro perf record`).
+
+Records the ``micro`` suite end to end — uncached, phase-profiled, every
+cell measured in-process — and reports the totals block, so
+``results.txt`` carries the same numbers a committed ``BENCH_perf.json``
+would.  Doubles as a check that recording overhead stays sane: the wall
+total inside the document must account for nearly all of the benchmarked
+time (recording is measurement, not extra work).
+"""
+
+from conftest import run_once
+
+from repro.perf import get_suite, record_suite
+
+
+def test_perf_record_micro(benchmark, report):
+    doc = run_once(benchmark, record_suite, get_suite("micro"))
+    totals = doc["totals"]
+    lines = [f"perf record --suite micro   (schema {doc['schema']})"]
+    for exp_name, exp in sorted(doc["experiments"].items()):
+        lines.append(
+            f"  {exp_name}: {exp['wall_s']:.2f}s wall, {exp['cpu_s']:.2f}s cpu, "
+            f"{exp['refs_per_s']:,.0f} refs/s, peak rss {exp['peak_rss_kb']} kB"
+        )
+    lines.append(
+        f"  totals: {totals['wall_s']:.2f}s wall, {totals['refs']:,} refs, "
+        f"{totals['refs_per_s']:,.0f} refs/s"
+    )
+    report("\n".join(lines))
+    assert doc["experiments"], "suite recorded no experiments"
+    assert totals["refs"] > 0

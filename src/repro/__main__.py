@@ -36,6 +36,13 @@ trace export, dispatched to :mod:`repro.obs.cli`::
     python -m repro top --port 9876
     python -m repro obs export --format chrome-trace --out trace.json
     python -m repro obs validate trace.json
+
+Performance baselines (see ``docs/perf.md``) dispatch to
+:mod:`repro.perf.cli`::
+
+    python -m repro perf record --suite smoke --out BENCH_perf.json
+    python -m repro perf compare --baseline BENCH_perf.json
+    python -m repro perf trend --history-dir .repro-perf
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ from .experiments import ExperimentParams
 from .experiments import registry
 from .obs import cli as obs_cli
 from .obs.logging import configure as configure_logging
+from .perf import cli as perf_cli
 from .runner import ResultCache, Runner, cell_key
 from .runner.cache import CACHE_DIR_ENV, DEFAULT_CACHE_DIR
 from .service import cli as service_cli
@@ -221,9 +229,10 @@ def _print_plan(names, params: ExperimentParams, runner: Runner) -> None:
 
 def _run_stats_line(runner: Runner) -> str:
     s = runner.stats
+    saved = f", saved {s.cached_wall_s:.1f}s" if s.cached else ""
     return (f"[cells: {s.run} run, {s.cached} cached, {s.failed} failed"
             f" | cache hit rate {s.hit_rate:.0%}"
-            f" | compute {s.seconds:.1f}s]")
+            f" | compute {s.seconds:.1f}s{saved}]")
 
 
 def run_one(name: str, params: ExperimentParams, runner: Runner,
@@ -270,20 +279,8 @@ def cmd_run(argv) -> int:
             json.dump(json_results, fh, indent=2)
         print(f"wrote {args.json}")
     if args.stats_json:
-        s = runner.stats
         with open(args.stats_json, "w") as fh:
-            json.dump(
-                {
-                    "run": s.run,
-                    "cached": s.cached,
-                    "failed": s.failed,
-                    "total": s.total,
-                    "hit_rate": s.hit_rate,
-                    "compute_seconds": s.seconds,
-                },
-                fh,
-                indent=2,
-            )
+            json.dump(runner.stats.to_dict(), fh, indent=2)
         print(f"wrote {args.stats_json}")
     return 0
 
@@ -308,6 +305,8 @@ def main(argv=None) -> int:
         return devtools_cli.main(argv)
     if argv and argv[0] in obs_cli.OBS_COMMANDS:
         return obs_cli.main(argv)
+    if argv and argv[0] in perf_cli.PERF_COMMANDS:
+        return perf_cli.main(argv)
     if argv and argv[0] == "run":
         return cmd_run(argv[1:])
     if argv and argv[0] == "list-experiments":
@@ -327,6 +326,9 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("observability (see 'repro obs --help'):")
         for name in obs_cli.OBS_COMMANDS:
+            print(f"  {name}")
+        print("performance baselines (see 'repro perf --help'):")
+        for name in perf_cli.PERF_COMMANDS:
             print(f"  {name}")
         return 0
     if args.experiment != "all" and args.experiment not in registry.names():

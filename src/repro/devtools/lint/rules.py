@@ -1,11 +1,11 @@
-"""Repo-specific lint rules (REP001–REP010).
+"""Repo-specific lint rules (REP001–REP011).
 
 Each rule targets a hazard class that corrupts simulation results or
 serving behaviour *without failing any test*: nondeterminism (REP001,
 REP002), event-loop stalls (REP3/4), Python foot-guns (REP005–REP007),
-architecture erosion (REP008), observability bypass (REP009) and
-decentralised parallelism (REP010).  ``docs/devtools.md`` documents the
-rule set and how to add one.
+architecture erosion (REP008), observability bypass (REP009),
+decentralised parallelism (REP010) and unaccounted host timing (REP011).
+``docs/devtools.md`` documents the rule set and how to add one.
 """
 
 from __future__ import annotations
@@ -29,7 +29,7 @@ SIMULATOR_SCOPE = (
 
 #: the serving data path — shares the determinism rules (the admission
 #: decision must replay identically) but not the wall-clock ban (stats
-#: deliberately timestamp with ``perf_counter``)
+#: deliberately time the host, through ``repro.obs.prof.clock``)
 SERVICE_SCOPE = ("repro.service",)
 
 
@@ -114,8 +114,8 @@ class WallClockRule(Rule):
     """Wall-clock reads in simulator code leak real time into results.
 
     Simulated time must come from the model's own cycle counters; stats
-    that genuinely need to time the host use ``time.perf_counter`` (a
-    monotonic interval clock), which this rule deliberately allows.
+    that genuinely need to time the host use the monotonic interval clock
+    behind :func:`repro.obs.prof.clock` (REP011 routes them there).
     """
 
     id = "REP002"
@@ -131,7 +131,8 @@ class WallClockRule(Rule):
             ctx.report(
                 self, node,
                 f"{name} reads the wall clock; simulator paths must use "
-                "model cycle counts (or time.perf_counter for host timing)",
+                "model cycle counts (or repro.obs.prof.clock for host "
+                "timing)",
             )
         elif name.endswith((".now", ".utcnow", ".today")) and (
             "datetime" in name or name.startswith("date.")
@@ -325,7 +326,10 @@ LAYERS = {
     "repro.service": 4,
     "repro.experiments": 5,
     "repro.devtools": 5,
-    "repro.__main__": 6,
+    # perf records *suites of experiments* into baselines, so it sits
+    # above the experiment registry; only the CLI shell outranks it
+    "repro.perf": 6,
+    "repro.__main__": 7,
 }
 
 #: same-layer cross-package imports that are explicitly allowed: the
@@ -503,3 +507,71 @@ class DecentralisedParallelismRule(Rule):
                 "cells through repro.runner.Runner so parallelism stays "
                 "seeded, cached and counted",
             )
+
+
+@register
+class UnaccountedHostTimingRule(Rule):
+    """Host interval clocks must flow through :mod:`repro.obs.prof`.
+
+    ``repro.obs.prof.clock`` / ``cpu_clock`` are the sanctioned access
+    points for ``time.perf_counter`` / ``time.process_time``: timing that
+    goes through them can be phase-attributed, land in the obs registry
+    and show up in ``BENCH_perf.json`` baselines.  A direct clock read
+    anywhere else produces a number no dashboard or baseline will ever
+    see — invisible performance work is exactly what the perf observatory
+    exists to eliminate.  :mod:`repro.obs` and :mod:`repro.runner` host
+    the wrappers and the per-cell measurement loop, so they are exempt;
+    a rare justified site elsewhere opts out with
+    ``# repro: noqa=REP011``.
+    """
+
+    id = "REP011"
+    name = "unaccounted-host-timing"
+    description = (
+        "direct time.perf_counter / time.process_time outside "
+        "repro.obs / repro.runner (use repro.obs.prof.clock / cpu_clock)"
+    )
+    scope = ("repro",)
+
+    _BANNED = frozenset(
+        {
+            "time.perf_counter", "time.perf_counter_ns",
+            "time.process_time", "time.process_time_ns",
+        }
+    )
+    _BANNED_NAMES = frozenset(
+        {
+            "perf_counter", "perf_counter_ns",
+            "process_time", "process_time_ns",
+        }
+    )
+
+    def _allowed(self, ctx) -> bool:
+        return any(
+            ctx.module == pkg or ctx.module.startswith(pkg + ".")
+            for pkg in ("repro.obs", "repro.runner")
+        )
+
+    def check_Attribute(self, node: ast.Attribute, ctx) -> None:
+        if self._allowed(ctx):
+            return
+        name = dotted_name(node)
+        if name in self._BANNED:
+            ctx.report(
+                self, node,
+                f"direct {name} bypasses the perf accounting layer; use "
+                "repro.obs.prof.clock (wall) or cpu_clock (CPU) so the "
+                "interval can be phase-attributed and baselined",
+            )
+
+    def check_ImportFrom(self, node: ast.ImportFrom, ctx) -> None:
+        if self._allowed(ctx) or node.level or node.module != "time":
+            return
+        for alias in node.names:
+            if alias.name in self._BANNED_NAMES:
+                ctx.report(
+                    self, node,
+                    f"importing time.{alias.name} bypasses the perf "
+                    "accounting layer; use repro.obs.prof.clock / "
+                    "cpu_clock instead",
+                )

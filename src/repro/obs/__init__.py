@@ -28,6 +28,15 @@ request path of :mod:`repro.service`.  See ``docs/observability.md``.
 
 from __future__ import annotations
 
+from .prof import (
+    NULL_PHASE_TIMER,
+    DeterministicSampler,
+    PhaseTimer,
+    ProfileSession,
+    merge_phase_tables,
+    phase_shape,
+    profile_collapsed,
+)
 from .registry import (
     LATENCY_BOUNDS_S,
     Counter,
@@ -62,6 +71,13 @@ __all__ = [
     "Tracer",
     "TraceEvent",
     "NULL_TRACER",
+    "PhaseTimer",
+    "NULL_PHASE_TIMER",
+    "DeterministicSampler",
+    "ProfileSession",
+    "merge_phase_tables",
+    "phase_shape",
+    "profile_collapsed",
     "diff_snapshots",
     "merge_registry_snapshots",
     "format_prometheus",
@@ -79,16 +95,20 @@ __all__ = [
 
 
 class Observability:
-    """One registry + one tracer, threaded through constructors as a unit."""
+    """One registry + one tracer + one phase timer, threaded as a unit."""
 
-    def __init__(self, registry: MetricsRegistry, tracer):
+    def __init__(self, registry: MetricsRegistry, tracer, prof=None):
         self.registry = registry
         self.tracer = tracer
+        #: phase timer (``with obs.prof.phase("simulate")``); defaults to
+        #: the shared no-op so existing two-argument callers stay valid
+        self.prof = prof if prof is not None else NULL_PHASE_TIMER
 
     @classmethod
     def disabled(cls) -> "Observability":
-        """The no-op bundle: null metrics and a disabled tracer."""
-        return cls(MetricsRegistry(enabled=False), NULL_TRACER)
+        """The no-op bundle: null metrics, disabled tracer, null phases."""
+        return cls(MetricsRegistry(enabled=False), NULL_TRACER,
+                   NULL_PHASE_TIMER)
 
     @classmethod
     def enabled(
@@ -97,8 +117,15 @@ class Observability:
         trace_capacity: int = 65536,
         sample_every: int = 1,
         time_unit: str = "cycles",
+        profile: bool = False,
     ) -> "Observability":
-        """Metrics on; tracing optional (ring ``trace_capacity``, 1-in-N)."""
+        """Metrics on; tracing and phase profiling optional.
+
+        With ``profile=True`` the bundle carries a live
+        :class:`~repro.obs.prof.PhaseTimer` feeding the registry's
+        ``repro_phase_seconds`` histograms.
+        """
+        registry = MetricsRegistry(enabled=True)
         tracer = (
             Tracer(
                 capacity=trace_capacity,
@@ -108,9 +135,14 @@ class Observability:
             if tracing
             else NULL_TRACER
         )
-        return cls(MetricsRegistry(enabled=True), tracer)
+        prof = (
+            PhaseTimer(enabled=True, registry=registry)
+            if profile
+            else NULL_PHASE_TIMER
+        )
+        return cls(registry, tracer, prof)
 
     @property
     def active(self) -> bool:
-        """True when either the registry or the tracer does real work."""
-        return self.registry.enabled or self.tracer.enabled
+        """True when the registry, tracer or phase timer does real work."""
+        return self.registry.enabled or self.tracer.enabled or self.prof.enabled

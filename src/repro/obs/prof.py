@@ -1,0 +1,394 @@
+"""Deterministic, zero-dependency profiling for simulator and service code.
+
+Three instruments, all opt-in and none able to change a result:
+
+* **phase timers** — ``with prof.phase("simulate")`` wraps a coarse region
+  (building a workload, running a cell, serving a request).  Phases nest;
+  each exit records one observation under the slash-joined path of the
+  enclosing phases (``cell/simulate``) into an in-memory aggregate and,
+  when a registry is attached, into the labelled histogram
+  ``repro_phase_seconds{phase=...}``.  The disabled timer hands out one
+  shared no-op context manager, so instrumented code needs no guards and
+  the cost of an inactive site is a method call;
+* **deterministic sampling profiler** — :class:`DeterministicSampler`
+  drives ``sys.setprofile`` and samples every Nth Python *call event*
+  rather than every T milliseconds.  Because the trigger is a call count,
+  two identical runs sample identical stacks: the collapsed-stack output
+  (``a;b;c 42`` lines, the flamegraph.pl / speedscope interchange format)
+  is byte-reproducible, which makes flamegraphs diffable across commits;
+* **cProfile wrapper** — :class:`ProfileSession` runs a callable under the
+  stdlib's deterministic tracer and exports ``pstats`` rows as JSON for
+  machine consumption (``repro perf`` attaches it on demand).
+
+This module is also the repo's sanctioned host-clock access point:
+:func:`clock` and :func:`cpu_clock` wrap ``time.perf_counter`` /
+``time.process_time`` so that lint rule REP011 can ban direct calls
+everywhere outside :mod:`repro.obs` and :mod:`repro.runner` — host timing
+that does not flow through here cannot land in the registry or in
+``BENCH_perf.json``.  Simulated time is unaffected: it comes from model
+cycle counters (REP002), never from these clocks.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import time
+
+try:  # unix-only; Windows callers see zeros rather than an ImportError
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-posix platform
+    _resource = None
+
+#: histogram bounds for phase durations: 1 µs .. ~65 s, factor 4
+PHASE_SECONDS_BOUNDS = tuple(1e-6 * 4 ** i for i in range(13))
+
+
+def clock() -> float:
+    """Monotonic wall-clock seconds (``time.perf_counter``).
+
+    The one sanctioned wall-clock read for interval timing outside
+    :mod:`repro.obs` / :mod:`repro.runner` (lint rule REP011).
+    """
+    return time.perf_counter()
+
+
+def cpu_clock() -> float:
+    """Process CPU seconds (``time.process_time``); REP011's CPU twin."""
+    return time.process_time()
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process in KiB (0 where unknown).
+
+    ``ru_maxrss`` is kibibytes on Linux and bytes on macOS; normalise to
+    KiB so baselines recorded on either are comparable.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        peak //= 1024
+    return int(peak)
+
+
+def process_resources() -> dict:
+    """Point-in-time resource snapshot of this process.
+
+    ``cpu_s`` is cumulative process CPU time, ``peak_rss_kb`` the
+    high-water resident set — the pair every resource account in the repo
+    (runner cells, service STATS, perf baselines) is built from.
+    """
+    return {"cpu_s": cpu_clock(), "peak_rss_kb": peak_rss_kb()}
+
+
+# -- phase timers -------------------------------------------------------------
+
+
+class _NullPhase:
+    """Shared no-op context manager handed out by a disabled timer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_PHASE = _NullPhase()
+
+
+class _Phase:
+    """Context manager for one phase entry (pooled per nesting level)."""
+
+    __slots__ = ("timer", "name", "start")
+
+    def __init__(self, timer: "PhaseTimer"):
+        self.timer = timer
+        self.name = ""
+        self.start = 0.0
+
+    def __enter__(self):
+        self.timer._stack.append(self.name)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        elapsed = time.perf_counter() - self.start
+        self.timer._record(elapsed)
+        return False
+
+
+class PhaseTimer:
+    """Nestable named timers aggregated by slash-joined phase path.
+
+    One timer instance per logical scope (a cell execution, a server).
+    ``enabled=False`` (or :data:`NULL_PHASE_TIMER`) makes :meth:`phase`
+    return a shared no-op so call sites never need guards.  A timer is not
+    thread-safe — cells own one each, and the asyncio server runs on one
+    loop — which keeps the hot path to a list append and two clock reads.
+    """
+
+    __slots__ = ("enabled", "registry", "_stack", "_agg", "_pool")
+
+    def __init__(self, enabled: bool = True, registry=None):
+        self.enabled = enabled
+        #: optional MetricsRegistry receiving repro_phase_seconds
+        self.registry = registry
+        self._stack: list = []
+        #: path -> [count, total_seconds] in first-entry order
+        self._agg: dict = {}
+        self._pool: list = []
+
+    def phase(self, name: str):
+        """Context manager timing the block as phase ``name`` (nestable)."""
+        if not self.enabled:
+            return _NULL_PHASE
+        depth = len(self._stack)
+        while len(self._pool) <= depth:
+            self._pool.append(_Phase(self))
+        ctx = self._pool[depth]
+        ctx.name = name
+        return ctx
+
+    def _record(self, elapsed: float) -> None:
+        path = "/".join(self._stack)
+        self._stack.pop()
+        slot = self._agg.get(path)
+        if slot is None:
+            self._agg[path] = [1, elapsed]
+        else:
+            slot[0] += 1
+            slot[1] += elapsed
+        if self.registry is not None:
+            self.registry.histogram(
+                "repro_phase_seconds",
+                help="duration of profiled phases, by slash-joined path",
+                bounds=PHASE_SECONDS_BOUNDS,
+                phase=path,
+            ).observe(elapsed)
+
+    # -- views -----------------------------------------------------------------
+
+    def table(self) -> dict:
+        """Flat ``path -> {"count", "seconds"}`` in first-entry order."""
+        return {
+            path: {"count": count, "seconds": seconds}
+            for path, (count, seconds) in self._agg.items()
+        }
+
+    def tree(self) -> dict:
+        """Nested ``name -> {"count", "seconds", "children"}`` view.
+
+        Structure and counts are deterministic for a deterministic program;
+        only the ``seconds`` values carry timing noise (the determinism
+        tests compare trees with :func:`phase_shape`).
+        """
+        root: dict = {}
+        for path, (count, seconds) in self._agg.items():
+            node, children = None, root
+            for part in path.split("/"):
+                node = children.setdefault(
+                    part, {"count": 0, "seconds": 0.0, "children": {}}
+                )
+                children = node["children"]
+            node["count"] += count
+            node["seconds"] += seconds
+        return root
+
+    def clear(self) -> None:
+        """Drop every aggregate (the stack must be empty)."""
+        if self._stack:
+            raise RuntimeError(f"phases still open: {self._stack}")
+        self._agg.clear()
+
+
+#: the shared disabled timer (what Observability.disabled() carries)
+NULL_PHASE_TIMER = PhaseTimer(enabled=False)
+
+
+def phase_shape(tree: dict) -> dict:
+    """``tree()`` with the timing noise stripped: names and counts only."""
+    return {
+        name: {"count": node["count"],
+               "children": phase_shape(node["children"])}
+        for name, node in tree.items()
+    }
+
+
+def merge_phase_tables(tables) -> dict:
+    """Sum flat phase tables (e.g. one per cell) path-by-path."""
+    out: dict = {}
+    for table in tables:
+        for path, row in table.items():
+            slot = out.setdefault(path, {"count": 0, "seconds": 0.0})
+            slot["count"] += row["count"]
+            slot["seconds"] += row["seconds"]
+    return out
+
+
+# -- deterministic sampling profiler ------------------------------------------
+
+
+class DeterministicSampler:
+    """Count-triggered stack sampler with reproducible output.
+
+    Installs a ``sys.setprofile`` hook and captures the Python stack on
+    every ``period``-th *call event*.  Sampling on a call count instead of
+    a timer means an identical run produces identical samples — the
+    collapsed-stack output diffs cleanly between commits, at the price of
+    over-weighting call-heavy regions relative to tight loops (the right
+    trade for regression hunting; use :class:`ProfileSession` for exact
+    per-function times).
+
+    The profile hook itself costs one integer increment per Python call,
+    plus a stack walk on the sampled ones, so keep it out of measured
+    baselines: ``repro perf record`` runs it on a separate pass.
+    """
+
+    #: frames above this depth are truncated (guards pathological recursion)
+    MAX_DEPTH = 64
+
+    def __init__(self, period: int = 997):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.period = period
+        self.calls = 0
+        self.samples = 0
+        self._counts: dict = {}
+        self._active = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        """Install the profile hook (refuses to stack on another hook)."""
+        if self._active:
+            raise RuntimeError("sampler already started")
+        if sys.getprofile() is not None:
+            raise RuntimeError("another sys.setprofile hook is installed")
+        self._active = True
+        sys.setprofile(self._hook)
+
+    def stop(self) -> None:
+        """Remove the profile hook."""
+        if self._active:
+            sys.setprofile(None)
+            self._active = False
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, *exc):
+        self.stop()
+        return False
+
+    # -- the hook --------------------------------------------------------------
+
+    def _hook(self, frame, event, arg) -> None:
+        if event != "call":
+            return
+        self.calls += 1
+        if self.calls % self.period:
+            return
+        stack = []
+        depth = 0
+        while frame is not None and depth < self.MAX_DEPTH:
+            code = frame.f_code
+            module = frame.f_globals.get("__name__", "?")
+            if module != __name__:  # the sampler never profiles itself
+                stack.append(f"{module}:{code.co_name}")
+            frame = frame.f_back
+            depth += 1
+        stack.reverse()
+        key = ";".join(stack)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self.samples += 1
+
+    # -- output ----------------------------------------------------------------
+
+    def collapsed(self) -> str:
+        """Collapsed-stack text (``root;child;leaf count`` per line).
+
+        Sorted by stack string so identical runs emit identical bytes;
+        render with flamegraph.pl, speedscope or any flamegraph viewer.
+        """
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(self._counts.items())
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def counts(self) -> dict:
+        """Raw ``stack -> samples`` mapping (a copy)."""
+        return dict(self._counts)
+
+    def clear(self) -> None:
+        """Reset call and sample state."""
+        self.calls = 0
+        self.samples = 0
+        self._counts.clear()
+
+
+def profile_collapsed(fn, period: int = 997) -> tuple:
+    """Run ``fn()`` under a :class:`DeterministicSampler`.
+
+    Returns ``(fn's result, collapsed-stack text)``.
+    """
+    sampler = DeterministicSampler(period=period)
+    with sampler:
+        result = fn()
+    return result, sampler.collapsed()
+
+
+# -- cProfile wrapper ----------------------------------------------------------
+
+
+class ProfileSession:
+    """Self-profiling ``cProfile`` run with pstats→JSON export.
+
+    Exact deterministic per-function timing counts (every call traced, no
+    sampling), for the cases where the collapsed-stack view is too coarse::
+
+        session = ProfileSession()
+        result = session.run(spec.execute, params)
+        session.write_json("profile.json", top=50)
+    """
+
+    def __init__(self):
+        self._profile = cProfile.Profile()
+        self.ran = False
+
+    def run(self, fn, *args, **kwargs):
+        """Execute ``fn(*args, **kwargs)`` under the profiler."""
+        self.ran = True
+        return self._profile.runcall(fn, *args, **kwargs)
+
+    def rows(self, top: int | None = None) -> list:
+        """pstats rows as dicts, heaviest cumulative time first."""
+        stats = pstats.Stats(self._profile)
+        rows = []
+        for (filename, line, name), (cc, nc, tt, ct, _callers) in (
+            stats.stats.items()
+        ):
+            rows.append(
+                {
+                    "function": f"{filename}:{line}({name})",
+                    "ncalls": nc,
+                    "primitive_calls": cc,
+                    "tottime_s": tt,
+                    "cumtime_s": ct,
+                }
+            )
+        rows.sort(key=lambda r: (-r["cumtime_s"], r["function"]))
+        return rows[:top] if top else rows
+
+    def write_json(self, path, top: int | None = 50) -> None:
+        """Dump the heaviest ``top`` rows as an indented JSON document."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"schema": 1, "rows": self.rows(top)}, fh, indent=2)

@@ -67,7 +67,7 @@ def render_dashboard(
         ),
         "",
         f"{'shard':>5} {'gets':>9} {'hit rate':>9} {'p50 ms':>8} {'p99 ms':>8} "
-        f"{'occup':>6} {'tagged':>8} {'evict':>7} {'req/s':>8}",
+        f"{'busy s':>7} {'occup':>6} {'tagged':>8} {'evict':>7} {'req/s':>8}",
     ]
     for i, shard in enumerate(shards):
         old = prev_shards[i] if i < len(prev_shards) else None
@@ -77,6 +77,7 @@ def render_dashboard(
             f"{i:>5} {shard.get('gets', 0):>9} {shard.get('hit_rate', 0.0):>9.4f} "
             f"{shard.get('p50_s', 0.0) * 1e3:>8.3f} "
             f"{shard.get('p99_s', 0.0) * 1e3:>8.3f} "
+            f"{shard.get('busy_s', 0.0):>7.2f} "
             f"{occupancy:>6} {shard.get('tag_only_sets', 0):>8} "
             f"{shard.get('data_evictions', 0) + shard.get('tag_evictions', 0):>7} "
             f"{rps:>8.0f}"
@@ -86,6 +87,7 @@ def render_dashboard(
             f"{'all':>5} {total.get('gets', 0):>9} {total.get('hit_rate', 0.0):>9.4f} "
             f"{total.get('p50_s', 0.0) * 1e3:>8.3f} "
             f"{total.get('p99_s', 0.0) * 1e3:>8.3f} "
+            f"{total.get('busy_s', 0.0):>7.2f} "
             f"{total.get('latency_samples', 0):>6} "
             f"{total.get('tag_only_sets', 0):>8} "
             f"{total.get('data_evictions', 0) + total.get('tag_evictions', 0):>7} "
@@ -104,15 +106,32 @@ def render_dashboard(
                 title="hit rate by shard",
             )
         )
+    process = snapshot.get("process")
+    if process is not None:
+        lines.append("")
+        lines.append(
+            f"process {process.get('pid', '?')} · "
+            f"cpu {process.get('cpu_s', 0.0):.1f}s · "
+            f"peak rss {_fmt_bytes(process.get('peak_rss_kb', 0) * 1024)}"
+        )
     obs = snapshot.get("obs")
-    if obs:
+    # an empty-but-present obs block still renders (zeros), so a freshly
+    # started server shows the panel instead of a blank frame
+    if obs is not None:
         lag = _gauge_value(obs, "repro_service_eventloop_lag_seconds")
         conns = _gauge_value(obs, "repro_service_connections")
         inflight = _gauge_value(obs, "repro_service_inflight")
+        count, mean_s, p99_s = _histogram_summary(
+            obs, "repro_service_request_latency_seconds"
+        )
         lines.append("")
         lines.append(
             f"connections {conns:g} · inflight {inflight:g} · "
             f"event-loop lag {lag * 1e3:.2f} ms"
+        )
+        lines.append(
+            f"requests {count} · mean {mean_s * 1e3:.3f} ms · "
+            f"~p99 {p99_s * 1e3:.3f} ms"
         )
     return "\n".join(lines)
 
@@ -122,3 +141,41 @@ def _gauge_value(obs_snapshot: dict, name: str) -> float:
     if not family or not family.get("series"):
         return 0.0
     return float(family["series"][0].get("value", 0.0))
+
+
+def _histogram_summary(obs_snapshot: dict, name: str) -> tuple:
+    """(count, mean seconds, ~p99 seconds) summed over a family's series.
+
+    Zeros when the family is absent or has no samples yet — the dashboard
+    shows an idle server as zeros, never as a missing panel.
+    """
+    family = obs_snapshot.get(name)
+    if not family or not family.get("series"):
+        return 0, 0.0, 0.0
+    count = 0
+    total_s = 0.0
+    merged: dict = {}
+    for series in family["series"]:
+        count += series.get("count", 0)
+        total_s += series.get("sum", 0.0)
+        cumulative_prev = 0
+        for bound, cumulative in series.get("buckets", []):
+            merged[bound] = merged.get(bound, 0) + (cumulative - cumulative_prev)
+            cumulative_prev = cumulative
+    if count == 0:
+        return 0, 0.0, 0.0
+    # bucket-interpolated p99 over the merged per-bucket counts
+    rank = 0.99 * count
+    cumulative = 0
+    p99 = 0.0
+    lo = 0.0
+    for bound, bucket_count in merged.items():
+        cumulative += bucket_count
+        hi = lo if bound == "+Inf" else float(bound)
+        if cumulative >= rank:
+            p99 = hi
+            break
+        lo = hi
+    else:
+        p99 = lo
+    return count, total_s / count, p99

@@ -1,0 +1,289 @@
+"""Record and compare schema-versioned performance baselines.
+
+A baseline (``BENCH_perf.json``) is one recording of a
+:class:`~repro.perf.suites.PerfSuite`: for every experiment, the per-cell
+resource accounts the runner measured (wall/CPU seconds, peak RSS,
+refs/sec) plus the merged phase table, stamped with the machine and code
+fingerprints that make the numbers interpretable later.
+
+Comparison is **noise-aware**: a cell only regresses when its wall time
+exceeds the baseline by *both* a relative factor and an absolute floor.
+The relative threshold absorbs proportional host noise (frequency scaling,
+co-tenancy); the absolute floor keeps microsecond-scale cells — where a
+single scheduler hiccup is a huge relative change — from crying wolf.
+Cross-machine comparisons are explicitly supported with generous
+thresholds (the CI gate), and flagged in the report via the machine
+fingerprint.
+
+Recording never touches the result cache: replayed cells would measure the
+cache, not the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import asdict
+
+from ..obs.logging import get_logger
+from ..obs.prof import clock, merge_phase_tables
+from ..runner import Runner, code_fingerprint
+from .suites import PerfSuite
+
+log = get_logger(__name__)
+
+#: bump on incompatible changes to the baseline document layout
+PERF_SCHEMA = 1
+
+#: default noise thresholds (local same-machine comparisons)
+REL_THRESHOLD = 0.5
+ABS_FLOOR_S = 0.05
+
+
+def machine_fingerprint() -> dict:
+    """Identity of the recording host, embedded in every baseline."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def record_suite(suite: PerfSuite, parallel: int = 0,
+                 progress=None) -> dict:
+    """Run every experiment of ``suite`` uncached and account each cell.
+
+    ``parallel`` fans cells out over worker processes (resources are still
+    measured inside the executing process); ``progress`` is forwarded to
+    each :class:`~repro.runner.Runner`.
+    """
+    experiments = {}
+    total_wall = total_cpu = 0.0
+    total_refs = 0
+    peak_rss = 0
+    for spec in suite.specs():
+        runner = Runner(parallel=parallel, cache=None,
+                        profile_phases=True, progress=progress)
+        start = clock()
+        spec.execute(suite.params, runner=runner)
+        wall_s = clock() - start
+        stats = runner.stats
+        phases = merge_phase_tables(
+            cell.get("phases", {}) for cell in stats.cells
+        )
+        experiments[spec.name] = {
+            "wall_s": wall_s,
+            "compute_s": stats.seconds,
+            "cpu_s": stats.cpu_seconds,
+            "peak_rss_kb": stats.peak_rss_kb,
+            "refs": stats.refs,
+            "refs_per_s": stats.refs_per_s,
+            "cells": [
+                {k: v for k, v in cell.items() if k != "phases"}
+                for cell in stats.cells
+            ],
+            "phases": phases,
+        }
+        total_wall += wall_s
+        total_cpu += stats.cpu_seconds
+        total_refs += stats.refs
+        peak_rss = max(peak_rss, stats.peak_rss_kb)
+        log.info("recorded %s: %.2fs wall, %d cell(s)",
+                 spec.name, wall_s, len(stats.cells))
+    return {
+        "schema": PERF_SCHEMA,
+        "suite": suite.name,
+        "machine": machine_fingerprint(),
+        "code_fingerprint": code_fingerprint(),
+        "params": asdict(suite.params),
+        "experiments": experiments,
+        "totals": {
+            "wall_s": total_wall,
+            "cpu_s": total_cpu,
+            "peak_rss_kb": peak_rss,
+            "refs": total_refs,
+            "refs_per_s": total_refs / total_wall if total_wall > 0 else 0.0,
+        },
+    }
+
+
+# -- persistence ---------------------------------------------------------------
+
+
+def write_baseline(path, baseline: dict) -> None:
+    """Write ``baseline`` as an indented JSON document."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(baseline, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_baseline(path) -> dict:
+    """Load and schema-check a baseline; ``ValueError`` on a bad document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: baseline must be a JSON object")
+    schema = doc.get("schema")
+    if schema != PERF_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported baseline schema {schema!r} "
+            f"(this build reads schema {PERF_SCHEMA})"
+        )
+    for key in ("suite", "machine", "code_fingerprint", "experiments",
+                "totals"):
+        if key not in doc:
+            raise ValueError(f"{path}: baseline missing key {key!r}")
+    return doc
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+def _cell_walls(experiment: dict) -> dict:
+    """label -> summed wall seconds for one experiment's cell list.
+
+    Labels repeat when one experiment runs a configuration twice (or a
+    parallel recording reorders completion), so walls aggregate by label —
+    comparisons are order-independent.
+    """
+    walls: dict = {}
+    for cell in experiment.get("cells", []):
+        wall = cell.get("wall_s", cell.get("cached_wall_s", 0.0))
+        walls[cell["label"]] = walls.get(cell["label"], 0.0) + wall
+    return walls
+
+
+def _regressed(base_s: float, cur_s: float, rel: float, floor: float) -> bool:
+    return cur_s > base_s * (1.0 + rel) and cur_s - base_s > floor
+
+
+def compare_baselines(
+    base: dict,
+    current: dict,
+    rel_threshold: float = REL_THRESHOLD,
+    abs_floor_s: float = ABS_FLOOR_S,
+) -> dict:
+    """Compare two baseline documents cell by cell.
+
+    Returns a report dict whose ``"ok"`` is False when any cell (or an
+    experiment's total compute) slowed past *both* thresholds.  Errors —
+    different suites or parameters, i.e. documents that measure different
+    work — land in ``"errors"`` and also clear ``"ok"``.
+    """
+    report = {
+        "ok": True,
+        "suite": current.get("suite"),
+        "same_machine": base.get("machine") == current.get("machine"),
+        "same_code": base.get("code_fingerprint")
+        == current.get("code_fingerprint"),
+        "thresholds": {"rel": rel_threshold, "abs_floor_s": abs_floor_s},
+        "errors": [],
+        "regressions": [],
+        "improvements": [],
+        "added": [],
+        "removed": [],
+        "checked": 0,
+    }
+    if base.get("suite") != current.get("suite"):
+        report["errors"].append(
+            f"suite mismatch: baseline {base.get('suite')!r} vs "
+            f"current {current.get('suite')!r}"
+        )
+    if base.get("params") != current.get("params"):
+        report["errors"].append(
+            "parameter mismatch: the documents measure different work"
+        )
+    if report["errors"]:
+        report["ok"] = False
+        return report
+
+    base_exps = base["experiments"]
+    cur_exps = current["experiments"]
+    for name in cur_exps:
+        if name not in base_exps:
+            report["added"].append(name)
+    for name, base_exp in base_exps.items():
+        if name not in cur_exps:
+            report["removed"].append(name)
+            continue
+        cur_exp = cur_exps[name]
+        base_walls = _cell_walls(base_exp)
+        cur_walls = _cell_walls(cur_exp)
+        for label in cur_walls:
+            if label not in base_walls:
+                report["added"].append(f"{name}:{label}")
+        for label, base_s in base_walls.items():
+            if label not in cur_walls:
+                report["removed"].append(f"{name}:{label}")
+                continue
+            cur_s = cur_walls[label]
+            report["checked"] += 1
+            entry = {
+                "experiment": name,
+                "cell": label,
+                "baseline_s": base_s,
+                "current_s": cur_s,
+                "ratio": cur_s / base_s if base_s > 0 else float("inf"),
+            }
+            if _regressed(base_s, cur_s, rel_threshold, abs_floor_s):
+                report["regressions"].append(entry)
+            elif _regressed(cur_s, base_s, rel_threshold, abs_floor_s):
+                report["improvements"].append(entry)
+        # the experiment's total compute catches distributed slowdowns
+        # (every cell a little worse, none past its own threshold)
+        base_total = base_exp.get("compute_s", 0.0)
+        cur_total = cur_exp.get("compute_s", 0.0)
+        report["checked"] += 1
+        if _regressed(base_total, cur_total, rel_threshold, abs_floor_s):
+            report["regressions"].append(
+                {
+                    "experiment": name,
+                    "cell": "(total compute)",
+                    "baseline_s": base_total,
+                    "current_s": cur_total,
+                    "ratio": cur_total / base_total
+                    if base_total > 0 else float("inf"),
+                }
+            )
+    if report["regressions"]:
+        report["ok"] = False
+    return report
+
+
+def format_comparison(report: dict) -> str:
+    """Human-readable comparison report (what ``repro perf compare`` prints)."""
+    lines = []
+    thresholds = report["thresholds"]
+    lines.append(
+        f"perf compare [{report.get('suite')}] — "
+        f"threshold +{thresholds['rel'] * 100:.0f}% "
+        f"and >{thresholds['abs_floor_s'] * 1e3:.0f}ms"
+    )
+    if not report["same_machine"]:
+        lines.append("note: baseline recorded on a different machine")
+    if report["same_code"]:
+        lines.append("note: identical code fingerprints (same source tree)")
+    for error in report["errors"]:
+        lines.append(f"ERROR: {error}")
+    for kind, rows in (("REGRESSION", report["regressions"]),
+                       ("improvement", report["improvements"])):
+        for row in rows:
+            lines.append(
+                f"{kind}: {row['experiment']}:{row['cell']} "
+                f"{row['baseline_s']:.3f}s -> {row['current_s']:.3f}s "
+                f"({row['ratio']:.2f}x)"
+            )
+    for name in report["added"]:
+        lines.append(f"added (no baseline): {name}")
+    for name in report["removed"]:
+        lines.append(f"removed (stale baseline entry): {name}")
+    verdict = "OK" if report["ok"] else "FAIL"
+    lines.append(
+        f"{verdict}: {report['checked']} comparison(s), "
+        f"{len(report['regressions'])} regression(s), "
+        f"{len(report['improvements'])} improvement(s)"
+    )
+    return "\n".join(lines)

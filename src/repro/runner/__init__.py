@@ -30,7 +30,7 @@ from __future__ import annotations
 
 from .cache import ResultCache, cell_key
 from .cells import Cell, WorkloadRef, as_workload_ref
-from .engine import Runner, RunnerStats, execute_cell
+from .engine import Runner, RunnerStats, execute_cell, execute_cell_measured
 from .fingerprint import code_fingerprint
 
 __all__ = [
@@ -42,5 +42,6 @@ __all__ = [
     "Runner",
     "RunnerStats",
     "execute_cell",
+    "execute_cell_measured",
     "code_fingerprint",
 ]

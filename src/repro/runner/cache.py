@@ -32,7 +32,8 @@ from .cells import Cell
 from .fingerprint import code_fingerprint
 
 #: bump when the on-disk entry layout changes incompatibly
-CACHE_FORMAT = 1
+#: (2: entries carry the original cell wall time for cached_wall_s reporting)
+CACHE_FORMAT = 2
 
 #: environment variable naming the default cache directory
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -72,6 +73,16 @@ class ResultCache:
 
     def get(self, key: str):
         """The cached result for ``key``, or None (any failure = miss)."""
+        entry = self.get_entry(key)
+        return None if entry is None else entry["result"]
+
+    def get_entry(self, key: str):
+        """The full cache record ``{"result", "wall_s"}``, or None on miss.
+
+        ``wall_s`` is the wall-clock cost of the run that originally
+        produced the result — what a replay *saved* — so warm ``--stats-json``
+        reports can attribute real time to cached cells instead of 0.0s.
+        """
         entry = self._entry_path(key)
         try:
             with entry.open("rb") as fh:
@@ -84,17 +95,24 @@ class ResultCache:
             self.misses += 1
             return None
         self.hits += 1
-        return payload["result"]
+        return {"result": payload["result"],
+                "wall_s": payload.get("wall_s", 0.0)}
 
     def contains(self, key: str) -> bool:
         """Whether an entry for ``key`` exists (without deserialising it)."""
         return self._entry_path(key).is_file()
 
-    def put(self, key: str, result) -> None:
-        """Atomically publish ``result`` under ``key``."""
+    def put(self, key: str, result, wall_s: float = 0.0) -> None:
+        """Atomically publish ``result`` under ``key``.
+
+        ``wall_s`` records how long the producing run took; it lives in the
+        entry envelope (not in the result), so replayed results stay
+        byte-identical to freshly computed ones.
+        """
         entry = self._entry_path(key)
         entry.parent.mkdir(parents=True, exist_ok=True)
-        payload = {"format": CACHE_FORMAT, "key": key, "result": result}
+        payload = {"format": CACHE_FORMAT, "key": key, "result": result,
+                   "wall_s": float(wall_s)}
         fd, tmp = tempfile.mkstemp(dir=entry.parent, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:

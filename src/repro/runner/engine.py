@@ -18,6 +18,14 @@ Observability: when given an enabled :class:`~repro.obs.Observability`
 bundle the runner publishes ``repro_runner_cells_total{status=...}``
 counters and a per-cell wall-latency histogram, and emits one progress
 callback per finished cell (the ``repro run`` CLI renders these).
+
+Resource accounting: every executed cell is measured *inside the process
+that runs it* — wall seconds, CPU seconds, the process's peak RSS at cell
+end and references simulated per second, plus a phase table when
+``profile_phases`` is on.  Measurements live in :class:`RunnerStats`
+(``stats.cells``) and in the result cache's entry envelope, never inside
+the :class:`RunResult` itself, so the engine's byte-identical guarantee
+(serial == parallel == cache replay) is untouched by instrumentation.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from dataclasses import dataclass, field
 from ..hierarchy.system import RunResult, System
 from ..obs import Observability
 from ..obs.logging import get_logger
+from ..obs.prof import PhaseTimer, peak_rss_kb
 from .cache import ResultCache, cell_key
 from .cells import Cell
 from .fingerprint import code_fingerprint
@@ -42,33 +51,76 @@ CELL_SECONDS_BOUNDS = (0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0,
 
 
 def execute_cell(cell: Cell) -> RunResult:
-    """Run one cell to completion (also the worker-process entry point).
+    """Run one cell to completion.
 
     Deterministic by construction: the workload is rebuilt from the cell's
     recipe and every random decision inside :class:`System` draws from
     generators seeded by the cell's own configuration.
     """
-    workload = cell.workload.build()
-    system = System(
-        cell.config,
-        workload,
-        record_generations=cell.record_generations,
-        capture_llc_trace=cell.capture_llc_trace,
-    )
-    result = system.run(warmup_frac=cell.warmup_frac)
+    return execute_cell_measured(cell)[0]
+
+
+def execute_cell_measured(cell: Cell, profile_phases: bool = False) -> tuple:
+    """Run one cell and account its resources (the worker entry point).
+
+    Returns ``(result, resources)`` where ``resources`` holds ``wall_s``,
+    ``cpu_s``, ``peak_rss_kb`` (the executing process's high-water RSS at
+    cell end), ``refs`` / ``refs_per_s``, and — when ``profile_phases`` is
+    set — a ``phases`` table from a per-cell
+    :class:`~repro.obs.prof.PhaseTimer` wrapping workload construction and
+    simulation.  The result object itself is never touched by the
+    measurement, so instrumented and bare runs stay byte-identical.
+    """
+    prof = PhaseTimer(enabled=profile_phases)
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
+    with prof.phase("cell"):
+        with prof.phase("build_workload"):
+            workload = cell.workload.build()
+        system = System(
+            cell.config,
+            workload,
+            record_generations=cell.record_generations,
+            capture_llc_trace=cell.capture_llc_trace,
+        )
+        with prof.phase("simulate"):
+            result = system.run(warmup_frac=cell.warmup_frac)
     if cell.capture_llc_trace:
         result.extra["llc_trace"] = system.llc_trace
-    return result
+    wall_s = time.perf_counter() - wall_start
+    refs = sum(trace.n_refs for trace in workload.traces)
+    resources = {
+        "wall_s": wall_s,
+        "cpu_s": time.process_time() - cpu_start,
+        "peak_rss_kb": peak_rss_kb(),
+        "refs": refs,
+        "refs_per_s": refs / wall_s if wall_s > 0 else 0.0,
+    }
+    if profile_phases:
+        resources["phases"] = prof.table()
+    return result, resources
 
 
 @dataclass
 class RunnerStats:
-    """Cumulative outcome counts over a runner's lifetime."""
+    """Cumulative outcome counts and resources over a runner's lifetime."""
 
     run: int = 0
     cached: int = 0
     failed: int = 0
     seconds: float = 0.0
+    #: summed CPU seconds of executed cells (measured in their process)
+    cpu_seconds: float = 0.0
+    #: summed original wall seconds of cells served from the cache — the
+    #: compute a warm replay *saved* (0.0s-per-cell reports were the old bug)
+    cached_wall_s: float = 0.0
+    #: highest per-process peak RSS observed across executed cells (KiB)
+    peak_rss_kb: int = 0
+    #: memory references simulated by executed (non-cached) cells
+    refs: int = 0
+    #: per-cell account records, in completion order: label, status,
+    #: wall/cpu/rss/refs for executed cells, cached_wall_s for replays
+    cells: list = field(default_factory=list)
     #: per-status cell counts of the most recent ``run_cells`` batch
     last_batch: dict = field(default_factory=dict)
 
@@ -82,6 +134,28 @@ class RunnerStats:
         """Fraction of completed cells served from the cache."""
         done = self.run + self.cached
         return self.cached / done if done else 0.0
+
+    @property
+    def refs_per_s(self) -> float:
+        """Aggregate simulation throughput of the executed cells."""
+        return self.refs / self.seconds if self.seconds > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe view (the ``--stats-json`` payload body)."""
+        return {
+            "run": self.run,
+            "cached": self.cached,
+            "failed": self.failed,
+            "total": self.total,
+            "hit_rate": self.hit_rate,
+            "compute_seconds": self.seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "cached_wall_s": self.cached_wall_s,
+            "peak_rss_kb": self.peak_rss_kb,
+            "refs": self.refs,
+            "refs_per_s": self.refs_per_s,
+            "cells": list(self.cells),
+        }
 
 
 def _env_parallel() -> int:
@@ -104,12 +178,16 @@ class Runner:
         force: bool = False,
         obs: Observability | None = None,
         progress=None,
+        profile_phases: bool = False,
     ):
         self.parallel = parallel
         self.cache = cache
         self.force = force
         self.obs = obs if obs is not None else Observability.disabled()
         self.progress = progress
+        #: measure per-cell phase timings (build_workload / simulate) in
+        #: whichever process executes the cell; results are unaffected
+        self.profile_phases = profile_phases
         self.stats = RunnerStats()
         # one fingerprint per runner: cells of a batch must share a key basis
         self._fingerprint = code_fingerprint() if cache is not None else None
@@ -150,11 +228,12 @@ class Runner:
             key = None
             if self.cache is not None and not self.force:
                 key = cell_key(cell, self._fingerprint)
-                hit = self.cache.get(key)
+                hit = self.cache.get_entry(key)
                 if hit is not None:
-                    results[i] = hit
+                    results[i] = hit["result"]
                     batch["cached"] += 1
-                    self._account("cached", cell, 0.0, len(cells), batch)
+                    self._account("cached", cell, 0.0, len(cells), batch,
+                                  {"cached_wall_s": hit["wall_s"]})
                     continue
             elif self.cache is not None:
                 key = cell_key(cell, self._fingerprint)
@@ -172,13 +251,14 @@ class Runner:
     # -- execution strategies ----------------------------------------------------
     def _run_serial(self, pending, results, batch, total) -> None:
         for i, cell, key in pending:
-            start = time.perf_counter()
             try:
-                result = execute_cell(cell)
+                result, resources = execute_cell_measured(
+                    cell, self.profile_phases
+                )
             except Exception as exc:
                 self._fail(cell, batch, exc)
-            self._commit(i, cell, key, result, results, batch,
-                         time.perf_counter() - start, total)
+            self._commit(i, cell, key, result, results, batch, resources,
+                         total)
 
     def _run_pool(self, pending, results, batch, total) -> None:
         workers = min(self.parallel, len(pending))
@@ -186,11 +266,11 @@ class Runner:
                  len(pending), workers)
         with ProcessPoolExecutor(max_workers=workers) as pool:
             futures = {}
-            started = {}
             for i, cell, key in pending:
-                future = pool.submit(execute_cell, cell)
+                future = pool.submit(
+                    execute_cell_measured, cell, self.profile_phases
+                )
                 futures[future] = (i, cell, key)
-                started[future] = time.perf_counter()
             outstanding = set(futures)
             while outstanding:
                 done, outstanding = wait(outstanding,
@@ -202,17 +282,18 @@ class Runner:
                         for other in outstanding:
                             other.cancel()
                         self._fail(cell, batch, exc)
-                    self._commit(i, cell, key, future.result(), results,
-                                 batch, time.perf_counter() - started[future],
-                                 total)
+                    result, resources = future.result()
+                    self._commit(i, cell, key, result, results, batch,
+                                 resources, total)
 
     # -- bookkeeping -------------------------------------------------------------
-    def _commit(self, i, cell, key, result, results, batch, seconds, total):
+    def _commit(self, i, cell, key, result, results, batch, resources, total):
         results[i] = result
         if key is not None:
-            self.cache.put(key, result)
+            self.cache.put(key, result, wall_s=resources["wall_s"])
         batch["run"] += 1
-        self._account("run", cell, seconds, total, batch)
+        self._account("run", cell, resources["wall_s"], total, batch,
+                      resources)
 
     def _fail(self, cell: Cell, batch, exc: Exception):
         batch["failed"] += 1
@@ -226,12 +307,24 @@ class Runner:
         log.error("cell %s failed: %s", cell.label, exc)
         raise RuntimeError(f"cell {cell.label} failed") from exc
 
-    def _account(self, status, cell, seconds, total, batch):
+    def _account(self, status, cell, seconds, total, batch, resources=None):
+        record = {"label": cell.label, "status": status}
         if status == "run":
             self.stats.run += 1
             self.stats.seconds += seconds
+            if resources is not None:
+                self.stats.cpu_seconds += resources["cpu_s"]
+                self.stats.peak_rss_kb = max(
+                    self.stats.peak_rss_kb, resources["peak_rss_kb"]
+                )
+                self.stats.refs += resources["refs"]
+                record.update(resources)
         else:
             self.stats.cached += 1
+            if resources is not None:
+                self.stats.cached_wall_s += resources["cached_wall_s"]
+                record.update(resources)
+        self.stats.cells.append(record)
         registry = self.obs.registry
         if registry.enabled:
             registry.counter(

@@ -22,10 +22,10 @@ Two harnesses share that conversion:
 from __future__ import annotations
 
 import asyncio
-import time
 from dataclasses import dataclass, field
 
 from ..obs.logging import get_logger
+from ..obs.prof import clock
 from ..workloads.trace import Trace, Workload
 from .client import CacheClient
 from .stats import quantile
@@ -104,7 +104,7 @@ def replay_store(store, workload: Workload, value_bytes: int = VALUE_BYTES) -> L
     cores would produce.
     """
     result = LoadResult(name=workload.name)
-    start = time.perf_counter()
+    start = clock()
     streams = [(t.addrs, len(t.addrs)) for t in workload.traces]
     longest = max(n for _, n in streams)
     for i in range(longest):
@@ -124,7 +124,7 @@ def replay_store(store, workload: Workload, value_bytes: int = VALUE_BYTES) -> L
                 result.sets_stored += 1
             else:
                 result.sets_tagged += 1
-    result.wall_s = time.perf_counter() - start
+    result.wall_s = clock() - start
     return result
 
 
@@ -141,10 +141,10 @@ async def _replay_trace(
     """One worker: issue the trace's read-through traffic back-to-back."""
     for i, addr in enumerate(trace.addrs):
         key = key_of(addr)
-        t0 = time.perf_counter()
+        t0 = clock()
         value = await client.get(key)
         if i % sample_every == 0:
-            result.latencies_s.append(time.perf_counter() - t0)
+            result.latencies_s.append(clock() - t0)
         result.gets += 1
         result.ops += 1
         if value is not None:
@@ -185,13 +185,13 @@ async def run_load(
         CacheClient(host, port, pool_size=pool_size)
         for _ in workload.traces
     ]
-    start = time.perf_counter()
+    start = clock()
     try:
         await asyncio.gather(*[
             _replay_trace(client, trace, result, value_bytes, sample_every)
             for client, trace in zip(clients, workload.traces)
         ])
-        result.wall_s = time.perf_counter() - start
+        result.wall_s = clock() - start
         log.debug(
             "load %s: %d ops in %.2fs (hit rate %.4f)",
             workload.name, result.ops, result.wall_s, result.hit_rate,

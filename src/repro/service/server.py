@@ -31,7 +31,9 @@ Operational guards:
   idle connections.
 
 Request latency is recorded into the owning shard's stats, so STATS reports
-per-shard p50/p99 alongside hit and admission counters.
+per-shard p50/p99 and accumulated busy seconds alongside hit and admission
+counters, plus a ``"process"`` block (pid, cumulative CPU seconds, peak
+RSS) for the serving process as a whole.
 
 Observability (:mod:`repro.obs`) is opt-in via the ``obs`` constructor
 argument: with an enabled registry the server labels request counters and
@@ -46,10 +48,11 @@ from __future__ import annotations
 
 import asyncio
 import json
-import time
+import os
 
 from ..obs import Observability
 from ..obs.logging import get_logger
+from ..obs.prof import clock, process_resources
 from ..obs.tracing import CAT_REQUEST
 from .sharding import ShardedStore
 
@@ -253,7 +256,7 @@ class CacheServer:
         if not parts:
             raise ProtocolError("empty request")
         cmd = parts[0].upper()
-        start = time.perf_counter()
+        start = clock()
 
         if cmd == "GET":
             key = self._one_key(parts)
@@ -288,6 +291,7 @@ class CacheServer:
             writer.write(b"DELETED\n" if removed else b"NOTFOUND\n")
         elif cmd == "STATS":
             snapshot = self.store.stats_snapshot()
+            snapshot["process"] = {"pid": os.getpid(), **process_resources()}
             if self.obs.registry.enabled:
                 snapshot["obs"] = self.obs.registry.snapshot()
             payload = json.dumps(snapshot).encode("utf-8")
@@ -309,7 +313,7 @@ class CacheServer:
             raise ProtocolError(f"unknown command {cmd!r}")
 
         await writer.drain()
-        elapsed = time.perf_counter() - start
+        elapsed = clock() - start
         shard_idx = 0
         if cmd in ("GET", "SET", "DEL"):
             shard_idx = self.store.shard_of(parts[1])

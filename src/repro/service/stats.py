@@ -63,6 +63,11 @@ class ShardStats:
     bytes_stored: int = 0
     #: total bytes ever written into the data store
     bytes_written: int = 0
+    #: summed request service time in seconds — the shard's *busy* time.
+    #: Shards share one event loop, so per-shard CPU cannot be read from the
+    #: OS; busy seconds are the serving-side analogue (request wall time
+    #: attributed to the shard that owned the key).
+    busy_s: float = 0.0
     #: retained request latencies in seconds (the reservoir)
     latencies: list = field(default_factory=list, repr=False)
     latency_window: int = LATENCY_WINDOW
@@ -84,6 +89,7 @@ class ShardStats:
         ``window / i``, giving every request the same retention probability.
         """
         self.latency_count += 1
+        self.busy_s += seconds
         if len(self.latencies) < self.latency_window:
             self.latencies.append(seconds)
         else:
@@ -165,6 +171,7 @@ class ShardStats:
             "bytes_stored": self.bytes_stored,
             "bytes_written": self.bytes_written,
             "latency_samples": self.latency_count,
+            "busy_s": self.busy_s,
             "reservoir_occupancy": len(self.latencies),
             "reservoir_capacity": self.latency_window,
             **self.latency_quantiles(),
@@ -185,11 +192,14 @@ def merge_snapshots(snapshots: list) -> dict:
         "reservoir_occupancy", "reservoir_capacity",
     )}
     p50 = p99 = 0.0
+    busy_s = 0.0
     for snap in snapshots:
         for key in total:
             total[key] += snap.get(key, 0)
+        busy_s += snap.get("busy_s", 0.0)
         p50 = max(p50, snap["p50_s"])
         p99 = max(p99, snap["p99_s"])
+    total["busy_s"] = busy_s
     total["hit_rate"] = total["hits"] / total["gets"] if total["gets"] else 0.0
     total["p50_s"] = p50
     total["p99_s"] = p99

@@ -60,8 +60,8 @@ class TestEngine:
         assert codes(findings) == ["REP000"]
         assert "syntax error" in findings[0].message
 
-    def test_registry_has_the_ten_repo_rules(self):
-        assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 11)]
+    def test_registry_has_the_eleven_repo_rules(self):
+        assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 12)]
 
     def test_select_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown rule ids"):
@@ -213,10 +213,12 @@ class TestWallClock:
         """)) == ["REP002"]
 
     def test_perf_counter_allowed(self):
+        # REP002 tolerates the interval clock; routing it through
+        # repro.obs.prof is REP011's job, so only REP002 runs here
         assert lint_snippet("""
         import time
         t = time.perf_counter()
-        """) == []
+        """, select={"REP002"}) == []
 
     def test_cli_is_out_of_scope(self):
         src = "import time\nt = time.time()\n"
@@ -625,3 +627,64 @@ class TestDecentralisedParallelism:
             "import multiprocessing  # repro: noqa=REP010\n",
             module="repro.experiments.fig7",
         ) == []
+
+
+class TestUnaccountedHostTiming:
+    def test_flags_direct_perf_counter(self):
+        findings = lint_snippet(
+            "import time\nt = time.perf_counter()\n",
+            module="repro.service.loadgen",
+        )
+        assert codes(findings) == ["REP011"]
+        assert "repro.obs.prof.clock" in findings[0].message
+
+    def test_flags_process_time_and_ns_variants(self):
+        for fn in ("process_time", "perf_counter_ns", "process_time_ns"):
+            findings = lint_snippet(
+                f"import time\nt = time.{fn}()\n",
+                module="repro.experiments.fig5",
+            )
+            assert codes(findings) == ["REP011"], fn
+
+    def test_flags_from_import(self):
+        findings = lint_snippet(
+            "from time import perf_counter\n",
+            module="repro.service.server",
+        )
+        assert codes(findings) == ["REP011"]
+
+    def test_obs_and_runner_are_exempt(self):
+        src = (
+            "import time\n"
+            "a = time.perf_counter()\n"
+            "b = time.process_time()\n"
+        )
+        assert lint_snippet(src, module="repro.obs.prof") == []
+        assert lint_snippet(src, module="repro.runner.engine") == []
+
+    def test_other_time_functions_stay_legal(self):
+        # the rule bans the two interval clocks only; monotonic and sleep
+        # have non-measurement uses outside the accounting layer
+        src = "import time\ntime.sleep(0)\nm = time.monotonic()\n"
+        assert lint_snippet(src, module="repro.service.client") == []
+
+    def test_suppression(self):
+        assert lint_snippet(
+            "import time\n"
+            "t = time.perf_counter()  # repro: noqa=REP011\n",
+            module="repro.service.loadgen",
+        ) == []
+
+    def test_perf_layer_sits_above_experiments(self):
+        assert LAYERS["repro.perf"] > LAYERS["repro.experiments"]
+        assert LAYERS["repro.__main__"] > LAYERS["repro.perf"]
+        # perf importing the registry is legal...
+        assert lint_snippet(
+            "from repro.experiments import registry\n",
+            module="repro.perf.suites",
+        ) == []
+        # ...but the reverse direction is an architecture violation
+        assert codes(lint_snippet(
+            "from repro.perf import record_suite\n",
+            module="repro.experiments.fig5",
+        )) == ["REP008"]

@@ -602,6 +602,52 @@ class TestTopRenderer:
     def test_empty_snapshot_does_not_crash(self):
         assert "repro top" in render_dashboard({})
 
+    def test_empty_obs_block_still_renders_footer(self):
+        # regression: a freshly started server sends an obs block with no
+        # histogram samples yet; the panel must show zeros, not vanish
+        snap = _stats_snapshot()
+        snap["obs"] = {}
+        frame = render_dashboard(snap)
+        assert "connections 0" in frame
+        assert "event-loop lag 0.00 ms" in frame
+        assert "requests 0" in frame
+        assert "~p99 0.000 ms" in frame
+
+    def test_request_latency_summary_from_histogram(self):
+        snap = _stats_snapshot()
+        snap["obs"] = {
+            "repro_service_request_latency_seconds": {
+                "type": "histogram", "help": "", "series": [
+                    {"labels": {"cmd": "GET"}, "count": 90, "sum": 0.09,
+                     "buckets": [[0.001, 90], ["+Inf", 90]]},
+                    {"labels": {"cmd": "SET"}, "count": 10, "sum": 0.02,
+                     "buckets": [[0.001, 0], [0.004, 10], ["+Inf", 10]]},
+                ],
+            },
+        }
+        frame = render_dashboard(snap)
+        assert "requests 100" in frame
+        # mean = 0.11s / 100 = 1.1 ms; p99 falls in the SET 4ms bucket
+        assert "mean 1.100 ms" in frame
+        assert "~p99 4.000 ms" in frame
+
+    def test_busy_seconds_column(self):
+        snap = _stats_snapshot()
+        for i, shard in enumerate(snap["shards"]):
+            shard["busy_s"] = 1.5 * (i + 1)
+        snap["total"]["busy_s"] = 4.5
+        frame = render_dashboard(snap)
+        assert "busy s" in frame
+        assert "1.50" in frame and "4.50" in frame
+
+    def test_process_block_renders(self):
+        snap = _stats_snapshot()
+        snap["process"] = {"pid": 4242, "cpu_s": 12.34, "peak_rss_kb": 65536}
+        frame = render_dashboard(snap)
+        assert "process 4242" in frame
+        assert "cpu 12.3s" in frame
+        assert "peak rss 64.0MiB" in frame
+
 
 # ---------------------------------------------------------------------------
 # service wiring: STATS obs block, METRICS verb, request spans

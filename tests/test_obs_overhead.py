@@ -96,3 +96,54 @@ class TestObservabilityNeutrality:
         perfs = {r.performance for r in runs}
         assert len(perfs) == 1, f"obs mode changed results: {perfs}"
         assert runs[0].performance == pytest.approx(runs[1].performance)
+
+
+class TestPhaseTimerOverhead:
+    """The opt-in phase timers share the no-op bundle's 5% budget.
+
+    ``execute_cell_measured`` wraps coarse regions only (cell, workload
+    build, simulate), so even the *enabled* timer must stay within the
+    documented budget of a bare run — same interleaved min-of-N
+    methodology as the no-op test above.
+    """
+
+    def test_profiled_cell_within_five_percent(self):
+        from repro.experiments.common import BASELINE_SPEC, ExperimentParams
+        from repro.runner.engine import execute_cell_measured
+
+        params = ExperimentParams(n_workloads=1, n_refs=4000, scale=32,
+                                  seed=11)
+        (ref,) = params.workload_refs()
+        cell = params.cell(BASELINE_SPEC, ref)
+        bare_s, prof_s = [], []
+        for _ in range(REPEATS):
+            _, bare = execute_cell_measured(cell, profile_phases=False)
+            bare_s.append(bare["wall_s"])
+            _, prof = execute_cell_measured(cell, profile_phases=True)
+            prof_s.append(prof["wall_s"])
+        base, prof = min(bare_s), min(prof_s)
+        assert prof <= base * (1.0 + MAX_OVERHEAD) + ABS_SLACK_S, (
+            f"phase-timed cell took {prof:.3f}s vs bare {base:.3f}s "
+            f"({(prof / base - 1.0) * 100:+.1f}%, budget "
+            f"{MAX_OVERHEAD * 100:.0f}% + {ABS_SLACK_S * 1e3:.0f}ms)"
+        )
+
+    def test_disabled_phase_site_is_nearly_free(self):
+        from repro.obs.prof import NULL_PHASE_TIMER, PhaseTimer
+
+        n = 100_000
+        start = time.perf_counter()
+        for _ in range(n):
+            with NULL_PHASE_TIMER.phase("hot"):
+                pass
+        disabled_s = time.perf_counter() - start
+        enabled = PhaseTimer()
+        start = time.perf_counter()
+        for _ in range(n):
+            with enabled.phase("hot"):
+                pass
+        enabled_s = time.perf_counter() - start
+        # the disabled site must be cheaper than the measuring one and
+        # stay in the tens-of-nanoseconds-per-call regime
+        assert disabled_s < enabled_s
+        assert disabled_s / n < 2e-6

@@ -1,0 +1,259 @@
+"""Tests for repro.perf: suites, baseline record/compare and the CLI.
+
+The load-bearing pin is the compare exit code: 0 against an identical
+recording, 1 when a cell is artificially slowed past the noise thresholds
+— that is the contract the CI perf-smoke job gates on.  Recording tests
+use the ``micro`` suite (one experiment, seconds of compute) so the suite
+stays cheap.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf import (
+    PERF_SCHEMA,
+    PerfSuite,
+    compare_baselines,
+    format_comparison,
+    get_suite,
+    load_baseline,
+    machine_fingerprint,
+    record_suite,
+    suite_names,
+    write_baseline,
+)
+from repro.perf import cli as perf_cli
+
+
+@pytest.fixture(scope="module")
+def micro_baseline():
+    """One real recording of the micro suite, shared across tests."""
+    return record_suite(get_suite("micro"))
+
+
+def _slowed(baseline, factor=10.0):
+    doc = copy.deepcopy(baseline)
+    for exp in doc["experiments"].values():
+        exp["compute_s"] *= factor
+        for cell in exp["cells"]:
+            if "wall_s" in cell:
+                cell["wall_s"] *= factor
+    return doc
+
+
+# -- suites -------------------------------------------------------------------
+
+
+class TestSuites:
+    def test_registered_suites(self):
+        assert {"smoke", "sweep", "micro"} <= set(suite_names())
+
+    def test_specs_resolve_against_registry(self):
+        for name in suite_names():
+            suite = get_suite(name)
+            specs = suite.specs()
+            assert [s.name for s in specs] == list(suite.experiments)
+
+    def test_unknown_suite_lists_valid_names(self):
+        with pytest.raises(KeyError, match="smoke"):
+            get_suite("nope")
+
+    def test_suite_is_frozen(self):
+        suite = get_suite("smoke")
+        with pytest.raises(AttributeError):
+            suite.name = "other"
+        assert isinstance(suite, PerfSuite)
+
+
+# -- recording ----------------------------------------------------------------
+
+
+class TestRecord:
+    def test_document_shape(self, micro_baseline):
+        doc = micro_baseline
+        assert doc["schema"] == PERF_SCHEMA
+        assert doc["suite"] == "micro"
+        assert doc["machine"] == machine_fingerprint()
+        assert len(doc["code_fingerprint"]) == 64
+        assert set(doc["params"]) == {
+            "n_workloads", "n_refs", "scale", "seed", "warmup_frac",
+        }
+        assert doc["totals"]["wall_s"] > 0
+        assert doc["totals"]["refs"] > 0
+
+    def test_per_cell_resources_recorded(self, micro_baseline):
+        (exp,) = micro_baseline["experiments"].values()
+        assert exp["cells"]
+        for cell in exp["cells"]:
+            assert cell["status"] == "run"
+            assert cell["wall_s"] > 0
+            assert cell["cpu_s"] > 0
+            assert cell["peak_rss_kb"] > 0
+            assert cell["refs"] > 0
+            # phases live in the merged per-experiment table, not per cell
+            assert "phases" not in cell
+        assert exp["phases"]["cell/simulate"]["count"] == len(exp["cells"])
+
+    def test_roundtrip_through_disk(self, micro_baseline, tmp_path):
+        path = tmp_path / "BENCH_perf.json"
+        write_baseline(path, micro_baseline)
+        assert load_baseline(path) == json.loads(
+            json.dumps(micro_baseline)
+        )
+
+    def test_load_rejects_wrong_schema(self, micro_baseline, tmp_path):
+        bad = dict(micro_baseline, schema=PERF_SCHEMA + 1)
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match="schema"):
+            load_baseline(path)
+
+    def test_load_rejects_missing_keys(self, micro_baseline, tmp_path):
+        bad = {k: v for k, v in micro_baseline.items() if k != "totals"}
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match="totals"):
+            load_baseline(path)
+
+
+# -- comparison ---------------------------------------------------------------
+
+
+class TestCompare:
+    def test_identical_documents_pass(self, micro_baseline):
+        report = compare_baselines(micro_baseline, micro_baseline)
+        assert report["ok"]
+        assert report["regressions"] == []
+        assert report["checked"] > 0
+        assert report["same_machine"] and report["same_code"]
+
+    def test_slowed_cells_regress(self, micro_baseline):
+        report = compare_baselines(micro_baseline, _slowed(micro_baseline))
+        assert not report["ok"]
+        cells = {r["cell"] for r in report["regressions"]}
+        assert "(total compute)" in cells
+        assert len(cells) > 1  # the individual cells tripped too
+
+    def test_speedup_reported_not_failed(self, micro_baseline):
+        report = compare_baselines(_slowed(micro_baseline), micro_baseline)
+        assert report["ok"]
+        assert report["improvements"]
+
+    def test_within_threshold_noise_tolerated(self, micro_baseline):
+        noisy = _slowed(micro_baseline, factor=1.2)  # +20% < +50% default
+        assert compare_baselines(micro_baseline, noisy)["ok"]
+
+    def test_abs_floor_guards_microsecond_cells(self, micro_baseline):
+        # a 10x blowup that stays under the absolute floor is noise
+        report = compare_baselines(
+            micro_baseline, _slowed(micro_baseline),
+            abs_floor_s=1e9,
+        )
+        assert report["ok"]
+
+    def test_suite_mismatch_is_an_error(self, micro_baseline):
+        other = dict(micro_baseline, suite="smoke")
+        report = compare_baselines(micro_baseline, other)
+        assert not report["ok"]
+        assert any("suite mismatch" in e for e in report["errors"])
+
+    def test_params_mismatch_is_an_error(self, micro_baseline):
+        other = copy.deepcopy(micro_baseline)
+        other["params"]["n_refs"] += 1
+        assert not compare_baselines(micro_baseline, other)["ok"]
+
+    def test_added_and_removed_cells_reported(self, micro_baseline):
+        current = copy.deepcopy(micro_baseline)
+        (exp,) = current["experiments"].values()
+        removed_label = exp["cells"][0]["label"]
+        exp["cells"][0] = dict(exp["cells"][0], label="brand-new-cell")
+        report = compare_baselines(micro_baseline, current)
+        (name,) = micro_baseline["experiments"]
+        assert f"{name}:brand-new-cell" in report["added"]
+        assert f"{name}:{removed_label}" in report["removed"]
+
+    def test_format_mentions_regressions(self, micro_baseline):
+        text = format_comparison(
+            compare_baselines(micro_baseline, _slowed(micro_baseline))
+        )
+        assert "REGRESSION" in text and text.strip().endswith(")")
+        ok_text = format_comparison(
+            compare_baselines(micro_baseline, micro_baseline)
+        )
+        assert "OK" in ok_text and "0 regression(s)" in ok_text
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestPerfCli:
+    def test_record_writes_baseline_and_flame(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf.json"
+        flame = tmp_path / "flame.txt"
+        history = tmp_path / "history"
+        rc = perf_cli.main([
+            "perf", "record", "--suite", "micro", "--out", str(out),
+            "--flame", str(flame), "--history-dir", str(history),
+        ])
+        assert rc == 0
+        doc = load_baseline(out)
+        assert doc["suite"] == "micro"
+        # the collapsed-stack output is non-empty and well-formed
+        stacks = flame.read_text()
+        assert stacks.strip()
+        assert all(
+            line.rsplit(" ", 1)[1].isdigit()
+            for line in stacks.strip().split("\n")
+        )
+        assert (history / "perf-0000.json").exists()
+
+    def test_compare_exit_codes_pin_the_ci_contract(self, micro_baseline,
+                                                    tmp_path, capsys):
+        base = tmp_path / "base.json"
+        write_baseline(base, micro_baseline)
+
+        same = tmp_path / "same.json"
+        write_baseline(same, micro_baseline)
+        assert perf_cli.main([
+            "perf", "compare", "--baseline", str(base),
+            "--current", str(same),
+        ]) == 0
+
+        slow = tmp_path / "slow.json"
+        write_baseline(slow, _slowed(micro_baseline))
+        assert perf_cli.main([
+            "perf", "compare", "--baseline", str(base),
+            "--current", str(slow),
+        ]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_compare_missing_baseline_exits_2(self, tmp_path, capsys):
+        assert perf_cli.main([
+            "perf", "compare", "--baseline", str(tmp_path / "none.json"),
+        ]) == 2
+
+    def test_trend_tabulates_history(self, micro_baseline, tmp_path, capsys):
+        history = tmp_path / "h"
+        history.mkdir()
+        write_baseline(history / "perf-0000.json", micro_baseline)
+        write_baseline(history / "perf-0001.json", _slowed(micro_baseline))
+        assert perf_cli.main([
+            "perf", "trend", "--history-dir", str(history),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "perf-0000.json" in out and "perf-0001.json" in out
+
+    def test_trend_empty_history_exits_2(self, tmp_path):
+        assert perf_cli.main([
+            "perf", "trend", "--history-dir", str(tmp_path),
+        ]) == 2
+
+    def test_main_dispatches_perf(self, micro_baseline, tmp_path):
+        from repro.__main__ import main
+
+        base = tmp_path / "b.json"
+        write_baseline(base, micro_baseline)
+        assert main(["perf", "compare", "--baseline", str(base),
+                     "--current", str(base)]) == 0

@@ -244,3 +244,68 @@ class TestRunnerFailuresAndAccounting:
         monkeypatch.setenv("REPRO_PARALLEL", "-2")
         with pytest.raises(ValueError, match="REPRO_PARALLEL"):
             Runner.default()
+
+
+class TestResourceAccounting:
+    def test_executed_cells_account_resources(self):
+        runner = Runner()
+        cells = tiny_cells()
+        runner.run_cells(cells)
+        stats = runner.stats
+        assert stats.cpu_seconds > 0
+        assert stats.peak_rss_kb > 0
+        assert stats.refs > 0
+        assert stats.refs_per_s > 0
+        assert len(stats.cells) == len(cells)
+        for record in stats.cells:
+            assert record["status"] == "run"
+            assert record["wall_s"] > 0
+            assert record["cpu_s"] > 0
+            assert record["refs"] > 0
+
+    def test_cache_replay_reports_original_wall_time(self, tmp_path):
+        # regression: cache hits used to report 0.0s, hiding what a warm
+        # run actually saved
+        cells = tiny_cells()
+        cold = Runner(cache=ResultCache(tmp_path))
+        cold.run_cells(cells)
+        cold_wall = cold.stats.seconds
+        warm = Runner(cache=ResultCache(tmp_path))
+        warm.run_cells(cells)
+        assert warm.stats.cached == len(cells)
+        assert warm.stats.seconds == 0.0
+        assert warm.stats.cached_wall_s == pytest.approx(cold_wall)
+        for record in warm.stats.cells:
+            assert record["status"] == "cached"
+            assert record["cached_wall_s"] > 0
+
+    def test_stats_to_dict_is_the_stats_json_payload(self, tmp_path):
+        import json
+
+        cells = tiny_cells()
+        runner = Runner(cache=ResultCache(tmp_path))
+        runner.run_cells(cells)
+        payload = runner.stats.to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        for key in ("run", "cached", "failed", "total", "hit_rate",
+                    "compute_seconds", "cpu_seconds", "cached_wall_s",
+                    "peak_rss_kb", "refs", "refs_per_s", "cells"):
+            assert key in payload
+        assert payload["run"] == len(cells)
+
+    def test_parallel_workers_measure_in_their_own_process(self, tmp_path):
+        cells = tiny_cells(BASELINE_SPEC) + tiny_cells(LLCSpec.reuse(4, 1))
+        runner = Runner(parallel=2)
+        runner.run_cells(cells)
+        # every cell carries worker-side measurements even under the pool
+        assert all(r["cpu_s"] > 0 for r in runner.stats.cells)
+        assert runner.stats.peak_rss_kb > 0
+
+    def test_phase_profiles_attached_when_enabled(self):
+        runner = Runner(profile_phases=True)
+        runner.run_cells(tiny_cells()[:1])
+        (record,) = runner.stats.cells
+        assert record["phases"]["cell/simulate"]["count"] == 1
+        bare = Runner()
+        bare.run_cells(tiny_cells()[:1])
+        assert "phases" not in bare.stats.cells[0]

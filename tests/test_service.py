@@ -224,6 +224,15 @@ class TestStats:
         assert total["hit_rate"] == pytest.approx(0.5)
         assert total["p99_s"] == pytest.approx(0.5)
 
+    def test_busy_seconds_accumulate_and_merge(self):
+        a, b = ShardStats(), ShardStats()
+        for v in (0.1, 0.2):
+            a.record_latency(v)
+        b.record_latency(0.5)
+        assert a.snapshot()["busy_s"] == pytest.approx(0.3)
+        total = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert total["busy_s"] == pytest.approx(0.8)
+
 
 # ---------------------------------------------------------------------------
 # server + client over TCP
@@ -310,8 +319,13 @@ class TestServerProtocol:
             for shard in stats["shards"]:
                 for field in ("hits", "misses", "reuse_admissions",
                               "data_evictions", "tag_evictions",
-                              "p50_s", "p99_s"):
+                              "p50_s", "p99_s", "busy_s"):
                     assert field in shard
+            assert total["busy_s"] > 0.0
+            process = stats["process"]
+            assert process["pid"] > 0
+            assert process["cpu_s"] > 0.0
+            assert process["peak_rss_kb"] > 0
         run(body())
 
     def test_connection_limit_rejects_excess_clients(self):
