@@ -26,6 +26,9 @@ def test_service_admission_comparison(benchmark, params, report):
         scale=params.scale,
         seed=params.seed,
     )
+    # the raw per-server STATS snapshots are a --stats-json concern; the
+    # baseline file keeps the summarised comparison only
+    result.pop("server_stats", None)
     report(format_service_benchmark(result))
     BENCH_FILE.write_text(json.dumps(result, indent=2) + "\n")
     report(f"wrote {BENCH_FILE}")

@@ -43,6 +43,13 @@ Performance baselines (see ``docs/perf.md``) dispatch to
     python -m repro perf record --suite smoke --out BENCH_perf.json
     python -m repro perf compare --baseline BENCH_perf.json
     python -m repro perf trend --history-dir .repro-perf
+
+Cluster mode (see ``docs/cluster.md``) dispatches to
+:mod:`repro.cluster.cli`::
+
+    python -m repro cluster serve --nodes 3 --data-capacity 512
+    python -m repro cluster bench --node-counts 1 2 3 --json BENCH_cluster.json
+    python -m repro cluster smoke
 """
 
 from __future__ import annotations
@@ -54,6 +61,7 @@ import os
 import sys
 import time
 
+from .cluster import cli as cluster_cli
 from .devtools import cli as devtools_cli
 from .experiments import ExperimentParams
 from .experiments import registry
@@ -307,6 +315,8 @@ def main(argv=None) -> int:
         return obs_cli.main(argv)
     if argv and argv[0] in perf_cli.PERF_COMMANDS:
         return perf_cli.main(argv)
+    if argv and argv[0] in cluster_cli.CLUSTER_COMMANDS:
+        return cluster_cli.main(argv[1:])
     if argv and argv[0] == "run":
         return cmd_run(argv[1:])
     if argv and argv[0] == "list-experiments":
@@ -330,6 +340,9 @@ def main(argv=None) -> int:
         print("performance baselines (see 'repro perf --help'):")
         for name in perf_cli.PERF_COMMANDS:
             print(f"  {name}")
+        print("cluster mode (see 'repro cluster --help'):")
+        for name in cluster_cli.CLUSTER_COMMANDS:
+            print(f"  {name} serve|bench|status|smoke")
         return 0
     if args.experiment != "all" and args.experiment not in registry.names():
         print(f"unknown experiment {args.experiment!r}; try 'list-experiments'",

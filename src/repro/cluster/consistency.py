@@ -1,0 +1,145 @@
+"""Invalidation-storm consistency checker for the cache cluster.
+
+The cluster's contract is *read-your-acked-writes, everywhere*: once a
+write is acknowledged, no client — reading the owner or any replica —
+may observe an older value, because the owner fanned out ``INVAL`` to
+every replica holder and awaited the acks before acking the write.
+
+:func:`run_storm` attacks that contract directly.  Concurrent writers
+hammer a small hot keyset (small on purpose: every overwrite triggers an
+invalidation, so the replica-invalidation path is exercised constantly,
+not occasionally) while concurrent readers spread over replicas.  Values
+are self-describing — ``<key>:<counter>`` — and each key carries a
+*floor*: the highest counter whose write has been acknowledged.  The
+race discipline is one-sided on purpose:
+
+* writers raise the floor only **after** the ack returns, and
+* readers snapshot the floor **before** issuing the read,
+
+so a read that observes ``counter < floor_before_read`` is unambiguously
+stale — the write was fully acked before the read even started — while
+a read racing an in-flight write is never miscounted.  Misses are legal
+at any time (a freshly invalidated replica, a reuse-cache admission
+decline, a capacity eviction); only an *old value* is a violation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StormReport:
+    """Outcome of one invalidation storm."""
+
+    writes: int = 0
+    deletes: int = 0
+    reads: int = 0
+    read_hits: int = 0
+    read_misses: int = 0
+    stale_reads: int = 0
+    violations: list = field(default_factory=list)  # (key, seen, floor)
+
+    @property
+    def ok(self) -> bool:
+        return self.stale_reads == 0
+
+    def to_dict(self) -> dict:
+        return {
+            "writes": self.writes,
+            "deletes": self.deletes,
+            "reads": self.reads,
+            "read_hits": self.read_hits,
+            "read_misses": self.read_misses,
+            "stale_reads": self.stale_reads,
+            "ok": self.ok,
+            "violations": [
+                {"key": k, "seen": s, "acked_floor": f}
+                for k, s, f in self.violations[:20]
+            ],
+        }
+
+
+def encode_value(key: str, counter: int) -> bytes:
+    """Self-describing storm value: ``<key>:<counter>``."""
+    return f"{key}:{counter:08d}".encode("utf-8")
+
+
+def decode_counter(key: str, value: bytes) -> int:
+    """The counter a storm value carries (raises on foreign values)."""
+    text = value.decode("utf-8")
+    prefix = f"{key}:"
+    if not text.startswith(prefix):
+        raise ValueError(f"value {text!r} does not belong to key {key!r}")
+    return int(text[len(prefix):])
+
+
+async def run_storm(
+    client,
+    num_keys: int = 16,
+    writers: int = 4,
+    readers: int = 8,
+    writes_per_writer: int = 50,
+    delete_every: int = 7,
+    key_prefix: str = "storm",
+) -> StormReport:
+    """Run an invalidation storm through ``client``; count stale reads.
+
+    ``client`` is a :class:`~repro.cluster.client.ClusterClient` (any
+    object with async ``get``/``set``/``delete`` works).  Readers run
+    until every writer finishes.  A zero ``stale_reads`` in the returned
+    :class:`StormReport` is the cluster's consistency certificate.
+    """
+    keys = [f"{key_prefix}:{i}" for i in range(num_keys)]
+    counters = {k: 0 for k in keys}  # next counter to write
+    floors = {k: 0 for k in keys}  # highest *acked* counter
+    report = StormReport()
+    done = asyncio.Event()
+
+    async def writer(wid: int) -> None:
+        # each writer owns a disjoint key slice, so per-key counters and
+        # floors are single-writer — a racing pair of writers could
+        # otherwise ack out of payload order and fake a staleness report
+        my_keys = keys[wid::writers]
+        if not my_keys:
+            return
+        for step in range(writes_per_writer):
+            key = my_keys[step % len(my_keys)]
+            if delete_every and step % delete_every == delete_every - 1:
+                await client.delete(key)
+                report.deletes += 1
+                continue
+            counters[key] += 1
+            counter = counters[key]
+            await client.set(key, encode_value(key, counter))
+            # the ack is back: from here on, no reader may see < counter
+            report.writes += 1
+            if counter > floors[key]:
+                floors[key] = counter
+
+    async def reader(rid: int) -> None:
+        step = 0
+        while not done.is_set():
+            key = keys[(rid + step) % num_keys]
+            step += 1
+            floor = floors[key]
+            value = await client.get(key)
+            report.reads += 1
+            if value is None:
+                report.read_misses += 1
+                continue
+            report.read_hits += 1
+            seen = decode_counter(key, value)
+            # counters are never reset (deletes only create legal misses),
+            # so any value older than the pre-read acked floor is stale
+            if seen < floor:
+                report.stale_reads += 1
+                report.violations.append((key, seen, floor))
+            await asyncio.sleep(0)  # yield so writers interleave
+
+    reader_tasks = [asyncio.ensure_future(reader(r)) for r in range(readers)]
+    await asyncio.gather(*[writer(w) for w in range(writers)])
+    done.set()
+    await asyncio.gather(*reader_tasks)
+    return report

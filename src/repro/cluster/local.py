@@ -1,0 +1,229 @@
+"""Boot and manage an N-node cache cluster inside one process.
+
+:class:`LocalCluster` is the cluster's test/bench/CI harness and the body
+behind ``repro cluster serve``: it builds N :class:`ClusterNode` servers on
+loopback ports, wires every node to every peer, and hands out
+:class:`ClusterClient` instances that *share the cluster's ring object*, so
+membership changes propagate to routing atomically (no config-push
+window).  Traffic still crosses real asyncio TCP sockets — the in-process
+part is only construction and migration.
+
+Join/leave implement the bounded-rebalancing contract of the consistent
+ring:
+
+* ``add_node`` boots the node, adds it to the ring (only keys whose owner
+  becomes the new node change hands — roughly ``1/(N+1)`` of them), then
+  migrates exactly those keys: the old owner invalidates their replica
+  holders and drops them, the new owner adopts value *and version* so the
+  version-floor ordering survives the move;
+* ``remove_node`` drains the node (stop accepting, finish in-flight),
+  removes it from the ring, migrates its keys to their ring successors,
+  and invalidates whatever replicas it still tracked.
+"""
+
+from __future__ import annotations
+
+from ..obs import Observability
+from ..obs.logging import get_logger
+from ..service.sharding import ShardedStore
+from .client import ClusterClient
+from .node import ClusterNode
+from .ring import DEFAULT_VNODES, HashRing
+
+log = get_logger(__name__)
+
+
+class LocalCluster:
+    """N cluster nodes in one process, behind one shared hash ring."""
+
+    def __init__(
+        self,
+        num_nodes: int = 3,
+        data_capacity_per_node: int = 512,
+        tag_capacity_per_node: int | None = None,
+        tag_assoc: int = 8,
+        shards_per_node: int = 2,
+        admission: str = "reuse",
+        replicas: int = 1,
+        host: str = "127.0.0.1",
+        seed: int = 2013,
+        vnodes: int = DEFAULT_VNODES,
+        obs: Observability | None = None,
+    ):
+        if num_nodes <= 0:
+            raise ValueError(f"num_nodes must be positive, got {num_nodes}")
+        self.data_capacity_per_node = data_capacity_per_node
+        self.tag_capacity_per_node = tag_capacity_per_node
+        self.tag_assoc = tag_assoc
+        self.shards_per_node = shards_per_node
+        self.admission = admission
+        self.replicas = replicas
+        self.host = host
+        self.seed = seed
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.ring = HashRing(vnodes=vnodes, seed=seed)
+        self.nodes = {}  # name -> ClusterNode
+        self._next_index = 0
+        self._clients = []
+        for _ in range(num_nodes):
+            self._build_node()
+
+    # -- construction ---------------------------------------------------------
+
+    def _build_node(self, name: str | None = None) -> ClusterNode:
+        index = self._next_index
+        self._next_index += 1
+        name = name if name is not None else f"node{index}"
+        if name in self.nodes:
+            raise ValueError(f"node {name!r} already exists")
+        store = ShardedStore(
+            num_shards=self.shards_per_node,
+            data_capacity=self.data_capacity_per_node,
+            tag_capacity=self.tag_capacity_per_node,
+            tag_assoc=self.tag_assoc,
+            admission=self.admission,
+            seed=self.seed + 1000 * (index + 1),
+            obs=Observability.disabled(),  # node-level obs covers serving
+        )
+        node = ClusterNode(
+            name,
+            store,
+            self.ring,
+            host=self.host,
+            port=0,
+            replicas=self.replicas,
+            lane=index,
+            obs=self.obs,
+        )
+        self.nodes[name] = node
+        return node
+
+    async def start(self) -> None:
+        """Start every node, join them to the ring, wire the peer mesh."""
+        for node in self.nodes.values():
+            await node.start()
+        for name in self.nodes:
+            self.ring.add(name)
+        self._wire_peers()
+        log.info("cluster up: %d node(s) x %d entries, replicas=%d",
+                 len(self.nodes), self.data_capacity_per_node, self.replicas)
+
+    def _wire_peers(self) -> None:
+        for node in self.nodes.values():
+            for other in self.nodes.values():
+                if other.name != node.name and other.name not in node.peer_names():
+                    node.connect_peer(other.name, other.host, other.port)
+
+    def addresses(self) -> dict:
+        """name -> (host, port) for every live node."""
+        return {n.name: (n.host, n.port) for n in self.nodes.values()}
+
+    def client(self, **kwargs) -> ClusterClient:
+        """A routing client sharing this cluster's ring object."""
+        kwargs.setdefault("replicas", self.replicas)
+        client = ClusterClient(self.addresses(), ring=self.ring, **kwargs)
+        self._clients.append(client)
+        return client
+
+    # -- membership ------------------------------------------------------------
+
+    async def add_node(self, name: str | None = None) -> dict:
+        """Boot a node, join it to the ring, migrate its keys to it.
+
+        Returns a migration report: keys examined/moved and the moved
+        fraction (bounded near ``1/(N+1)`` by the ring).
+        """
+        node = self._build_node(name)
+        await node.start()
+        for other in self.nodes.values():
+            if other.name != node.name:
+                other.connect_peer(node.name, node.host, node.port)
+                node.connect_peer(other.name, other.host, other.port)
+        for client in self._clients:
+            client.add_node(node.name, node.host, node.port)
+        self.ring.add(node.name)
+        examined = moved = 0
+        for other in list(self.nodes.values()):
+            if other.name == node.name:
+                continue
+            for key in other.store.keys():
+                examined += 1
+                if self.ring.owner(key) != node.name:
+                    continue
+                value = other.store.get(key)
+                if value is None:
+                    continue
+                node.adopt(key, value, other.versions.get(key, 0))
+                await node._flush_evictions()
+                await other.relinquish_key(key)
+                moved += 1
+        report = {
+            "node": node.name,
+            "examined": examined,
+            "moved": moved,
+            "moved_fraction": moved / examined if examined else 0.0,
+        }
+        log.info("join %s: moved %d/%d key(s)", node.name, moved, examined)
+        return report
+
+    async def remove_node(self, name: str, drain_timeout: float = 5.0) -> dict:
+        """Drain ``name``, migrate its keys to ring successors, stop it."""
+        node = self.nodes.get(name)
+        if node is None:
+            raise ValueError(f"no such node {name!r}")
+        if len(self.nodes) == 1:
+            raise ValueError("cannot remove the last node of the cluster")
+        node.draining = True
+        self.ring.remove(name)
+        moved = 0
+        for key in node.store.keys():
+            value = node.store.get(key)
+            if value is None:
+                continue
+            new_owner = self.nodes[self.ring.owner(key)]
+            new_owner.adopt(key, value, node.versions.get(key, 0))
+            await new_owner._flush_evictions()
+            await node.relinquish_key(key)
+            moved += 1
+        for client in self._clients:
+            await client.remove_node(name)
+        for other in self.nodes.values():
+            if other.name != name:
+                await other.disconnect_peer(name)
+        await node.stop(drain_timeout)
+        del self.nodes[name]
+        log.info("leave %s: migrated %d key(s)", name, moved)
+        return {"node": name, "moved": moved}
+
+    # -- lifecycle / introspection ---------------------------------------------
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        for client in self._clients:
+            await client.close()
+        self._clients.clear()
+        for node in self.nodes.values():
+            await node.stop(drain_timeout)
+
+    async def __aenter__(self):
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.stop()
+
+    def status_snapshot(self) -> dict:
+        """Every node's CSTATUS block plus cluster totals (in-process)."""
+        nodes = {name: node.status() for name, node in self.nodes.items()}
+        return {
+            "num_nodes": len(self.nodes),
+            "replicas": self.replicas,
+            "data_capacity": sum(
+                n["data_capacity"] for n in nodes.values()
+            ),
+            "stored": sum(n["stored"] for n in nodes.values()),
+            "replicas_held": sum(n["replicas_held"] for n in nodes.values()),
+            "protocol_races": sum(
+                n["protocol_races"] for n in nodes.values()
+            ),
+            "nodes": nodes,
+        }

@@ -1,0 +1,630 @@
+"""One cluster node: an owner store, a replica store, and the wire verbs.
+
+A :class:`ClusterNode` wraps the single-process serving stack
+(:class:`~repro.service.sharding.ShardedStore` behind a
+:class:`~repro.service.server.CacheServer`) and adds the cross-node
+machinery of :mod:`repro.coherence.distributed`:
+
+* as the **owner** of the keys the ring assigns it, the node keeps a
+  :class:`~repro.coherence.distributed.ReplicaDirectory` — tag-only
+  entries naming which peers hold a replica — and turns every write,
+  delete, and store-internal eviction into the protocol's ``INVAL``
+  fan-out *before* acknowledging the triggering operation;
+* as a **peer**, it holds versioned read-only replicas pushed by other
+  owners in a bounded :class:`ReplicaStore`, serving them over ``RGET``
+  and dropping them on ``INVAL``.
+
+Wire verbs added on top of the :mod:`repro.service` protocol (all
+line-framed, same framing rules):
+
+=========================================  =================================
+request                                    response
+=========================================  =================================
+``REPL <key> <version> <len>\\n<bytes>\\n``  ``REPLICATED\\n`` or ``STALE\\n``
+``INVAL <key> <version>\\n``                ``INVALED\\n``
+``PUTS <key> <node>\\n``                    ``OK\\n``
+``RGET <key>\\n``                           ``VALUE <len>\\n<bytes>\\n``/``MISS\\n``
+``CSTATUS\\n``                              ``CSTATUS <len>\\n<json>\\n``
+``DRAIN\\n``                                ``DRAINING\\n`` (node stops
+                                           accepting, drains in-flight)
+=========================================  =================================
+
+Writes carry a per-key monotonic **version** assigned by the owner.
+``INVAL`` establishes a *floor*: a peer that saw ``INVAL(key, v)`` rejects
+any later ``REPL(key, v' <= v)`` as ``STALE``, so a replication push that
+raced a newer write can never resurrect an old value.  Because the owner
+awaits every ``INVAL`` ack before acknowledging the write, an acknowledged
+write guarantees no replica of an older version survives anywhere — the
+cluster-wide version of the paper's rule that a line leaves the data array
+the moment its tag group changes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from ..obs import Observability
+from ..obs.logging import get_logger
+from ..obs.prof import clock
+from ..coherence.distributed import ReplicaDirectory
+from ..service.client import CacheClient
+from ..service.server import (
+    MAX_VALUE_BYTES,
+    CacheServer,
+    ProtocolError,
+)
+from ..service.sharding import ShardedStore
+
+log = get_logger(__name__)
+
+#: wire verbs handled by the cluster layer (the rest fall through to the
+#: base service protocol)
+CLUSTER_VERBS = ("SET", "DEL", "REPL", "INVAL", "PUTS", "RGET", "CSTATUS",
+                 "DRAIN")
+
+#: tracing category for cross-node flows
+CAT_CLUSTER = "cluster"
+
+
+class ReplicaStore:
+    """Bounded, versioned store of read-only replicas held for peers.
+
+    Entries are ``key -> (version, value, owner)``; capacity is enforced
+    FIFO (oldest push evicted first) and evictions are reported back so the
+    node can send the owner a ``PUTS`` notice.  ``invalidate(key, v)``
+    drops any replica *strictly older* than ``v`` and records ``v`` as the
+    key's version floor; pushes strictly below the floor are rejected —
+    the ordering guard described in the module docstring.  The bounds are
+    strict so the fan-out for version ``v`` (INVAL first, REPL after the
+    acks) invalidates every older copy yet still lets the version-``v``
+    value itself replicate; a REPL retried after a lost response is
+    likewise accepted idempotently rather than misreported as stale.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries = {}  # key -> (version, value, owner); insertion-ordered
+        self._floor = {}  # key -> minimum rejected version (insertion-ordered)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str):
+        """Replica value bytes for ``key``, or ``None``."""
+        entry = self._entries.get(key)
+        return entry[1] if entry is not None else None
+
+    def put(self, key: str, version: int, value: bytes, owner: str):
+        """Accept a replica push; returns ``(accepted, evicted)``.
+
+        ``evicted`` is a list of ``(key, owner)`` pairs displaced by the
+        capacity bound, for PUTS notices.
+        """
+        if version < self._floor.get(key, 0):
+            return False, []
+        current = self._entries.get(key)
+        if current is not None and version < current[0]:
+            return False, []
+        self._entries.pop(key, None)  # refresh insertion order
+        self._entries[key] = (version, value, owner)
+        evicted = []
+        while len(self._entries) > self.capacity:
+            old_key, (_, _, old_owner) = next(iter(self._entries.items()))
+            del self._entries[old_key]
+            evicted.append((old_key, old_owner))
+        return True, evicted
+
+    def invalidate(self, key: str, version: int) -> bool:
+        """Drop any replica of ``key`` strictly older than ``version``.
+
+        Records the floor either way; returns True iff a copy was dropped.
+        """
+        floor = self._floor.pop(key, 0)  # re-insert to refresh order
+        self._floor[key] = max(floor, version)
+        while len(self._floor) > 4 * self.capacity:
+            self._floor.pop(next(iter(self._floor)))
+        entry = self._entries.get(key)
+        if entry is not None and entry[0] < version:
+            del self._entries[key]
+            return True
+        return False
+
+    def evict(self, key: str):
+        """Voluntarily drop ``key``; returns its owner or None."""
+        entry = self._entries.pop(key, None)
+        return entry[2] if entry is not None else None
+
+
+class PeerClient(CacheClient):
+    """Owner-to-peer client speaking the cluster verbs."""
+
+    _BODY_TOKENS = CacheClient._BODY_TOKENS + ("CSTATUS",)
+
+    async def repl(self, key: str, version: int, value: bytes) -> bool:
+        """Push a replica; True iff the peer accepted (not STALE)."""
+        payload = b"REPL %s %d %d\n%s\n" % (
+            key.encode("utf-8"), version, len(value), value,
+        )
+        tokens, _ = await self._request(payload)
+        if tokens[0] == "REPLICATED":
+            return True
+        if tokens[0] == "STALE":
+            return False
+        raise ProtocolError(f"unexpected response {tokens!r}")
+
+    async def inval(self, key: str, version: int) -> bool:
+        """Invalidate the peer's replica up to ``version``."""
+        tokens, _ = await self._request(
+            f"INVAL {key} {version}\n".encode("utf-8")
+        )
+        return tokens[0] == "INVALED"
+
+    async def puts(self, key: str, node: str) -> bool:
+        """Tell the owner this node dropped its replica of ``key``."""
+        tokens, _ = await self._request(f"PUTS {key} {node}\n".encode("utf-8"))
+        return tokens[0] == "OK"
+
+    async def rget(self, key: str):
+        """Read the peer's replica of ``key``; None on a replica miss."""
+        tokens, body = await self._request(f"RGET {key}\n".encode("utf-8"))
+        if tokens[0] == "MISS":
+            return None
+        if tokens[0] == "VALUE":
+            return body
+        raise ProtocolError(f"unexpected response {tokens!r}")
+
+    async def cstatus(self) -> dict:
+        """The node's cluster-level status block."""
+        tokens, body = await self._request(b"CSTATUS\n")
+        if tokens[0] != "CSTATUS":
+            raise ProtocolError(f"unexpected response {tokens!r}")
+        return json.loads(body.decode("utf-8"))
+
+
+class ClusterServer(CacheServer):
+    """The service protocol plus the cluster verbs, bound to one node."""
+
+    def __init__(self, node: "ClusterNode", store, **kwargs):
+        super().__init__(store, **kwargs)
+        self.node = node
+
+    async def _serve_request(self, line: bytes, reader, writer, conn_id: int = 0) -> None:
+        try:
+            parts = line.decode("utf-8").split()
+        except UnicodeDecodeError:
+            raise ProtocolError("request not utf-8") from None
+        cmd = parts[0].upper() if parts else ""
+        if cmd not in CLUSTER_VERBS:
+            await super()._serve_request(line, reader, writer, conn_id)
+            return
+        start = clock()
+        node = self.node
+
+        if cmd == "SET":
+            if len(parts) != 3:
+                raise ProtocolError("usage: SET <key> <len>")
+            key, value = parts[1], await self._read_body(reader, parts[2])
+            stored = await node.handle_set(key, value)
+            writer.write(b"STORED\n" if stored else b"TAGGED\n")
+        elif cmd == "DEL":
+            if len(parts) != 2:
+                raise ProtocolError("usage: DEL <key>")
+            key = parts[1]
+            removed = await node.handle_delete(key)
+            writer.write(b"DELETED\n" if removed else b"NOTFOUND\n")
+        elif cmd == "REPL":
+            if len(parts) != 4:
+                raise ProtocolError("usage: REPL <key> <version> <len>")
+            key, version = parts[1], self._int(parts[2], "version")
+            value = await self._read_body(reader, parts[3])
+            accepted = await node.handle_repl(key, version, value)
+            writer.write(b"REPLICATED\n" if accepted else b"STALE\n")
+        elif cmd == "INVAL":
+            if len(parts) != 3:
+                raise ProtocolError("usage: INVAL <key> <version>")
+            node.handle_inval(parts[1], self._int(parts[2], "version"))
+            writer.write(b"INVALED\n")
+        elif cmd == "PUTS":
+            if len(parts) != 3:
+                raise ProtocolError("usage: PUTS <key> <node>")
+            node.handle_puts(parts[1], parts[2])
+            writer.write(b"OK\n")
+        elif cmd == "RGET":
+            if len(parts) != 2:
+                raise ProtocolError("usage: RGET <key>")
+            value = node.handle_rget(parts[1])
+            if value is None:
+                writer.write(b"MISS\n")
+            else:
+                writer.write(b"VALUE %d\n" % len(value))
+                writer.write(value)
+                writer.write(b"\n")
+        elif cmd == "CSTATUS":
+            payload = json.dumps(node.status()).encode("utf-8")
+            writer.write(b"CSTATUS %d\n" % len(payload))
+            writer.write(payload)
+            writer.write(b"\n")
+        else:  # DRAIN
+            node.draining = True
+            writer.write(b"DRAINING\n")
+            await writer.drain()
+            # stop accepting & drain in the background; this response (and
+            # every other in-flight request) still completes
+            asyncio.ensure_future(self.stop())
+
+        await writer.drain()
+        elapsed = clock() - start
+        if cmd in ("SET", "DEL"):
+            shard_idx = self.store.shard_of(parts[1])
+            self.store.shards[shard_idx].stats.record_latency(elapsed)
+        node.record_request(cmd, elapsed, conn_id)
+
+    async def _read_body(self, reader, length_token: str) -> bytes:
+        length = self._int(length_token, "length")
+        if not 0 <= length <= MAX_VALUE_BYTES:
+            raise ProtocolError(f"length {length} out of range")
+        try:
+            body = await reader.readexactly(length + 1)  # value + '\n'
+        except asyncio.IncompleteReadError:
+            raise ProtocolError("value body truncated") from None
+        if body[-1:] != b"\n":
+            raise ProtocolError("value not newline-terminated")
+        return body[:-1]
+
+    @staticmethod
+    def _int(token: str, what: str) -> int:
+        try:
+            return int(token)
+        except ValueError:
+            raise ProtocolError(f"bad {what} {token!r}") from None
+
+
+class ClusterNode:
+    """One member of a cache cluster: owner of its ring span, peer to all.
+
+    The node owns a sharded store, the replica directory for its keys, a
+    replica store for other owners' keys, and one :class:`PeerClient` per
+    peer.  ``lane`` indexes the node's tracing lane (the Chrome-trace
+    *process* row), so a multi-node run reads as parallel timelines.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        store: ShardedStore,
+        ring,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        replicas: int = 1,
+        replica_capacity: int | None = None,
+        lane: int = 0,
+        peer_timeout: float = 2.0,
+        obs: Observability | None = None,
+        **server_kwargs,
+    ):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.name = name
+        self.store = store
+        self.ring = ring
+        self.replicas = replicas
+        self.lane = lane
+        self.peer_timeout = peer_timeout
+        self.obs = obs if obs is not None else Observability.disabled()
+        self.directory = ReplicaDirectory()
+        self.replica_store = ReplicaStore(
+            replica_capacity if replica_capacity is not None
+            else max(1, store.data_capacity)
+        )
+        self.versions = {}  # key -> last version this owner assigned
+        self.draining = False
+        self._peers = {}  # name -> PeerClient
+        self._write_locks = {}  # key -> asyncio.Lock (pruned when idle)
+        self._pending_evictions = []  # (key, kind) from the store listener
+        store.set_evict_listener(self._on_store_evict)
+        self.server = ClusterServer(
+            self, store, host=host, port=port, obs=self.obs, **server_kwargs
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self.server.host
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    async def start(self) -> None:
+        await self.server.start()
+
+    async def stop(self, drain_timeout: float = 5.0) -> None:
+        self.draining = True
+        await self.server.stop(drain_timeout)
+        for peer in self._peers.values():
+            await peer.close()
+
+    def connect_peer(self, name: str, host: str, port: int) -> None:
+        """Register (or re-register) a peer's address."""
+        old = self._peers.pop(name, None)
+        if old is not None:
+            # close asynchronously; the pool may be mid-request elsewhere
+            asyncio.ensure_future(old.close())
+        self._peers[name] = PeerClient(
+            host, port, pool_size=2, timeout=self.peer_timeout
+        )
+
+    async def disconnect_peer(self, name: str) -> None:
+        peer = self._peers.pop(name, None)
+        if peer is not None:
+            await peer.close()
+
+    def peer_names(self) -> tuple:
+        return tuple(sorted(self._peers))
+
+    # -- owner-side write path ------------------------------------------------
+
+    def _key_lock(self, key: str) -> asyncio.Lock:
+        lock = self._write_locks.get(key)
+        if lock is None:
+            lock = self._write_locks[key] = asyncio.Lock()
+        return lock
+
+    def _unlock(self, key: str, lock: asyncio.Lock) -> None:
+        if not lock.locked() and self._write_locks.get(key) is lock:
+            del self._write_locks[key]
+
+    async def handle_set(self, key: str, value: bytes, writer: str | None = None) -> bool:
+        """Owner write: invalidate replicas, store, re-replicate, then ack."""
+        lock = self._key_lock(key)
+        async with lock:
+            try:
+                version = self.versions.get(key, 0) + 1
+                self.versions[key] = version
+                if self.store.contains(key):
+                    holders = self.directory.note_update(key, writer)
+                    await self._invalidate(key, version, holders)
+                    stored = self.store.set(key, value)  # update in place
+                else:
+                    stored = self.store.set(key, value)
+                    if stored:
+                        holders = self.directory.note_admit(key)
+                        await self._invalidate(key, version, holders)
+                await self._flush_evictions()
+                if stored and self.replicas > 1:
+                    await self._replicate(key, version, value)
+                return stored
+            finally:
+                self._unlock(key, lock)
+
+    async def handle_delete(self, key: str) -> bool:
+        """Owner delete: invalidate every replica before dropping the key."""
+        lock = self._key_lock(key)
+        async with lock:
+            try:
+                version = self.versions.get(key, 0) + 1
+                self.versions[key] = version
+                holders = self.directory.note_dropped(key)
+                await self._invalidate(key, version, holders)
+                removed = self.store.delete(key)
+                await self._flush_evictions()
+                return removed
+            finally:
+                self._unlock(key, lock)
+
+    async def relinquish_key(self, key: str) -> None:
+        """Give up ownership of ``key`` (migration): INVAL holders, drop.
+
+        The INVAL version is bumped past the last write so the strict
+        floor drops replicas of the current value too; the adopting owner
+        (seeded with the un-bumped version) bumps to the same number on
+        its first write, so its replication pushes clear the floor.
+        """
+        version = self.versions.get(key, 0) + 1
+        holders = self.directory.note_dropped(key)
+        await self._invalidate(key, version, holders)
+        self.store.delete(key)
+        self.versions.pop(key, None)
+        await self._flush_evictions()
+
+    def adopt(self, key: str, value: bytes, version: int) -> bool:
+        """Take ownership of a migrated key (store bypassing admission)."""
+        self.versions[key] = max(self.versions.get(key, 0), version)
+        stored = self.store.force_set(key, value)
+        if stored:
+            self.directory.note_admit(key)
+        return stored
+
+    # -- store eviction -> DataRepl/TagRepl ----------------------------------
+
+    def _on_store_evict(self, key: str, kind: str) -> None:
+        # runs synchronously under the store lock: just queue, the async
+        # caller flushes (and awaits the INVAL fan-out) before acking
+        self._pending_evictions.append((key, kind))
+
+    async def _flush_evictions(self) -> None:
+        while self._pending_evictions:
+            key, kind = self._pending_evictions.pop(0)
+            if kind == "data":
+                holders = self.directory.note_data_evicted(key)
+            else:
+                holders = self.directory.note_dropped(key)
+            if not holders:
+                continue
+            # the INVAL version is bumped past the evicted value's version
+            # so the strict floor drops replicas of that exact version; the
+            # bump is recorded (never reset — a reset would make peers
+            # reject every replication of a re-admitted key as stale)
+            version = self.versions.get(key, 0) + 1
+            self.versions[key] = version
+            await self._invalidate(key, version, holders)
+
+    # -- cross-node fan-out ---------------------------------------------------
+
+    async def _invalidate(self, key: str, version: int, holders) -> None:
+        """Send INVAL to every holder and await the acks (before any ack
+        of the operation that triggered it — the consistency linchpin)."""
+        if not holders:
+            return
+        tr = self.obs.tracer
+        start = clock()
+        results = await asyncio.gather(
+            *[self._inval_one(h, key, version) for h in holders],
+            return_exceptions=True,
+        )
+        failures = sum(1 for r in results if r is not True)
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter(
+                "repro_cluster_invalidations_total",
+                help="INVAL messages fanned out to replica holders",
+                node=self.name,
+            ).inc(len(holders))
+            if failures:
+                registry.counter(
+                    "repro_cluster_inval_failures_total",
+                    help="INVAL sends that failed (peer down or timed out)",
+                    node=self.name,
+                ).inc(failures)
+        if failures:
+            log.warning(
+                "%s: %d/%d INVAL(s) for %r failed; the peer is unreachable "
+                "and will reject stale pushes by version floor on recovery",
+                self.name, failures, len(holders), key,
+            )
+        if tr.enabled:
+            tr.emit(
+                "INVAL", cat=CAT_CLUSTER, ts=start, pid=self.lane, tid=0,
+                dur=clock() - start,
+                args={"key": key, "holders": len(holders)},
+            )
+
+    async def _inval_one(self, holder: str, key: str, version: int) -> bool:
+        peer = self._peers.get(holder)
+        if peer is None:
+            return False
+        return await asyncio.wait_for(
+            peer.inval(key, version), self.peer_timeout
+        )
+
+    async def _replicate(self, key: str, version: int, value: bytes) -> None:
+        """Push the freshly stored value to the key's ring successors."""
+        targets = [
+            n for n in self.ring.preference(key, self.replicas)
+            if n != self.name and n in self._peers
+        ]
+        if not targets:
+            return
+        tr = self.obs.tracer
+        start = clock()
+        for target in targets:
+            try:
+                accepted = await asyncio.wait_for(
+                    self._peers[target].repl(key, version, value),
+                    self.peer_timeout,
+                )
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                accepted = False
+            if accepted:
+                self.directory.note_replicate(key, target)
+            if self.obs.registry.enabled:
+                self.obs.registry.counter(
+                    "repro_cluster_replications_total",
+                    help="replica pushes, by acceptance",
+                    node=self.name,
+                    accepted=str(accepted).lower(),
+                ).inc()
+        if tr.enabled:
+            tr.emit(
+                "REPL", cat=CAT_CLUSTER, ts=start, pid=self.lane, tid=0,
+                dur=clock() - start,
+                args={"key": key, "targets": len(targets)},
+            )
+
+    # -- peer-side handlers ---------------------------------------------------
+
+    async def handle_repl(self, key: str, version: int, value: bytes) -> bool:
+        owner = self.ring.owner(key) if len(self.ring) else ""
+        accepted, evicted = self.replica_store.put(key, version, value, owner)
+        for evicted_key, evicted_owner in evicted:
+            await self._send_puts(evicted_key, evicted_owner)
+        return accepted
+
+    def handle_inval(self, key: str, version: int) -> bool:
+        dropped = self.replica_store.invalidate(key, version)
+        if self.obs.registry.enabled:
+            self.obs.registry.counter(
+                "repro_cluster_invals_received_total",
+                help="INVAL messages applied to the local replica store",
+                node=self.name,
+            ).inc()
+        return dropped
+
+    def handle_puts(self, key: str, holder: str) -> None:
+        self.directory.note_replica_evicted(key, holder)
+
+    def handle_rget(self, key: str):
+        value = self.replica_store.get(key)
+        if self.obs.registry.enabled:
+            self.obs.registry.counter(
+                "repro_cluster_replica_reads_total",
+                help="RGET lookups against the local replica store",
+                node=self.name,
+                outcome="hit" if value is not None else "miss",
+            ).inc()
+        return value
+
+    async def _send_puts(self, key: str, owner: str) -> None:
+        peer = self._peers.get(owner)
+        if peer is None:
+            return
+        try:
+            await asyncio.wait_for(peer.puts(key, self.name), self.peer_timeout)
+        except (ConnectionError, asyncio.TimeoutError, OSError):
+            pass  # best-effort notice; the owner's INVAL still finds nothing
+
+    # -- introspection --------------------------------------------------------
+
+    def record_request(self, cmd: str, elapsed: float, conn_id: int) -> None:
+        """Counters + tracing for one cluster-verb request."""
+        registry = self.obs.registry
+        if registry.enabled:
+            registry.counter(
+                "repro_cluster_requests_total",
+                help="cluster-verb requests answered, by node and verb",
+                node=self.name, cmd=cmd,
+            ).inc()
+            registry.histogram(
+                "repro_cluster_request_latency_seconds",
+                help="cluster-verb service time, by node",
+                node=self.name,
+            ).observe(elapsed)
+        tr = self.obs.tracer
+        if tr.enabled:
+            tr.emit(
+                cmd, cat=CAT_CLUSTER, ts=clock() - elapsed, pid=self.lane,
+                tid=conn_id, dur=elapsed,
+            )
+
+    def status(self) -> dict:
+        """The CSTATUS block: ownership, replication and protocol health."""
+        return {
+            "name": self.name,
+            "host": self.host,
+            "port": self.port,
+            "draining": self.draining,
+            "stored": len(self.store),
+            "data_capacity": self.store.data_capacity,
+            "replicas_held": len(self.replica_store),
+            "replica_capacity": self.replica_store.capacity,
+            "directory_entries": len(self.directory),
+            "directory_holders": self.directory.tracked_holders,
+            "protocol_races": self.directory.races,
+            "versions_tracked": len(self.versions),
+            "peers": list(self.peer_names()),
+            "replication_factor": self.replicas,
+        }

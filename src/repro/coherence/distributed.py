@@ -1,0 +1,285 @@
+"""Distributed TO-MSI: the paper's transition table replayed across nodes.
+
+The reuse cache's insight is that *tags are cheap*: the SLLC tracks far
+more lines than it stores and moves data only on proven reuse.
+:mod:`repro.cluster` replays that insight at cluster scale — each key has
+one *owner* node (picked by a consistent-hash ring) whose **replica
+directory** is a tag-only structure naming the peer nodes that hold a copy
+of the key's value.  The directory entry walks the same stable states as
+the paper's TO-MSI protocol (:mod:`repro.coherence.protocol`), with the
+events reinterpreted as cluster messages:
+
+==========  ================================================================
+event       cluster meaning (owner's point of view)
+==========  ================================================================
+GETS        a read reaches the owner (client GET, or a replica push opening
+            the key for sharing)
+GETX        a write reaches the owner (client SET/DEL routed by the ring)
+UPG         a write from a peer that already holds a replica
+PUTS        a peer's notice that it evicted its replica
+PUTX        *illegal everywhere*: replicas are read-only, writes always
+            route through the owner, so no dirty copy can ever come back
+DataRepl    the owner's data store evicted the value (selective allocation
+            demotes to tag-only, keeping reuse history)
+TagRepl     the owner's tag directory evicted the key (back to invalid)
+==========  ================================================================
+
+State meaning at the owner:
+
+* ``I`` — key unknown;
+* ``TO`` — tag tracked (seen once / declined by admission), **no value
+  stored anywhere**, hence no replicas;
+* ``S`` — value stored by the owner, zero or more peers hold read-only
+  replicas (the directory names them);
+* ``M`` — value just written; every replica has been invalidated and none
+  re-pushed yet, so the owner holds the only copy.
+
+The safety property the table encodes is the cluster's one-line contract:
+**a replica may exist only while the owner's stored value is identical to
+it**.  Every transition that leaves ``S`` (the only state allowing
+sharers) therefore carries ``invalidates_replicas`` — the ``INVAL`` wire
+verb fan-out — exactly as ``DataRepl`` demotes a line in the paper.  The
+model checker (``repro check-protocol --cluster``) verifies this
+*replica-safety invariant* over every (State, Event) pair along with the
+coverage / reachability / data-movement checks shared with the base
+tables.
+
+Unlike the single-chip protocol there is no write-back obligation here:
+the cluster is a look-aside cache, the client owns durability of the
+backing store, so dropping a value never loses the newest copy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .states import Event, State
+
+__all__ = [
+    "DistProtocolError",
+    "DistTransition",
+    "ReplicaDirectory",
+    "SHARER_STATES",
+    "apply_distributed",
+    "legal_events",
+]
+
+#: states in which the directory may name replica holders
+SHARER_STATES = (State.S,)
+
+
+class DistProtocolError(Exception):
+    """Raised for an event that is illegal in the given directory state."""
+
+
+@dataclass(frozen=True)
+class DistTransition:
+    """Outcome of applying a cluster event to a directory entry.
+
+    Field names mirror :class:`repro.coherence.protocol.Transition` so the
+    devtools model checker runs its data-movement invariants unchanged;
+    ``allocates_data``/``deallocates_data`` describe the *owner's* data
+    store, and ``invalidates_replicas`` is the cross-node addition: the
+    owner must send ``INVAL`` to every named holder (and await the acks)
+    before acknowledging the triggering operation.
+    """
+
+    next_state: State
+    #: the owner's data store gains the value (admission on reuse)
+    allocates_data: bool = False
+    #: the owner's data store loses the value
+    deallocates_data: bool = False
+    #: never set: a look-aside cache holds no copy newer than the backing
+    #: store, so there is nothing to write back
+    writeback_to_memory: bool = False
+    writeback_to_data_array: bool = False
+    #: every replica holder must drop its copy before the ack
+    invalidates_replicas: bool = False
+
+
+#: (state, event) -> DistTransition.  PUTX has no legal row anywhere:
+#: replicas are read-only by construction.
+_TABLE = {
+    # -- invalid: key unknown to the owner -----------------------------------
+    (State.I, Event.GETS): DistTransition(State.TO),
+    (State.I, Event.GETX): DistTransition(State.TO),
+    # -- tag-only: tracked, not stored, no replicas possible -----------------
+    (State.TO, Event.GETS): DistTransition(State.S, allocates_data=True),
+    (State.TO, Event.GETX): DistTransition(State.M, allocates_data=True),
+    (State.TO, Event.TAG_REPL): DistTransition(State.I),
+    # -- shared: stored at the owner, replicas allowed -----------------------
+    (State.S, Event.GETS): DistTransition(State.S),
+    (State.S, Event.GETX): DistTransition(State.M, invalidates_replicas=True),
+    (State.S, Event.UPG): DistTransition(State.M, invalidates_replicas=True),
+    (State.S, Event.PUTS): DistTransition(State.S),
+    (State.S, Event.DATA_REPL): DistTransition(
+        State.TO, deallocates_data=True, invalidates_replicas=True
+    ),
+    (State.S, Event.TAG_REPL): DistTransition(
+        State.I, deallocates_data=True, invalidates_replicas=True
+    ),
+    # -- modified: stored at the owner, exclusively (post-write) -------------
+    (State.M, Event.GETS): DistTransition(State.S),
+    (State.M, Event.GETX): DistTransition(State.M),
+    (State.M, Event.DATA_REPL): DistTransition(State.TO, deallocates_data=True),
+    (State.M, Event.TAG_REPL): DistTransition(State.I, deallocates_data=True),
+}
+
+
+def apply_distributed(state: State, event: Event) -> DistTransition:
+    """Apply a cluster ``event`` to a directory entry in ``state``."""
+    try:
+        return _TABLE[(state, event)]
+    except KeyError:
+        raise DistProtocolError(
+            f"cluster event {event.value} is illegal in directory state "
+            f"{state.value}"
+        ) from None
+
+
+def legal_events(state: State):
+    """Cluster events legal in ``state`` (sorted by name, for tests/docs)."""
+    return sorted((e for (s, e) in _TABLE if s is state), key=lambda e: e.value)
+
+
+class ReplicaDirectory:
+    """Tag-only replica directory kept by a key's owner node.
+
+    Per key it records the TO-MSI state and the set of peer node ids that
+    hold a replica, and it exposes ``note_*`` methods mapping the node's
+    physical actions onto protocol events.  Every method returns the tuple
+    of holders the caller must invalidate (empty when the transition does
+    not demand it) — the owner node turns that into the ``INVAL`` fan-out.
+
+    The directory is *tag-only* in the paper's sense: it never holds
+    values, so tracking a key costs a few dozen bytes regardless of value
+    size, and entries are pruned as soon as they carry no information
+    (state ``I``, or ``TO`` — which by construction has no holders).
+
+    Events that arrive in a state where they are illegal (for example a
+    ``PUTS`` from a peer racing an ``INVAL`` that already removed it) are
+    *counted*, not raised: distributed messages cannot be globally
+    serialised the way the model's event sequence is, and every such race
+    resolves to the entry's current, already-safe state.  The count is
+    surfaced through :attr:`races` so the obs layer can expose it.
+    """
+
+    def __init__(self):
+        self._state = {}  # key -> State (only S or M survive pruning)
+        self._holders = {}  # key -> set of peer node ids
+        #: protocol-race tolerance counter (stray PUTS etc.)
+        self.races = 0
+
+    # -- introspection -------------------------------------------------------
+
+    def state_of(self, key: str) -> State:
+        """Directory state for ``key`` (``I`` when untracked)."""
+        return self._state.get(key, State.I)
+
+    def holders_of(self, key: str) -> tuple:
+        """Sorted peer ids holding a replica of ``key``."""
+        return tuple(sorted(self._holders.get(key, ())))
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+    @property
+    def tracked_holders(self) -> int:
+        """Total replica-holder slots across every entry."""
+        return sum(len(h) for h in self._holders.values())
+
+    # -- the event core ------------------------------------------------------
+
+    def _apply(self, key: str, event: Event, state: State | None = None) -> tuple:
+        """Advance ``key`` by ``event``; returns holders to invalidate.
+
+        ``state`` overrides the looked-up state for multi-step walks whose
+        intermediate state (``TO``) is never persisted — see
+        :meth:`note_admit`.  Illegal (state, event) pairs are tolerated as
+        races: the entry is left untouched and ``races`` is bumped.
+        """
+        if state is None:
+            state = self.state_of(key)
+        try:
+            transition = apply_distributed(state, event)
+        except DistProtocolError:
+            self.races += 1
+            return ()
+        to_invalidate = ()
+        if transition.invalidates_replicas:
+            to_invalidate = self.holders_of(key)
+            self._holders.pop(key, None)
+        nxt = transition.next_state
+        if nxt in (State.S, State.M):
+            self._state[key] = nxt
+        else:  # I and TO carry no holder information: prune
+            self._state.pop(key, None)
+            self._holders.pop(key, None)
+        return to_invalidate
+
+    # -- physical actions -> events ------------------------------------------
+
+    def note_admit(self, key: str) -> tuple:
+        """The owner's store admitted a *new* value for ``key``.
+
+        Walks the same path the store took: ``I --GETS--> TO`` on the miss
+        that tagged the key, then ``TO --GETX--> M`` on the admitted SET.
+        Because ``TO`` entries are never persisted (they carry no holder
+        information), the intermediate state is threaded through
+        explicitly rather than re-read from the pruned map.
+        """
+        state = self.state_of(key)
+        invalidate = ()
+        if state is State.I:
+            invalidate += self._apply(key, Event.GETS)  # I -> TO (pruned)
+            state = State.TO
+        invalidate += self._apply(key, Event.GETX, state=state)
+        return invalidate
+
+    def note_update(self, key: str, writer: str | None = None) -> tuple:
+        """A stored value was overwritten; returns holders to INVAL.
+
+        ``writer`` names the peer the write came from, if any: a writing
+        replica holder is the protocol's ``UPG`` (it keeps no copy either —
+        the new value lives at the owner until re-pushed), anyone else is a
+        plain ``GETX``.
+        """
+        state = self.state_of(key)
+        if state is State.S and writer is not None and (
+            writer in self._holders.get(key, ())
+        ):
+            return self._apply(key, Event.UPG)
+        if state is State.S:
+            return self._apply(key, Event.GETX)
+        if state is State.M:
+            return self._apply(key, Event.GETX)
+        # racing update on an untracked/demoted key: treat as admission
+        return self.note_admit(key)
+
+    def note_replicate(self, key: str, holder: str) -> None:
+        """The owner pushed its stored value for ``key`` to ``holder``."""
+        self._apply(key, Event.GETS)  # M -> S (or S -> S)
+        if self.state_of(key) is State.S:
+            self._holders.setdefault(key, set()).add(holder)
+
+    def note_replica_evicted(self, key: str, holder: str) -> None:
+        """``holder`` notified the owner that it dropped its replica."""
+        holders = self._holders.get(key)
+        if holders is None or holder not in holders:
+            self.races += 1  # stray PUTS racing an INVAL: already gone
+            return
+        self._apply(key, Event.PUTS)
+        holders.discard(holder)
+        if not holders:
+            self._holders.pop(key, None)
+
+    def note_data_evicted(self, key: str) -> tuple:
+        """The owner's data store evicted ``key``'s value (DataRepl)."""
+        return self._apply(key, Event.DATA_REPL)
+
+    def note_dropped(self, key: str) -> tuple:
+        """``key`` left the owner entirely (DEL or tag eviction: TagRepl)."""
+        state = self.state_of(key)
+        if state is State.I:
+            return ()
+        return self._apply(key, Event.TAG_REPL)

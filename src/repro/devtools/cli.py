@@ -30,7 +30,7 @@ def build_devtools_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     lint = sub.add_parser(
-        "lint", help="run the repo-specific AST linter (REP001-REP008)"
+        "lint", help="run the repo-specific AST linter (REP001-REP012)"
     )
     lint.add_argument(
         "paths", nargs="*", default=None,
@@ -51,6 +51,11 @@ def build_devtools_parser() -> argparse.ArgumentParser:
         help="model-check the TO-MSI / TO-MOSI coherence tables",
     )
     check.add_argument("--format", choices=("human", "json"), default="human")
+    check.add_argument(
+        "--cluster", action="store_true",
+        help="also check the distributed replica-directory table "
+             "(repro.coherence.distributed), including replica safety",
+    )
     return parser
 
 
@@ -82,7 +87,7 @@ def lint_main(args) -> int:
 
 def check_protocol_main(args) -> int:
     """Entry for ``repro check-protocol``; returns the process exit code."""
-    specs = protocol_check.all_specs()
+    specs = protocol_check.all_specs(cluster=getattr(args, "cluster", False))
     findings = protocol_check.check_all(specs)
     if args.format == "json":
         print(

@@ -1,10 +1,11 @@
-"""Repo-specific lint rules (REP001–REP011).
+"""Repo-specific lint rules (REP001–REP012).
 
 Each rule targets a hazard class that corrupts simulation results or
 serving behaviour *without failing any test*: nondeterminism (REP001,
 REP002), event-loop stalls (REP3/4), Python foot-guns (REP005–REP007),
 architecture erosion (REP008), observability bypass (REP009),
-decentralised parallelism (REP010) and unaccounted host timing (REP011).
+decentralised parallelism (REP010), unaccounted host timing (REP011)
+and raw transport outside the serving/cluster stack (REP012).
 ``docs/devtools.md`` documents the rule set and how to add one.
 """
 
@@ -324,6 +325,9 @@ LAYERS = {
     # top of it, so they moved up a layer when the engine was introduced
     "repro.runner": 4,
     "repro.service": 4,
+    # the cluster composes service nodes behind a hash ring, so it sits
+    # one layer above repro.service alongside the experiment drivers
+    "repro.cluster": 5,
     "repro.experiments": 5,
     "repro.devtools": 5,
     # perf records *suites of experiments* into baselines, so it sits
@@ -342,6 +346,9 @@ ALLOWED_PEERS = {
     # reuses the plotting helpers of repro.metrics
     ("repro.coherence", "repro.obs"),
     ("repro.obs", "repro.metrics"),
+    # the cluster-scaling experiment drives a LocalCluster; both sit at
+    # layer 5, with the experiment registry on the consuming side
+    ("repro.experiments", "repro.cluster"),
 }
 
 
@@ -575,3 +582,77 @@ class UnaccountedHostTimingRule(Rule):
                     "accounting layer; use repro.obs.prof.clock / "
                     "cpu_clock instead",
                 )
+
+
+@register
+class RawTransportRule(Rule):
+    """Network transport belongs to :mod:`repro.service` / :mod:`repro.cluster`.
+
+    The serving stack owns the wire: its framing enforces value/line size
+    limits, its connections are counted and drained on shutdown, and its
+    requests land in the obs registry and trace lanes.  A stray ``socket``
+    or ``asyncio.start_server`` elsewhere opens a transport endpoint none
+    of that covers — unbounded frames, connections no DRAIN ever sees,
+    traffic invisible to METRICS.  Anything that needs bytes on the wire
+    goes through :class:`~repro.service.client.CacheClient`,
+    :class:`~repro.cluster.client.ClusterClient` or a server subclass.
+    """
+
+    id = "REP012"
+    name = "raw-transport"
+    description = (
+        "socket / asyncio server or connection primitives outside "
+        "repro.service and repro.cluster"
+    )
+    scope = ("repro",)
+
+    _BANNED_CALLS = frozenset(
+        {
+            "asyncio.start_server",
+            "asyncio.start_unix_server",
+            "asyncio.open_connection",
+            "asyncio.open_unix_connection",
+        }
+    )
+
+    def _allowed(self, ctx) -> bool:
+        return any(
+            ctx.module == pkg or ctx.module.startswith(pkg + ".")
+            for pkg in ("repro.service", "repro.cluster")
+        )
+
+    def check_Import(self, node: ast.Import, ctx) -> None:
+        if self._allowed(ctx):
+            return
+        for alias in node.names:
+            if alias.name == "socket" or alias.name.startswith("socket."):
+                ctx.report(
+                    self, node,
+                    "import of socket outside repro.service/repro.cluster; "
+                    "talk to the cache through CacheClient/ClusterClient so "
+                    "framing limits, drain and metrics apply",
+                )
+
+    def check_ImportFrom(self, node: ast.ImportFrom, ctx) -> None:
+        if self._allowed(ctx) or node.level:
+            return
+        if node.module == "socket" or (node.module or "").startswith("socket."):
+            ctx.report(
+                self, node,
+                "import from socket outside repro.service/repro.cluster; "
+                "talk to the cache through CacheClient/ClusterClient so "
+                "framing limits, drain and metrics apply",
+            )
+
+    def check_Attribute(self, node: ast.Attribute, ctx) -> None:
+        if self._allowed(ctx):
+            return
+        name = dotted_name(node)
+        if name in self._BANNED_CALLS:
+            ctx.report(
+                self, node,
+                f"{name} opens a raw transport endpoint outside "
+                "repro.service/repro.cluster; use CacheClient/ClusterClient "
+                "or subclass CacheServer so the connection is framed, "
+                "drained and counted",
+            )

@@ -28,21 +28,35 @@ Fig. 3 / Table 1 semantics hang on:
   transitions to a memory-clean one) the transition must write memory
   back — the newest copy is never silently dropped.
 
+The distributed table (:mod:`repro.coherence.distributed`) — the cluster's
+owner-side replica directory — is checked with ``repro check-protocol
+--cluster``.  It adds one cross-node invariant on top of the structural
+ones: **replica safety** — a transition must carry
+``invalidates_replicas`` exactly when it leaves a sharer state for a
+non-sharer state, because those are precisely the moments the owner's
+stored value stops matching what replica holders serve.  A missing flag
+is a stale-read bug (peers keep serving a dead value after the ack); a
+spurious flag invalidates replicas that are still identical to the
+owner's copy (correct but corrosive to the read-spreading the replicas
+exist for).
+
 Which pairs are *expected* to be illegal is written out longhand in
-:func:`base_spec` and :func:`extended_spec`, with the physical reason for
-each; the checker fails when tables and expectations drift apart in
-either direction, so adding a transition forces the justification to be
-updated.  Run it with ``repro check-protocol`` (JSON via ``--format
-json``); tests seed violations through mutated :class:`ProtocolSpec`
-copies.
+:func:`base_spec`, :func:`extended_spec` and :func:`distributed_spec`,
+with the physical reason for each; the checker fails when tables and
+expectations drift apart in either direction, so adding a transition
+forces the justification to be updated.  Run it with ``repro
+check-protocol`` (JSON via ``--format json``); tests seed violations
+through mutated :class:`ProtocolSpec` copies.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from ..coherence import distributed as _dist
 from ..coherence import extended as _ext
 from ..coherence import protocol as _base
+from ..coherence.distributed import DistProtocolError
 from ..coherence.extended import XProtocolError, XState
 from ..coherence.protocol import ProtocolError
 from ..coherence.states import Event, State
@@ -53,6 +67,7 @@ __all__ = [
     "all_specs",
     "base_spec",
     "check_protocol",
+    "distributed_spec",
     "extended_spec",
     "format_findings_human",
     "findings_to_dict",
@@ -177,9 +192,72 @@ def extended_spec() -> ProtocolSpec:
     )
 
 
-def all_specs() -> list:
-    """The specs ``repro check-protocol`` verifies, in report order."""
-    return [base_spec(), extended_spec()]
+def distributed_spec() -> ProtocolSpec:
+    """Spec for the cluster's distributed TO-MSI replica directory.
+
+    Same state/event alphabet as the base protocol, reinterpreted across
+    nodes (see :mod:`repro.coherence.distributed`); ``memory_stale`` is
+    constant-False because the cluster is a look-aside cache — the client
+    owns durability, so no transition ever carries a write-back
+    obligation.  ``extra["sharer_states"]`` arms the replica-safety
+    invariant.
+    """
+    illegal = frozenset(
+        {
+            # nothing is tracked in I: no replica can be upgraded from or
+            # evicted at a peer, and there is no tag or data entry to
+            # replace at the owner
+            (State.I, Event.UPG),
+            (State.I, Event.PUTS),
+            (State.I, Event.PUTX),
+            (State.I, Event.DATA_REPL),
+            (State.I, Event.TAG_REPL),
+            # TO stores no value at the owner, so nothing was ever
+            # replicated: no peer can upgrade (UPG) or drop (PUTS) a
+            # replica, and the owner's data store holds nothing to evict
+            (State.TO, Event.UPG),
+            (State.TO, Event.PUTS),
+            (State.TO, Event.DATA_REPL),
+            # M is post-write exclusive: every replica was invalidated
+            # before the ack, so no peer holds a copy to upgrade or drop
+            (State.M, Event.UPG),
+            (State.M, Event.PUTS),
+            # PUTX is illegal EVERYWHERE: replicas are read-only by
+            # construction (writes always route to the owner), so no
+            # dirty copy can ever come back from a peer
+            (State.TO, Event.PUTX),
+            (State.S, Event.PUTX),
+            (State.M, Event.PUTX),
+        }
+    )
+    return ProtocolSpec(
+        name="TO-MSI-cluster",
+        states=tuple(State),
+        events=tuple(Event),
+        table=dict(_dist._TABLE),
+        initial=State.I,
+        error_type=DistProtocolError,
+        expected_illegal=illegal,
+        apply_fn=_dist.apply_distributed,
+        has_data=lambda s: s.has_data,
+        # look-aside cache: the backing store is the client's problem, so
+        # the cluster never holds the only up-to-date copy
+        memory_stale=lambda s: False,
+        invalid=State.I,
+        extra={"sharer_states": tuple(_dist.SHARER_STATES)},
+    )
+
+
+def all_specs(cluster: bool = False) -> list:
+    """The specs ``repro check-protocol`` verifies, in report order.
+
+    ``cluster=True`` appends the distributed replica-directory spec
+    (``repro check-protocol --cluster``).
+    """
+    specs = [base_spec(), extended_spec()]
+    if cluster:
+        specs.append(distributed_spec())
+    return specs
 
 
 # -- the checker ------------------------------------------------------------
@@ -298,6 +376,40 @@ def _check_invariants(spec: ProtocolSpec, out: list) -> None:
                 )
 
 
+def _check_replica_safety(spec: ProtocolSpec, out: list) -> None:
+    """Cross-node invariant for distributed specs (keyed by ``extra``).
+
+    A replica may exist only while the owner's stored value is identical
+    to it, so a transition must carry ``invalidates_replicas`` exactly
+    when it leaves a sharer state for a non-sharer state: missing means
+    stale reads survive the ack, spurious means needlessly destroying
+    replicas that still match the owner's copy.
+    """
+    sharers = spec.extra.get("sharer_states")
+    if not sharers:
+        return
+    for (state, event), transition in spec.table.items():
+        dst = transition.next_state
+        must_invalidate = state in sharers and dst not in sharers
+        does = getattr(transition, "invalidates_replicas", False)
+        if does != must_invalidate:
+            why = (
+                "leaves a sharer state for a non-sharer state, so every "
+                "replica holder must be invalidated before the ack"
+                if must_invalidate
+                else "keeps (or never had) sharers, so invalidating "
+                "replicas here destroys copies still identical to the "
+                "owner's value"
+            )
+            out.append(
+                ProtocolFinding(
+                    spec.name, "replica-safety", state.value, event.value,
+                    f"invalidates_replicas={does} but {state.value} -> "
+                    f"{dst.value} {why}",
+                )
+            )
+
+
 def _check_reachability(spec: ProtocolSpec, out: list) -> None:
     reached = {spec.initial}
     frontier = [spec.initial]
@@ -325,6 +437,7 @@ def check_protocol(spec: ProtocolSpec) -> list:
     _check_coverage(spec, findings)
     _check_error_type(spec, findings)
     _check_invariants(spec, findings)
+    _check_replica_safety(spec, findings)
     _check_reachability(spec, findings)
     return findings
 

@@ -1,0 +1,87 @@
+"""Extension study: does the reuse-cache win survive scaling *out*?
+
+The paper's argument is per-chip: at equal data RAM, selective allocation
+buys more hits per byte.  This experiment replays the serving workload
+against live :class:`~repro.cluster.local.LocalCluster` instances of
+growing node count at **equal per-node RAM** — the scaled-out version of
+the same question.  Two claims are measured:
+
+* aggregate hit capacity: the client-observed hit rate must grow
+  monotonically with node count (more nodes = more aggregate data RAM for
+  the same workload footprint);
+* the admission comparison one level up: at every cluster size, the
+  reuse-admission cluster is also swept so the selective-allocation gain
+  can be read against admit-always at cluster scale.
+
+Unlike the figure reproductions this driver runs live asyncio servers,
+not simulator cells, so the ``runner`` argument is accepted for registry
+uniformity but unused — there is nothing to cache or parallelise below
+the event loop.
+"""
+
+from __future__ import annotations
+
+from ..cluster.cli import run_cluster_benchmark
+from .common import ExperimentParams
+
+#: cluster sizes the study sweeps
+NODE_COUNTS = (1, 2, 3)
+
+#: data-store entries per node, held fixed across the sweep (the
+#: downsized regime where admission quality matters, cf. paper Fig. 6)
+DATA_CAPACITY_PER_NODE = 256
+
+
+def run_cluster_scaling(params: ExperimentParams | None = None, runner=None):
+    """Sweep node counts under both admission policies; returns a dict."""
+    if params is None:
+        params = ExperimentParams.from_env()
+    refs = min(params.n_refs, 12_000)  # live servers: keep the wall short
+    sweeps = {}
+    for admission in ("reuse", "always"):
+        sweeps[admission] = run_cluster_benchmark(
+            node_counts=list(NODE_COUNTS),
+            data_capacity=DATA_CAPACITY_PER_NODE,
+            admission=admission,
+            refs=refs,
+            scale=params.scale,
+            seed=params.seed,
+        )
+    reuse_rates = sweeps["reuse"]["hit_rates"]
+    always_rates = sweeps["always"]["hit_rates"]
+    return {
+        "node_counts": list(NODE_COUNTS),
+        "data_capacity_per_node": DATA_CAPACITY_PER_NODE,
+        "refs_per_core": refs,
+        "scale": params.scale,
+        "seed": params.seed,
+        "reuse": sweeps["reuse"],
+        "always": sweeps["always"],
+        "monotonic_hit_rate": sweeps["reuse"]["monotonic_hit_rate"],
+        "admission_gain_by_nodes": [
+            r - a for r, a in zip(reuse_rates, always_rates)
+        ],
+    }
+
+
+def format_cluster_scaling(result: dict) -> str:
+    """Render the scaling study as aligned text rows."""
+    lines = [
+        f"cluster scaling — {result['data_capacity_per_node']} entries/node, "
+        f"{result['refs_per_core']} refs/core (seed {result['seed']})",
+        f"{'nodes':>5} {'reuse hr':>9} {'always hr':>10} {'gain':>8}",
+    ]
+    for i, n in enumerate(result["node_counts"]):
+        reuse_hr = result["reuse"]["hit_rates"][i]
+        always_hr = result["always"]["hit_rates"][i]
+        lines.append(
+            f"{n:>5} {reuse_hr:>9.4f} {always_hr:>10.4f} "
+            f"{result['admission_gain_by_nodes'][i]:>+8.4f}"
+        )
+    verdict = ("grows monotonically" if result["monotonic_hit_rate"]
+               else "DOES NOT grow monotonically")
+    lines.append(
+        f"aggregate hit capacity {verdict} with node count "
+        "at equal per-node RAM"
+    )
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ from typing import Callable, Optional
 
 from . import ablation as _ablation
 from . import bandwidth as _bandwidth
+from . import cluster_scaling as _cluster_scaling
 from . import energy as _energy
 from . import fig1 as _fig1
 from . import fig4 as _fig4
@@ -208,6 +209,15 @@ def _register_all() -> None:
     ]
     for name, title, run, fmt in extensions:
         register(ExperimentSpec(name, title, run, fmt, tags=("extension",)))
+
+    register(ExperimentSpec(
+        "cluster-scaling",
+        "Cluster scaling: aggregate hit capacity vs node count at equal "
+        "per-node RAM",
+        _cluster_scaling.run_cluster_scaling,
+        _cluster_scaling.format_cluster_scaling,
+        tags=("extension", "cluster"),
+    ))
 
     ablations = [
         ("ablation-tag", "Ablation: RC tag-array replacement policy",

@@ -1,7 +1,11 @@
 """CLI commands for the serving stack: ``repro serve`` / ``repro bench-service``.
 
 ``serve`` runs a :class:`~repro.service.server.CacheServer` in the
-foreground until interrupted (SIGINT triggers a graceful drain).
+foreground until interrupted.  Both SIGINT and SIGTERM trigger a graceful
+drain — stop accepting, let in-flight requests finish — followed by a
+final stats flush: the closing hit/admission summary is printed (and the
+full STATS snapshot written, with ``--final-stats-json``), so supervised
+deployments (systemd, Kubernetes) keep the run's numbers on termination.
 
 ``bench-service`` is the serving twin of the figure benchmarks: it replays
 one synthetic workload twice against in-process servers that differ *only*
@@ -17,8 +21,11 @@ from __future__ import annotations
 import argparse
 import asyncio
 import json
+import os
+import signal
 
 from ..obs import Observability
+from ..obs.prof import process_resources
 from ..obs.logging import configure as configure_logging
 from ..workloads.mixes import EXAMPLE_MIX, build_workload
 from .loadgen import VALUE_BYTES, run_load
@@ -63,6 +70,9 @@ def build_service_parser() -> argparse.ArgumentParser:
                             "(chrome://tracing / Perfetto) on shutdown")
     serve.add_argument("--trace-sample", type=int, default=1,
                        help="record every Nth request span (default: all)")
+    serve.add_argument("--final-stats-json", metavar="FILE", default=None,
+                       help="write the final STATS snapshot (plus obs "
+                            "registry) on shutdown")
 
     bench = sub.add_parser(
         "bench-service",
@@ -81,6 +91,9 @@ def build_service_parser() -> argparse.ArgumentParser:
     bench.add_argument("--value-bytes", type=int, default=VALUE_BYTES)
     bench.add_argument("--json", metavar="FILE", default=None,
                        help="also dump the comparison as JSON")
+    bench.add_argument("--stats-json", metavar="FILE", default=None,
+                       help="dump the servers' final STATS snapshots as "
+                            "JSON (mirrors 'repro run --stats-json')")
     return parser
 
 
@@ -110,6 +123,24 @@ def _serve_obs(args) -> Observability:
     return obs
 
 
+def _final_stats_flush(server: CacheServer, args) -> None:
+    """Print (and optionally persist) the closing STATS/obs snapshot."""
+    snapshot = server.store.stats_snapshot()
+    snapshot["process"] = {"pid": os.getpid(), **process_resources()}
+    if server.obs.registry.enabled:
+        snapshot["obs"] = server.obs.registry.snapshot()
+    total = snapshot["total"]
+    print(f"repro.service: final stats — {total['hits']} hits / "
+          f"{total['misses']} misses (hit rate {total['hit_rate']:.4f}), "
+          f"{snapshot['stored_entries']} stored, "
+          f"{total['reuse_admissions']} admitted, "
+          f"{total['tag_only_sets']} tagged-only")
+    if args.final_stats_json:
+        with open(args.final_stats_json, "w") as fh:
+            json.dump(snapshot, fh, indent=2)
+        print(f"repro.service: wrote {args.final_stats_json}")
+
+
 async def _serve(args) -> None:
     obs = _serve_obs(args)
     server = CacheServer(
@@ -120,25 +151,42 @@ async def _serve(args) -> None:
         request_timeout=args.request_timeout,
         obs=obs,
     )
+    # SIGTERM (systemd/Kubernetes stop) and SIGINT (Ctrl-C) both request a
+    # graceful drain; the event lets serve_forever unwind normally so the
+    # finally block runs the connection drain and final stats flush
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # non-unix event loops
+            pass
     await server.start()
     print(f"repro.service: {args.admission}-admission store, "
           f"{args.shards} shards x {args.data_capacity // args.shards} entries, "
           f"listening on {server.host}:{server.port}")
     if not args.no_metrics:
         print("repro.service: metrics on — `repro top` or the METRICS verb")
+    serve_task = asyncio.ensure_future(server.serve_forever())
     try:
-        await server.serve_forever()
+        stop_wait = asyncio.ensure_future(stop.wait())
+        await asyncio.wait(
+            (serve_task, stop_wait), return_when=asyncio.FIRST_COMPLETED
+        )
+        stop_wait.cancel()
     finally:
+        serve_task.cancel()
         await server.stop()
         if args.trace_file:
             obs.tracer.write(args.trace_file, fmt="chrome-trace")
             print(f"repro.service: wrote {obs.tracer.recorded} request "
                   f"span(s) to {args.trace_file}")
+        _final_stats_flush(server, args)
         print("repro.service: drained and stopped")
 
 
 def cmd_serve(args) -> int:
-    """Run the server until Ctrl-C."""
+    """Run the server until SIGINT/SIGTERM, then drain and flush stats."""
     try:
         asyncio.run(_serve(args))
     except KeyboardInterrupt:
@@ -172,7 +220,7 @@ async def _bench_one(admission, workload, args) -> dict:
     summary["data_capacity_bytes"] = data_bytes
     summary["hit_rate_per_mb"] = result.hit_rate / (data_bytes / 2**20)
     summary["server_total"] = result.server_stats.get("total", {})
-    return summary
+    return summary, result.server_stats
 
 
 def run_service_benchmark(args=None, **overrides) -> dict:
@@ -194,8 +242,9 @@ def run_service_benchmark(args=None, **overrides) -> dict:
         always = await _bench_one("always", workload, args)
         return reuse, always
 
-    reuse, always = asyncio.run(_run())
+    (reuse, reuse_stats), (always, always_stats) = asyncio.run(_run())
     return {
+        "server_stats": {"reuse": reuse_stats, "always": always_stats},
         "workload": workload.name,
         "refs_per_core": args.refs,
         "cores": workload.num_cores,
@@ -238,11 +287,17 @@ def format_service_benchmark(result: dict) -> str:
 def cmd_bench_service(args) -> int:
     """Run the comparison, print it, optionally dump JSON."""
     result = run_service_benchmark(args)
+    # the full per-server STATS snapshots go to --stats-json, not --json
+    server_stats = result.pop("server_stats", {})
     print(format_service_benchmark(result))
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(result, fh, indent=2)
         print(f"wrote {args.json}")
+    if getattr(args, "stats_json", None):
+        with open(args.stats_json, "w") as fh:
+            json.dump(server_stats, fh, indent=2)
+        print(f"wrote {args.stats_json}")
     return 0
 
 

@@ -32,6 +32,10 @@ class ServerError(Exception):
 class CacheClient:
     """Pooled asyncio client with retry/backoff."""
 
+    #: response headers followed by a length-prefixed body; subclasses
+    #: (the cluster's peer client) extend this for their extra verbs
+    _BODY_TOKENS = ("VALUE", "STATS", "METRICS")
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -126,7 +130,7 @@ class CacheClient:
                     raise ConnectionError("server closed connection")
                 tokens = header.decode("utf-8").split()
                 body = None
-                if tokens and tokens[0] in ("VALUE", "STATS", "METRICS"):
+                if tokens and tokens[0] in self._BODY_TOKENS:
                     length = int(tokens[1])
                     if not 0 <= length <= MAX_VALUE_BYTES:
                         raise ConnectionError(f"insane body length {length}")

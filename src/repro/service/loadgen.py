@@ -159,6 +159,78 @@ async def _replay_trace(
             result.sets_tagged += 1
 
 
+async def replay_with_client(
+    client,
+    workload: Workload,
+    value_bytes: int = VALUE_BYTES,
+    sample_every: int = 1,
+) -> LoadResult:
+    """Replay ``workload`` through an existing client, traces concurrent.
+
+    ``client`` is anything with async ``get``/``set`` — a
+    :class:`CacheClient` or a cluster-routing client — and is *shared* by
+    all trace workers (its pool provides the concurrency).  The caller
+    keeps ownership: the client is not closed.
+    """
+    result = LoadResult(name=workload.name)
+    start = clock()
+    await asyncio.gather(*[
+        _replay_trace(client, trace, result, value_bytes, sample_every)
+        for trace in workload.traces
+    ])
+    result.wall_s = clock() - start
+    return result
+
+
+async def replay_interleaved(
+    client,
+    workload: Workload,
+    value_bytes: int = VALUE_BYTES,
+    sample_every: int = 1,
+) -> LoadResult:
+    """Replay ``workload`` through ``client`` in deterministic arrival order.
+
+    One worker round-robins the traces ref by ref — the live twin of
+    :func:`replay_store`'s interleaving.  Concurrent workers
+    (:func:`replay_with_client`) reach a different interleaving for every
+    pool/topology, which perturbs replacement locality by more than a
+    capacity change moves the hit rate; sweeps that *compare* hit rates
+    across topologies (``repro cluster bench``) need the arrival order
+    pinned so capacity is the only variable.  The caller keeps ownership
+    of the client.
+    """
+    result = LoadResult(name=workload.name)
+    start = clock()
+    streams = [(t.addrs, len(t.addrs)) for t in workload.traces]
+    longest = max(n for _, n in streams)
+    step = 0
+    for i in range(longest):
+        for addrs, n in streams:
+            if i >= n:
+                continue
+            addr = addrs[i]
+            key = key_of(addr)
+            t0 = clock()
+            value = await client.get(key)
+            if step % sample_every == 0:
+                result.latencies_s.append(clock() - t0)
+            step += 1
+            result.gets += 1
+            result.ops += 1
+            if value is not None:
+                result.hits += 1
+                continue
+            stored = await client.set(key, value_of(addr, value_bytes))
+            result.sets += 1
+            result.ops += 1
+            if stored:
+                result.sets_stored += 1
+            else:
+                result.sets_tagged += 1
+    result.wall_s = clock() - start
+    return result
+
+
 async def run_load(
     host: str,
     port: int,

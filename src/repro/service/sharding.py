@@ -86,9 +86,25 @@ class ShardedStore:
         """Remove ``key`` from its shard; True iff a value was held."""
         return self.shard_for(key).delete(key)
 
+    def force_set(self, key: str, value: bytes) -> bool:
+        """Store bypassing admission (cluster migration; see ReuseStore)."""
+        return self.shard_for(key).force_set(key, value)
+
     def contains(self, key: str) -> bool:
         """True iff ``key``'s value is stored on its shard."""
         return self.shard_for(key).contains(key)
+
+    def keys(self) -> list:
+        """Every stored key across shards, sorted (deterministic order)."""
+        out = []
+        for shard in self.shards:
+            out.extend(shard.keys())
+        return sorted(out)
+
+    def set_evict_listener(self, fn) -> None:
+        """Install ``fn(key, kind)`` as every shard's eviction listener."""
+        for shard in self.shards:
+            shard.evict_listener = fn
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)

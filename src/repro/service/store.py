@@ -107,6 +107,13 @@ class ReuseStore:
         self._seed = seed
         self.stats = ShardStats(seed=seed)
         self._lock = threading.RLock()
+        #: optional ``fn(key, kind)`` observing evictions the store decides
+        #: internally, with ``kind`` in ``("data", "tag")``.  The cluster
+        #: layer uses this to turn a data/tag eviction into the distributed
+        #: protocol's DataRepl/TagRepl events (replica invalidation); the
+        #: callback runs under the store lock and must not re-enter the
+        #: store.
+        self.evict_listener = None
 
     # -- public API ----------------------------------------------------------
 
@@ -168,6 +175,22 @@ class ReuseStore:
             self.stats.record_admission(len(value))
             return True
 
+    def force_set(self, key: str, value: bytes) -> bool:
+        """Store ``value`` bypassing the admission filter (always stores).
+
+        Used for key migration during cluster rebalancing: the value
+        already proved its reuse on the node it is moving *from*, so the
+        new owner marks the tag reused and admits directly instead of
+        making the key re-earn admission from scratch.
+        """
+        with self._lock:
+            loc = self._tag_index.get(key)
+            if loc is None:
+                loc = self._insert_tag(key)
+            set_idx, tag_way = loc
+            self._tag_reused[set_idx][tag_way] = True
+            return self.set(key, value)
+
     def delete(self, key: str) -> bool:
         """Drop ``key`` entirely (tag and value); True iff a value was held."""
         with self._lock:
@@ -194,6 +217,11 @@ class ReuseStore:
         """True iff ``key`` has a tag-directory entry (seen at least once)."""
         with self._lock:
             return key in self._tag_index
+
+    def keys(self) -> list:
+        """Keys with a stored value, sorted (deterministic migration order)."""
+        with self._lock:
+            return sorted(self._data_index)
 
     def __len__(self) -> int:
         return len(self._data_index)
@@ -257,6 +285,8 @@ class ReuseStore:
         self._tag_reused[set_idx][way] = False
         self._nrr.on_invalidate(set_idx, way)
         self.stats.record_tag_eviction()
+        if self.evict_listener is not None:
+            self.evict_listener(victim_key, "tag")
         return way
 
     def _allocate_data_way(self) -> int:
@@ -271,6 +301,8 @@ class ReuseStore:
         self._data_key[way] = None
         self._clock.on_invalidate(0, way)
         self.stats.record_data_eviction()
+        if self.evict_listener is not None:
+            self.evict_listener(victim_key, "data")
         # demote, keeping the reuse history (paper: S -> TO on DataRepl);
         # the tag stays resident so the next fetch re-admits the key
         return way

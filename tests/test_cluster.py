@@ -1,0 +1,480 @@
+"""Tests for :mod:`repro.cluster`: the distributed TO-MSI protocol table,
+the owner-side replica directory, the versioned replica store, and the
+multi-node cluster (routing, invalidation, join/leave, consistency
+storms)."""
+
+import asyncio
+
+import pytest
+
+from repro.cluster import (
+    ClusterClient,
+    ClusterError,
+    LocalCluster,
+    ReplicaStore,
+    run_storm,
+)
+from repro.cluster.consistency import decode_counter, encode_value
+from repro.coherence.distributed import (
+    DistProtocolError,
+    ReplicaDirectory,
+    apply_distributed,
+    legal_events,
+)
+from repro.coherence.states import Event, State
+
+
+def run(coro):
+    """Drive one async test body (no pytest-asyncio in the toolchain)."""
+    return asyncio.run(asyncio.wait_for(coro, 60))
+
+
+# ---------------------------------------------------------------------------
+# the distributed transition table
+# ---------------------------------------------------------------------------
+
+
+class TestDistributedTable:
+    def test_admission_walk(self):
+        # the paper's selective-allocation walk, one level up: track on
+        # first touch, store on the write that proves reuse
+        t = apply_distributed(State.I, Event.GETS)
+        assert t.next_state is State.TO and not t.allocates_data
+        t = apply_distributed(State.TO, Event.GETX)
+        assert t.next_state is State.M and t.allocates_data
+
+    def test_only_sharer_exits_invalidate(self):
+        for (state, event) in (
+            (State.S, Event.GETX),
+            (State.S, Event.UPG),
+            (State.S, Event.DATA_REPL),
+            (State.S, Event.TAG_REPL),
+        ):
+            assert apply_distributed(state, event).invalidates_replicas
+        assert not apply_distributed(State.S, Event.GETS).invalidates_replicas
+        assert not apply_distributed(State.S, Event.PUTS).invalidates_replicas
+        assert not apply_distributed(State.M, Event.TAG_REPL).invalidates_replicas
+
+    def test_putx_is_illegal_everywhere(self):
+        for state in State:
+            with pytest.raises(DistProtocolError):
+                apply_distributed(state, Event.PUTX)
+
+    def test_no_writeback_obligations(self):
+        # look-aside cache: the client owns durability
+        for state in State:
+            for event in legal_events(state):
+                t = apply_distributed(state, event)
+                assert not t.writeback_to_memory
+                assert not t.writeback_to_data_array
+
+    def test_legal_events_sorted_and_complete(self):
+        assert legal_events(State.I) == [Event.GETS, Event.GETX]
+        assert Event.PUTX not in legal_events(State.S)
+
+
+# ---------------------------------------------------------------------------
+# the owner's replica directory
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaDirectory:
+    def test_admit_lands_in_modified(self):
+        d = ReplicaDirectory()
+        assert d.note_admit("k") == ()
+        assert d.state_of("k") is State.M
+        assert d.holders_of("k") == ()
+
+    def test_replicate_opens_sharing(self):
+        d = ReplicaDirectory()
+        d.note_admit("k")
+        d.note_replicate("k", "peer1")
+        d.note_replicate("k", "peer2")
+        assert d.state_of("k") is State.S
+        assert d.holders_of("k") == ("peer1", "peer2")
+        assert d.tracked_holders == 2
+
+    def test_update_returns_holders_and_clears_them(self):
+        d = ReplicaDirectory()
+        d.note_admit("k")
+        d.note_replicate("k", "peer1")
+        holders = d.note_update("k")
+        assert holders == ("peer1",)
+        assert d.state_of("k") is State.M
+        assert d.holders_of("k") == ()
+
+    def test_update_from_a_holder_is_an_upgrade(self):
+        d = ReplicaDirectory()
+        d.note_admit("k")
+        d.note_replicate("k", "peer1")
+        assert d.note_update("k", writer="peer1") == ("peer1",)
+        assert d.state_of("k") is State.M
+
+    def test_update_on_untracked_key_is_an_admission(self):
+        d = ReplicaDirectory()
+        assert d.note_update("fresh") == ()
+        assert d.state_of("fresh") is State.M
+
+    def test_replica_evicted_narrows_the_holder_set(self):
+        d = ReplicaDirectory()
+        d.note_admit("k")
+        d.note_replicate("k", "peer1")
+        d.note_replicate("k", "peer2")
+        d.note_replica_evicted("k", "peer1")
+        assert d.holders_of("k") == ("peer2",)
+        assert d.state_of("k") is State.S
+        assert d.races == 0
+
+    def test_stray_puts_counts_as_race_not_error(self):
+        d = ReplicaDirectory()
+        d.note_admit("k")
+        d.note_replica_evicted("k", "ghost")
+        assert d.races == 1
+        assert d.state_of("k") is State.M  # entry untouched
+
+    def test_data_eviction_demotes_and_invalidates(self):
+        d = ReplicaDirectory()
+        d.note_admit("k")
+        d.note_replicate("k", "peer1")
+        assert d.note_data_evicted("k") == ("peer1",)
+        # TO carries no information: the entry is pruned back to I
+        assert d.state_of("k") is State.I
+        assert len(d) == 0
+
+    def test_dropped_clears_everything(self):
+        d = ReplicaDirectory()
+        d.note_admit("k")
+        d.note_replicate("k", "peer1")
+        assert d.note_dropped("k") == ("peer1",)
+        assert d.state_of("k") is State.I
+        assert d.note_dropped("k") == ()  # idempotent on untracked keys
+
+    def test_only_stable_sharer_states_persist(self):
+        d = ReplicaDirectory()
+        d.note_admit("a")
+        d.note_admit("b")
+        d.note_replicate("a", "p")
+        assert len(d) == 2
+        d.note_dropped("a")
+        d.note_data_evicted("b")
+        assert len(d) == 0 and d.tracked_holders == 0
+
+
+# ---------------------------------------------------------------------------
+# the peer's versioned replica store
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaStore:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ReplicaStore(0)
+
+    def test_put_get_roundtrip(self):
+        rs = ReplicaStore(4)
+        accepted, evicted = rs.put("k", 1, b"v1", "owner")
+        assert accepted and evicted == []
+        assert rs.get("k") == b"v1" and len(rs) == 1
+
+    def test_floor_rejects_strictly_older_pushes(self):
+        rs = ReplicaStore(4)
+        rs.invalidate("k", 5)
+        assert rs.put("k", 4, b"old", "o") == (False, [])
+        accepted, _ = rs.put("k", 5, b"current", "o")
+        assert accepted  # the version the INVAL protected may replicate
+        assert rs.get("k") == b"current"
+
+    def test_retried_push_is_idempotent(self):
+        rs = ReplicaStore(4)
+        rs.put("k", 3, b"v", "o")
+        accepted, _ = rs.put("k", 3, b"v", "o")
+        assert accepted  # a retry after a lost response is not stale
+        assert rs.put("k", 2, b"older", "o") == (False, [])
+
+    def test_invalidate_drops_strictly_older_only(self):
+        rs = ReplicaStore(4)
+        rs.put("k", 7, b"v7", "o")
+        assert rs.invalidate("k", 7) is False  # equal version survives
+        assert rs.get("k") == b"v7"
+        assert rs.invalidate("k", 8) is True
+        assert rs.get("k") is None
+
+    def test_fifo_eviction_reports_displaced_owners(self):
+        rs = ReplicaStore(2)
+        rs.put("a", 1, b"x", "owner-a")
+        rs.put("b", 1, b"x", "owner-b")
+        _, evicted = rs.put("c", 1, b"x", "owner-c")
+        assert evicted == [("a", "owner-a")]
+        assert rs.get("a") is None and rs.get("c") == b"x"
+
+    def test_refresh_moves_key_to_the_back_of_the_fifo(self):
+        rs = ReplicaStore(2)
+        rs.put("a", 1, b"x", "oa")
+        rs.put("b", 1, b"x", "ob")
+        rs.put("a", 2, b"y", "oa")  # refreshed: now newest
+        _, evicted = rs.put("c", 1, b"x", "oc")
+        assert evicted == [("b", "ob")]
+
+    def test_voluntary_evict_returns_owner(self):
+        rs = ReplicaStore(2)
+        rs.put("a", 1, b"x", "owner-a")
+        assert rs.evict("a") == "owner-a"
+        assert rs.evict("a") is None
+
+
+# ---------------------------------------------------------------------------
+# storm value helpers
+# ---------------------------------------------------------------------------
+
+
+class TestStormValues:
+    def test_roundtrip(self):
+        assert decode_counter("k", encode_value("k", 42)) == 42
+
+    def test_foreign_value_is_loud(self):
+        with pytest.raises(ValueError):
+            decode_counter("k", encode_value("other", 1))
+
+
+# ---------------------------------------------------------------------------
+# the cluster end to end (real asyncio TCP on loopback)
+# ---------------------------------------------------------------------------
+
+
+class TestClusterBasics:
+    def test_client_needs_nodes(self):
+        with pytest.raises(ClusterError):
+            ClusterClient({})
+
+    def test_set_get_delete_route_by_ring(self):
+        async def body():
+            async with LocalCluster(3, admission="always",
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                assert await client.set("k1", b"v1")
+                assert await client.get("k1") == b"v1"
+                assert await client.get("absent") is None
+                assert await client.delete("k1")
+                assert await client.get("k1") is None
+                # the value lived only on the ring owner
+                owner = cluster.ring.owner("k1")
+                for name, node in cluster.nodes.items():
+                    assert node.store.contains("k1") is False
+                assert owner in cluster.nodes
+
+        run(body())
+
+    def test_values_land_on_their_owner_only(self):
+        async def body():
+            async with LocalCluster(3, admission="always",
+                                    data_capacity_per_node=256) as cluster:
+                client = cluster.client()
+                keys = [f"place:{i}" for i in range(60)]
+                for key in keys:
+                    await client.set(key, key.encode())
+                for key in keys:
+                    owner = cluster.ring.owner(key)
+                    for name, node in cluster.nodes.items():
+                        assert node.store.contains(key) == (name == owner)
+
+        run(body())
+
+    def test_reuse_admission_applies_per_owner(self):
+        async def body():
+            async with LocalCluster(2, admission="reuse",
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                # pure SET traffic is tagged, never stored — the paper's
+                # selective allocation, enforced at the owning node
+                assert await client.set("cold", b"v") is False
+                assert await client.get("cold") is None
+                # a second GET miss proves reuse; the next SET stores
+                assert await client.get("cold") is None
+                assert await client.set("cold", b"v") is True
+                assert await client.get("cold") == b"v"
+
+        run(body())
+
+    def test_cluster_stats_aggregate(self):
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                await client.set("k", b"v")
+                await client.get("k")
+                await client.get("nope")
+                stats = await client.stats()
+                assert stats["total"]["hits"] == 1
+                assert stats["total"]["misses"] == 1
+                assert stats["total"]["stored_entries"] == 1
+                assert len(stats["nodes"]) == 2
+
+        run(body())
+
+    def test_status_reports_every_node(self):
+        async def body():
+            async with LocalCluster(3, admission="always") as cluster:
+                client = cluster.client()
+                status = await client.status()
+                assert sorted(status) == sorted(cluster.nodes)
+                for name, block in status.items():
+                    assert block["name"] == name
+                    assert block["draining"] is False
+                    assert block["replication_factor"] == cluster.replicas
+                health = await client.health()
+                assert all(v["up"] for v in health.values())
+
+        run(body())
+
+
+class TestReplication:
+    def test_write_replicates_to_ring_successor(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                await client.set("rk", b"v1")
+                owner_name, holder_name = cluster.ring.preference("rk", 2)
+                owner = cluster.nodes[owner_name]
+                holder = cluster.nodes[holder_name]
+                assert holder.replica_store.get("rk") == b"v1"
+                assert owner.directory.holders_of("rk") == (holder_name,)
+
+        run(body())
+
+    def test_overwrite_invalidates_before_ack(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                await client.set("rk", b"v1")
+                _, holder_name = cluster.ring.preference("rk", 2)
+                holder = cluster.nodes[holder_name]
+                await client.set("rk", b"v2")
+                # the ack implies no v1 replica survives anywhere; the
+                # holder has either the re-pushed v2 or nothing
+                assert holder.replica_store.get("rk") in (b"v2", None)
+                await client.delete("rk")
+                assert holder.replica_store.get("rk") is None
+
+        run(body())
+
+    def test_replica_read_path_serves_current_value(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client(read_replicas=True)
+                await client.set("rk", b"v1")
+                # spread reads rotate over owner and replica; every read
+                # must see the acked value (replica misses fall back)
+                for _ in range(8):
+                    assert await client.get("rk") == b"v1"
+
+        run(body())
+
+    def test_stale_push_is_rejected_by_version_floor(self):
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=64) as cluster:
+                names = sorted(cluster.nodes)
+                a, b = cluster.nodes[names[0]], cluster.nodes[names[1]]
+                # b saw INVAL at version 3: a push of version 2 is stale
+                b.replica_store.invalidate("k", 3)
+                assert await b.handle_repl("k", 2, b"old") is False
+                assert await b.handle_repl("k", 3, b"new") is True
+                assert b.handle_rget("k") == b"new"
+                assert a is not b
+
+        run(body())
+
+
+class TestMembership:
+    def test_join_moves_a_bounded_fraction_and_loses_nothing(self):
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=256) as cluster:
+                client = cluster.client()
+                keys = [f"mig:{i}" for i in range(100)]
+                for key in keys:
+                    await client.set(key, key.encode())
+                report = await cluster.add_node()
+                assert report["examined"] == 100
+                assert report["moved_fraction"] <= 1 / 3 + 0.15
+                for key in keys:
+                    assert await client.get(key) == key.encode()
+
+        run(body())
+
+    def test_leave_migrates_every_key_to_survivors(self):
+        async def body():
+            async with LocalCluster(3, admission="always",
+                                    data_capacity_per_node=256) as cluster:
+                client = cluster.client()
+                keys = [f"mig:{i}" for i in range(100)]
+                for key in keys:
+                    await client.set(key, key.encode())
+                victim = sorted(cluster.nodes)[0]
+                await cluster.remove_node(victim)
+                assert victim not in cluster.nodes
+                for key in keys:
+                    assert await client.get(key) == key.encode()
+
+        run(body())
+
+    def test_cannot_remove_last_node(self):
+        async def body():
+            async with LocalCluster(1, admission="always") as cluster:
+                name = next(iter(cluster.nodes))
+                with pytest.raises(ValueError):
+                    await cluster.remove_node(name)
+
+        run(body())
+
+
+class TestConsistencyStorm:
+    def test_storm_sees_no_stale_reads(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=128) as cluster:
+                client = cluster.client(read_replicas=True)
+                report = await run_storm(
+                    client, num_keys=12, writers=3, readers=6,
+                    writes_per_writer=30,
+                )
+                assert report.ok, report.to_dict()
+                assert report.writes > 0 and report.reads > 0
+                snap = cluster.status_snapshot()
+                assert snap["protocol_races"] == 0
+
+        run(body())
+
+    def test_storm_survives_eviction_pressure(self):
+        async def body():
+            # per-node capacity far below the keyset: DataRepl/TagRepl
+            # invalidations fire constantly
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=8) as cluster:
+                client = cluster.client(read_replicas=True)
+                report = await run_storm(
+                    client, num_keys=24, writers=4, readers=4,
+                    writes_per_writer=25,
+                )
+                assert report.ok, report.to_dict()
+
+        run(body())
+
+    def test_storm_after_join_stays_consistent(self):
+        async def body():
+            async with LocalCluster(2, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client(read_replicas=True)
+                await run_storm(client, num_keys=8, writers=2, readers=2,
+                                writes_per_writer=10)
+                await cluster.add_node()
+                report = await run_storm(
+                    client, num_keys=8, writers=2, readers=4,
+                    writes_per_writer=20,
+                )
+                assert report.ok, report.to_dict()
+
+        run(body())

@@ -1,0 +1,145 @@
+"""Tests for :mod:`repro.cluster.ring`: the consistent-hash ring that maps
+keys to owner nodes (emptiness, ownership, bounded movement on join,
+deterministic cross-process placement)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.cluster import HashRing, RingEmptyError
+from repro.cluster.ring import DEFAULT_VNODES, _point
+
+KEYS = [f"key:{i}" for i in range(400)]
+
+
+class TestMembership:
+    def test_empty_ring_raises_cleanly(self):
+        ring = HashRing()
+        with pytest.raises(RingEmptyError):
+            ring.owner("k")
+        with pytest.raises(RingEmptyError):
+            ring.preference("k", 2)
+        assert len(ring) == 0
+
+    def test_ring_empty_error_is_a_lookup_error(self):
+        # callers that guard generic lookup failures still catch it
+        assert issubclass(RingEmptyError, LookupError)
+
+    def test_duplicate_add_and_missing_remove_are_loud(self):
+        ring = HashRing(["a"])
+        with pytest.raises(ValueError):
+            ring.add("a")
+        with pytest.raises(ValueError):
+            ring.remove("b")
+
+    def test_vnodes_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(vnodes=0)
+
+    def test_contains_and_nodes_sorted(self):
+        ring = HashRing(["b", "a", "c"])
+        assert "a" in ring and "z" not in ring
+        assert ring.nodes == ("a", "b", "c")
+
+
+class TestOwnership:
+    def test_single_node_owns_all_keys(self):
+        ring = HashRing(["solo"])
+        assert all(ring.owner(k) == "solo" for k in KEYS)
+        assert ring.shares(KEYS) == {"solo": 1.0}
+
+    def test_preference_head_is_owner(self):
+        ring = HashRing(["a", "b", "c"])
+        for key in KEYS[:50]:
+            pref = ring.preference(key, 3)
+            assert pref[0] == ring.owner(key)
+            assert len(pref) == len(set(pref)) == 3
+
+    def test_preference_clamps_to_ring_size(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring.preference("k", 5)) == 2
+
+    def test_shares_are_roughly_balanced(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        shares = ring.shares(KEYS)
+        # vnodes keep every node within a loose band around 1/N
+        for node, share in shares.items():
+            assert 0.10 <= share <= 0.45, (node, share)
+
+    def test_insertion_order_is_irrelevant(self):
+        forward = HashRing(["a", "b", "c"])
+        backward = HashRing(["c", "b", "a"])
+        assert forward.fingerprint() == backward.fingerprint()
+        assert all(forward.owner(k) == backward.owner(k) for k in KEYS)
+
+
+class TestJoinMovement:
+    def test_join_moves_at_most_fair_share(self):
+        """Adding one node to N moves <= ~1/(N+1) + eps of the keys."""
+        for n in (1, 2, 3, 4):
+            nodes = [f"n{i}" for i in range(n)]
+            ring = HashRing(nodes)
+            before = {k: ring.owner(k) for k in KEYS}
+            ring.add("joiner")
+            moved = sum(1 for k in KEYS if ring.owner(k) != before[k])
+            bound = 1.0 / (n + 1) + 0.10  # vnode-variance allowance
+            assert moved / len(KEYS) <= bound, (n, moved)
+
+    def test_moved_keys_only_go_to_the_joiner(self):
+        ring = HashRing(["a", "b", "c"])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.add("d")
+        for key in KEYS:
+            after = ring.owner(key)
+            if after != before[key]:
+                assert after == "d", (key, before[key], after)
+
+    def test_leave_is_the_mirror_of_join(self):
+        ring = HashRing(["a", "b", "c", "d"])
+        before = {k: ring.owner(k) for k in KEYS}
+        ring.remove("d")
+        for key in KEYS:
+            after = ring.owner(key)
+            if before[key] != "d":
+                assert after == before[key]  # survivors keep their keys
+            else:
+                assert after != "d"
+
+
+class TestDeterminism:
+    def test_seed_changes_placement(self):
+        a = HashRing(["a", "b", "c"], seed=1)
+        b = HashRing(["a", "b", "c"], seed=2)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_point_ignores_pythonhashseed_inputs(self):
+        # blake2b over the token string: same args, same 64-bit point
+        assert _point(2013, "node", "a", 0) == _point(2013, "node", "a", 0)
+        assert _point(2013, "key", "x") != _point(2013, "key", "y")
+
+    def test_placement_byte_stable_across_processes(self):
+        """A fresh interpreter (new PYTHONHASHSEED) builds the same ring."""
+        ring = HashRing(["alpha", "beta", "gamma"], seed=2013)
+        script = (
+            "from repro.cluster import HashRing;"
+            "r = HashRing(['alpha', 'beta', 'gamma'], seed=2013);"
+            "print(r.fingerprint());"
+            "print(r.owner('probe:17'))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={
+                "PYTHONPATH": str(
+                    pathlib.Path(__file__).resolve().parents[1] / "src"
+                ),
+                "PYTHONHASHSEED": "12345",
+            },
+        ).stdout.split()
+        assert out[0] == ring.fingerprint()
+        assert out[1] == ring.owner("probe:17")
+
+    def test_default_vnodes_constant(self):
+        assert HashRing(["a"]).vnodes == DEFAULT_VNODES

@@ -75,6 +75,18 @@ class TestCheckProtocolCommand:
             "TO-MSI", "TO-MOSI",
         }
 
+    def test_cluster_flag_adds_the_distributed_table(self, capsys):
+        assert main(["check-protocol", "--cluster"]) == 0
+        assert "TO-MSI-cluster" in capsys.readouterr().out
+
+    def test_cluster_json_output_parses(self, capsys):
+        assert main(["check-protocol", "--cluster", "--format", "json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert {p["name"] for p in report["protocols"]} == {
+            "TO-MSI", "TO-MOSI", "TO-MSI-cluster",
+        }
+        assert report["findings"] == []
+
     def test_seeded_violation_exits_nonzero(self, monkeypatch, capsys):
         from repro.coherence.states import Event, State
 
@@ -83,7 +95,7 @@ class TestCheckProtocolCommand:
         del table[(State.TO, Event.GETS)]
         broken = protocol_check.with_table(spec, table)
         monkeypatch.setattr(
-            protocol_check, "all_specs", lambda: [broken]
+            protocol_check, "all_specs", lambda cluster=False: [broken]
         )
         assert main(["check-protocol"]) == 1
         assert "unhandled" in capsys.readouterr().out

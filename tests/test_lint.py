@@ -60,8 +60,8 @@ class TestEngine:
         assert codes(findings) == ["REP000"]
         assert "syntax error" in findings[0].message
 
-    def test_registry_has_the_eleven_repo_rules(self):
-        assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 12)]
+    def test_registry_has_the_twelve_repo_rules(self):
+        assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 13)]
 
     def test_select_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown rule ids"):
@@ -687,4 +687,69 @@ class TestUnaccountedHostTiming:
         assert codes(lint_snippet(
             "from repro.perf import record_suite\n",
             module="repro.experiments.fig5",
+        )) == ["REP008"]
+
+
+class TestRawTransport:
+    def test_flags_socket_import_outside_the_serving_stack(self):
+        findings = lint_snippet(
+            "import socket\n", module="repro.experiments.fig7"
+        )
+        assert codes(findings) == ["REP012"]
+        assert "ClusterClient" in findings[0].message
+
+    def test_flags_socket_from_import(self):
+        assert codes(lint_snippet(
+            "from socket import create_connection\n",
+            module="repro.obs.exporter",
+        )) == ["REP012"]
+
+    def test_flags_asyncio_server_primitives(self):
+        for fn in ("start_server", "open_connection"):
+            findings = lint_snippet(
+                "import asyncio\n"
+                f"async def go():\n"
+                f"    return await asyncio.{fn}()\n",
+                module="repro.experiments.fig7",
+            )
+            assert "REP012" in codes(findings), fn
+
+    def test_service_and_cluster_are_exempt(self):
+        src = (
+            "import asyncio\n"
+            "import socket\n"
+            "async def go():\n"
+            "    return await asyncio.open_connection('h', 1)\n"
+        )
+        assert lint_snippet(src, module="repro.service.server") == []
+        assert lint_snippet(src, module="repro.cluster.node") == []
+
+    def test_socketserver_does_not_overmatch(self):
+        # a module merely *starting with* "socket" is a different package
+        assert lint_snippet(
+            "import socketserver\n", module="repro.experiments.fig7"
+        ) == []
+
+    def test_suppression(self):
+        assert lint_snippet(
+            "import socket  # repro: noqa=REP012\n",
+            module="repro.experiments.fig7",
+        ) == []
+
+    def test_cluster_layering(self):
+        # the cluster sits above the service it composes...
+        assert LAYERS["repro.cluster"] > LAYERS["repro.service"]
+        assert lint_snippet(
+            "from repro.service.client import CacheClient\n",
+            module="repro.cluster.node",
+        ) == []
+        # ...the experiments may drive it as a whitelisted peer...
+        assert lint_snippet(
+            "from repro.cluster import LocalCluster\n",
+            module="repro.experiments.cluster_scaling",
+        ) == []
+        # ...but the service must never reach up into the cluster
+        assert codes(lint_snippet(
+            "from repro.cluster import ClusterClient\n",
+            module="repro.service.server",
         )) == ["REP008"]

@@ -18,11 +18,13 @@ from repro.coherence.extended import (
 )
 from repro.coherence.protocol import ProtocolError, Transition, apply
 from repro.coherence.states import Event, State
+from repro.coherence.distributed import DistProtocolError, DistTransition
 from repro.devtools.protocol_check import (
     all_specs,
     base_spec,
     check_all,
     check_protocol,
+    distributed_spec,
     extended_spec,
     findings_to_dict,
     with_table,
@@ -80,6 +82,66 @@ class TestShippedTablesAreSound:
 
     def test_specs_report_both_protocols(self):
         assert [s.name for s in all_specs()] == ["TO-MSI", "TO-MOSI"]
+
+    def test_cluster_flag_appends_the_distributed_spec(self):
+        assert [s.name for s in all_specs(cluster=True)] == [
+            "TO-MSI", "TO-MOSI", "TO-MSI-cluster",
+        ]
+
+
+# -- the distributed (cluster) table ------------------------------------------
+
+
+class TestDistributedSpec:
+    def test_every_pair_is_handled_or_justified_illegal(self):
+        spec = distributed_spec()
+        for state in spec.states:
+            for event in spec.events:
+                pair = (state, event)
+                assert (pair in spec.table) != (pair in spec.expected_illegal)
+
+    def test_table_size(self):
+        spec = distributed_spec()
+        assert len(spec.table) == 15 and len(spec.expected_illegal) == 13
+        assert len(spec.table) + len(spec.expected_illegal) == 4 * 7
+
+    def test_illegal_pairs_raise_dist_protocol_error(self):
+        spec = distributed_spec()
+        for state, event in spec.expected_illegal:
+            with pytest.raises(DistProtocolError):
+                spec.apply_fn(state, event)
+
+    def test_zero_findings(self):
+        assert check_protocol(distributed_spec()) == []
+
+    def test_missing_invalidation_flag_reported(self):
+        # leaving S without invalidates_replicas = stale reads survive the
+        # ack; the replica-safety check must refuse the table
+        spec = distributed_spec()
+        table = dict(spec.table)
+        table[(State.S, Event.GETX)] = DistTransition(State.M)
+        findings = check_protocol(with_table(spec, table))
+        assert any(
+            f.kind == "replica-safety" and "must be invalidated" in f.message
+            for f in findings
+        )
+
+    def test_spurious_invalidation_flag_reported(self):
+        spec = distributed_spec()
+        table = dict(spec.table)
+        table[(State.S, Event.GETS)] = DistTransition(
+            State.S, invalidates_replicas=True
+        )
+        findings = check_protocol(with_table(spec, table))
+        assert any(
+            f.kind == "replica-safety" and "destroys copies" in f.message
+            for f in findings
+        )
+
+    def test_replica_safety_skipped_without_sharer_states(self):
+        # the base single-chip spec has no sharer_states entry, so a table
+        # without the cross-node flag is not a finding there
+        assert check_protocol(base_spec()) == []
 
 
 # -- seeded violations: the checker must catch each defect class -------------

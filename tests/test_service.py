@@ -522,3 +522,167 @@ class TestServiceCLI:
                                        data_capacity=64, mix=["gcc", "mcf"])
         assert result["cores"] == 2
         assert result["reuse"]["admission"] == "reuse"
+
+
+class TestStoreExtensionsForCluster:
+    def test_force_set_bypasses_admission(self):
+        s = ReuseStore(data_capacity=8)  # reuse admission by default
+        assert s.set("k", b"declined") is False  # one-touch SET only tags
+        assert s.force_set("k", b"adopted") is True
+        assert s.get("k") == b"adopted"
+
+    def test_keys_sorted_across_shards(self):
+        store = ShardedStore(num_shards=4, data_capacity=64,
+                             admission="always")
+        for i in (3, 1, 2, 0):
+            store.set(f"k{i}", b"v")
+        assert store.keys() == ["k0", "k1", "k2", "k3"]
+
+    def test_evict_listener_sees_data_and_tag_evictions(self):
+        events = []
+        s = ReuseStore(data_capacity=2, tag_capacity=8, admission="always")
+        s.evict_listener = lambda key, kind: events.append((key, kind))
+        for i in range(4):
+            s.set(f"k{i}", b"v")
+        kinds = {kind for _, kind in events}
+        assert events and kinds <= {"data", "tag"}
+        assert "data" in kinds  # capacity pressure evicted stored values
+
+    def test_sharded_listener_installs_on_every_shard(self):
+        events = []
+        store = ShardedStore(num_shards=2, data_capacity=4,
+                             admission="always")
+        store.set_evict_listener(lambda key, kind: events.append(key))
+        for i in range(12):
+            store.set(f"k{i}", b"v")
+        assert len(events) == 12 - len(store)
+
+
+class TestFinalStatsFlush:
+    def test_flush_prints_and_persists(self, tmp_path, capsys):
+        from repro.service.cli import _final_stats_flush, build_service_parser
+
+        out_json = tmp_path / "final.json"
+        args = build_service_parser().parse_args(
+            ["serve", "--final-stats-json", str(out_json)]
+        )
+
+        async def body():
+            server = await _started_server(admission="always")
+            client = CacheClient("127.0.0.1", server.port)
+            await client.set("k", b"v")
+            await client.get("k")
+            await client.close()
+            await server.stop()
+            return server
+
+        server = run(body())
+        _final_stats_flush(server, args)
+        out = capsys.readouterr().out
+        assert "final stats" in out and str(out_json) in out
+        data = json.loads(out_json.read_text())
+        assert data["total"]["hits"] == 1
+        assert data["stored_entries"] == 1
+        assert data["process"]["pid"] > 0
+
+    def test_serve_parser_accepts_final_stats_json(self):
+        args = build_service_parser().parse_args(
+            ["serve", "--final-stats-json", "x.json"]
+        )
+        assert args.final_stats_json == "x.json"
+
+
+class TestBenchServiceStatsJson:
+    def test_stats_json_written_alongside_comparison(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        stats_json = tmp_path / "stats.json"
+        code = main(["bench-service", "--refs", "200", "--shards", "2",
+                     "--data-capacity", "64",
+                     "--stats-json", str(stats_json)])
+        assert code == 0
+        capsys.readouterr()
+        data = json.loads(stats_json.read_text())
+        assert set(data) == {"reuse", "always"}
+        for mode in ("reuse", "always"):
+            assert data[mode]["total"]["gets"] > 0
+
+    def test_benchmark_result_carries_server_stats(self):
+        result = run_service_benchmark(refs=150, shards=2, data_capacity=64,
+                                       mix=["gcc"])
+        assert set(result["server_stats"]) == {"reuse", "always"}
+        assert result["server_stats"]["reuse"]["total"]["gets"] > 0
+
+
+class TestReplayWithClient:
+    def test_shared_client_is_not_closed(self):
+        from repro.service.loadgen import replay_with_client
+
+        async def body():
+            server = await _started_server(admission="always")
+            client = CacheClient("127.0.0.1", server.port)
+            wl = build_workload(["gcc"], n_refs=200, seed=7, scale=32)
+            result = await replay_with_client(client, wl, sample_every=2)
+            # the caller keeps ownership: the client still works
+            await client.set("after", b"v")
+            assert await client.get("after") == b"v"
+            await client.close()
+            await server.stop()
+            return result
+
+        result = run(body())
+        assert result.gets == 200
+        assert result.ops == result.gets + result.sets
+
+
+class TestReplayInterleaved:
+    def test_matches_the_in_process_interleave(self):
+        """Deterministic replay sees the same hit pattern as replay_store."""
+        from repro.service.loadgen import replay_interleaved, replay_store
+        from repro.service.store import ReuseStore
+
+        wl = build_workload(["gcc", "mcf"], n_refs=300, seed=7, scale=32)
+        baseline = replay_store(
+            ReuseStore(data_capacity=64, tag_capacity=256), wl
+        )
+
+        async def body():
+            server = await _started_server(
+                num_shards=1, data_capacity=64, tag_capacity=256,
+                admission="reuse",
+            )
+            client = CacheClient("127.0.0.1", server.port)
+            result = await replay_interleaved(client, wl, sample_every=2)
+            # the caller keeps ownership: the client still works (two
+            # GET misses arm the tag, then the SET is admitted)
+            await client.get("after")
+            await client.get("after")
+            await client.set("after", b"v")
+            assert await client.get("after") == b"v"
+            await client.close()
+            await server.stop()
+            return result
+
+        result = run(body())
+        assert result.gets == baseline.gets == 600
+        assert result.hits == baseline.hits
+        assert result.sets_stored == baseline.sets_stored
+        assert result.sets_tagged == baseline.sets_tagged
+        assert result.latencies_s  # sampled
+
+    def test_is_deterministic_across_runs(self):
+        from repro.service.loadgen import replay_interleaved
+
+        wl = build_workload(["gcc"], n_refs=200, seed=7, scale=32)
+
+        async def one():
+            server = await _started_server(admission="reuse")
+            client = CacheClient("127.0.0.1", server.port)
+            result = await replay_interleaved(client, wl)
+            await client.close()
+            await server.stop()
+            return result
+
+        a, b = run(one()), run(one())
+        assert (a.hits, a.sets_stored, a.sets_tagged) == \
+               (b.hits, b.sets_stored, b.sets_tagged)
