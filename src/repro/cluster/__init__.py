@@ -27,7 +27,13 @@ Layer map:
 from .client import ClusterClient, ClusterError, NodeDownError
 from .consistency import StormReport, run_storm
 from .local import LocalCluster
-from .node import ClusterNode, ClusterServer, PeerClient, ReplicaStore
+from .node import (
+    ClusterNode,
+    ClusterServer,
+    InvalidationError,
+    PeerClient,
+    ReplicaStore,
+)
 from .ring import HashRing, RingEmptyError
 
 __all__ = [
@@ -36,6 +42,7 @@ __all__ = [
     "ClusterNode",
     "ClusterServer",
     "HashRing",
+    "InvalidationError",
     "LocalCluster",
     "NodeDownError",
     "PeerClient",

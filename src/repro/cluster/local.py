@@ -14,8 +14,12 @@ ring:
 * ``add_node`` boots the node, adds it to the ring (only keys whose owner
   becomes the new node change hands — roughly ``1/(N+1)`` of them), then
   migrates exactly those keys: the old owner invalidates their replica
-  holders and drops them, the new owner adopts value *and version* so the
-  version-floor ordering survives the move;
+  holders and drops them *first*, then the new owner adopts value *and
+  version* so the version-floor ordering survives the move.  Because the
+  ring is published before the copy, a client write can reach the new
+  owner mid-migration; adoption is skipped for any key the new owner has
+  already versioned (``maybe_adopt``), so the fresh write wins instead of
+  being silently clobbered by the migrated old value;
 * ``remove_node`` drains the node (stop accepting, finish in-flight),
   removes it from the ring, migrates its keys to their ring successors,
   and invalidates whatever replicas it still tracked.
@@ -153,9 +157,16 @@ class LocalCluster:
                 value = other.store.get(key)
                 if value is None:
                     continue
-                node.adopt(key, value, other.versions.get(key, 0))
-                await node._flush_evictions()
-                await other.relinquish_key(key)
+                version = other.version_of(key)
+                # relinquish first (INVAL the old value's replica holders,
+                # drop the old copy), adopt after: by adoption time no
+                # replica of the migrated value survives untracked
+                failed = await other.relinquish_key(key)
+                node.inherit_pending(key, failed)
+                # a racing client write to the already-published new owner
+                # wins over the migrated value (lost-update guard)
+                if node.maybe_adopt(key, value, version):
+                    await node._flush_evictions()
                 moved += 1
         report = {
             "node": node.name,
@@ -180,10 +191,14 @@ class LocalCluster:
             value = node.store.get(key)
             if value is None:
                 continue
+            version = node.version_of(key)
             new_owner = self.nodes[self.ring.owner(key)]
-            new_owner.adopt(key, value, node.versions.get(key, 0))
-            await new_owner._flush_evictions()
-            await node.relinquish_key(key)
+            failed = await node.relinquish_key(key)
+            new_owner.inherit_pending(key, failed)
+            # the ring already routes to the successor: a write that beat
+            # the migration there must not be clobbered
+            if new_owner.maybe_adopt(key, value, version):
+                await new_owner._flush_evictions()
             moved += 1
         for client in self._clients:
             await client.remove_node(name)

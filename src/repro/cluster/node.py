@@ -37,17 +37,28 @@ awaits every ``INVAL`` ack before acknowledging the write, an acknowledged
 write guarantees no replica of an older version survives anywhere — the
 cluster-wide version of the paper's rule that a line leaves the data array
 the moment its tag group changes.
+
+A holder that does not ack (down, or merely slow) is *not* papered over:
+the write fails with ``ERR`` (:class:`InvalidationError`) after one INVAL
+retry, and the holder is parked in the key's **pending-INVAL set** — every
+later fan-out for the key re-targets it, and no write to the key acks
+until the debt clears.  Store evictions record the same debt without
+failing the triggering operation (the surviving replica still equals the
+last acked value, so nothing is stale *yet* — but the next write to the
+key must reach it before acking).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import time
 
 from ..obs import Observability
 from ..obs.logging import get_logger
 from ..obs.prof import clock
 from ..coherence.distributed import ReplicaDirectory
+from ..coherence.states import State
 from ..service.client import CacheClient
 from ..service.server import (
     MAX_VALUE_BYTES,
@@ -66,6 +77,17 @@ CLUSTER_VERBS = ("SET", "DEL", "REPL", "INVAL", "PUTS", "RGET", "CSTATUS",
 #: tracing category for cross-node flows
 CAT_CLUSTER = "cluster"
 
+#: seconds a replica-store version floor survives even past the count
+#: bound — long enough to fence any REPL push still in flight (pool
+#: retries included) when the INVAL that raced ahead of it was applied
+FLOOR_MIN_AGE = 60.0
+
+
+class InvalidationError(ProtocolError):
+    """The INVAL fan-out for a write is missing acks: the write is NOT
+    acknowledged (the client sees ``ERR``), because a holder that never
+    acked may still serve its old replica over ``RGET``."""
+
 
 class ReplicaStore:
     """Bounded, versioned store of read-only replicas held for peers.
@@ -80,14 +102,24 @@ class ReplicaStore:
     acks) invalidates every older copy yet still lets the version-``v``
     value itself replicate; a REPL retried after a lost response is
     likewise accepted idempotently rather than misreported as stale.
+
+    The floor map is bounded at 4x capacity, but a floor younger than
+    ``floor_min_age`` seconds is never evicted: it may still be fencing
+    an in-flight REPL, and dropping it would reopen the exact
+    resurrection window floors exist to close.  Residual window: a push
+    delayed past ``floor_min_age`` *and* 4x-capacity younger
+    invalidations of distinct keys can be re-accepted — the owner's
+    pessimistic holder tracking (see :meth:`ClusterNode._replicate`)
+    still reaches such a replica on the key's next write.
     """
 
-    def __init__(self, capacity: int):
+    def __init__(self, capacity: int, floor_min_age: float = FLOOR_MIN_AGE):
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity}")
         self.capacity = capacity
+        self.floor_min_age = floor_min_age
         self._entries = {}  # key -> (version, value, owner); insertion-ordered
-        self._floor = {}  # key -> minimum rejected version (insertion-ordered)
+        self._floor = {}  # key -> (version, monotonic stamp); insertion-ordered
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -103,7 +135,8 @@ class ReplicaStore:
         ``evicted`` is a list of ``(key, owner)`` pairs displaced by the
         capacity bound, for PUTS notices.
         """
-        if version < self._floor.get(key, 0):
+        floor = self._floor.get(key)
+        if floor is not None and version < floor[0]:
             return False, []
         current = self._entries.get(key)
         if current is not None and version < current[0]:
@@ -122,10 +155,14 @@ class ReplicaStore:
 
         Records the floor either way; returns True iff a copy was dropped.
         """
-        floor = self._floor.pop(key, 0)  # re-insert to refresh order
-        self._floor[key] = max(floor, version)
+        old = self._floor.pop(key, None)  # re-insert to refresh order
+        now = time.monotonic()
+        self._floor[key] = (max(old[0] if old else 0, version), now)
         while len(self._floor) > 4 * self.capacity:
-            self._floor.pop(next(iter(self._floor)))
+            oldest, (_, stamp) = next(iter(self._floor.items()))
+            if now - stamp < self.floor_min_age:
+                break  # young floors may fence in-flight REPLs: overgrow
+            del self._floor[oldest]
         entry = self._entries.get(key)
         if entry is not None and entry[0] < version:
             del self._entries[key]
@@ -320,6 +357,8 @@ class ClusterNode:
             else max(1, store.data_capacity)
         )
         self.versions = {}  # key -> last version this owner assigned
+        self._version_base = 0  # floor under every compacted-away counter
+        self._pending_invals = {}  # key -> holders whose INVAL ack is owed
         self.draining = False
         self._peers = {}  # name -> PeerClient
         self._write_locks = {}  # key -> asyncio.Lock (pruned when idle)
@@ -362,6 +401,12 @@ class ClusterNode:
         peer = self._peers.pop(name, None)
         if peer is not None:
             await peer.close()
+        # a removed member leaves read routing entirely, so any INVAL
+        # debt owed to it is moot
+        for key in [k for k, h in self._pending_invals.items() if name in h]:
+            self._pending_invals[key].discard(name)
+            if not self._pending_invals[key]:
+                del self._pending_invals[key]
 
     def peer_names(self) -> tuple:
         return tuple(sorted(self._peers))
@@ -378,23 +423,54 @@ class ClusterNode:
         if not lock.locked() and self._write_locks.get(key) is lock:
             del self._write_locks[key]
 
+    def version_of(self, key: str) -> int:
+        """The key's effective version counter (base-folded after pruning)."""
+        return self.versions.get(key, self._version_base)
+
+    def _compact_versions(self) -> None:
+        """Bound the version map (counters are deliberately never reset).
+
+        Counters for keys gone from the store, the directory and the
+        pending-INVAL set fold into a single global base that seeds every
+        later assignment, so per-key monotonicity — the property peers'
+        version floors rely on — survives the prune without per-key
+        state.
+        """
+        limit = max(1024, 4 * self.store.data_capacity)
+        if len(self.versions) <= limit:
+            return
+        for key in list(self.versions):
+            if (key in self._pending_invals or self.store.contains(key)
+                    or self.directory.state_of(key) is not State.I):
+                continue
+            self._version_base = max(self._version_base, self.versions.pop(key))
+
     async def handle_set(self, key: str, value: bytes, writer: str | None = None) -> bool:
-        """Owner write: invalidate replicas, store, re-replicate, then ack."""
+        """Owner write: invalidate replicas, store, re-replicate, then ack.
+
+        Raises :class:`InvalidationError` (wire: ``ERR``) when a replica
+        holder cannot be invalidated — the store is left untouched and
+        the write is *not* acknowledged, so the surviving old replica is
+        never newer-than-acked stale.
+        """
         lock = self._key_lock(key)
         async with lock:
             try:
-                version = self.versions.get(key, 0) + 1
+                version = self.version_of(key) + 1
                 self.versions[key] = version
                 if self.store.contains(key):
                     holders = self.directory.note_update(key, writer)
                     await self._invalidate(key, version, holders)
                     stored = self.store.set(key, value)  # update in place
                 else:
+                    # clear any pending INVAL debt before the value lands
+                    await self._invalidate(key, version, ())
                     stored = self.store.set(key, value)
                     if stored:
                         holders = self.directory.note_admit(key)
                         await self._invalidate(key, version, holders)
                 await self._flush_evictions()
+                self._compact_versions()
                 if stored and self.replicas > 1:
                     await self._replicate(key, version, value)
                 return stored
@@ -402,42 +478,79 @@ class ClusterNode:
                 self._unlock(key, lock)
 
     async def handle_delete(self, key: str) -> bool:
-        """Owner delete: invalidate every replica before dropping the key."""
+        """Owner delete: invalidate every replica before dropping the key.
+
+        Like :meth:`handle_set`, an unacked INVAL fails the delete
+        (``ERR``) instead of acking with an old replica still readable;
+        the unreached holders stay parked in the pending set.
+        """
         lock = self._key_lock(key)
         async with lock:
             try:
-                version = self.versions.get(key, 0) + 1
+                version = self.version_of(key) + 1
                 self.versions[key] = version
                 holders = self.directory.note_dropped(key)
                 await self._invalidate(key, version, holders)
                 removed = self.store.delete(key)
                 await self._flush_evictions()
+                self._compact_versions()
                 return removed
             finally:
                 self._unlock(key, lock)
 
-    async def relinquish_key(self, key: str) -> None:
+    async def relinquish_key(self, key: str) -> tuple:
         """Give up ownership of ``key`` (migration): INVAL holders, drop.
 
         The INVAL version is bumped past the last write so the strict
         floor drops replicas of the current value too; the adopting owner
         (seeded with the un-bumped version) bumps to the same number on
         its first write, so its replication pushes clear the floor.
+
+        Returns the holders whose INVAL ack is still missing, for the
+        adopting owner to inherit (:meth:`inherit_pending`) — this node
+        is leaving the key behind and can no longer collect the debt.
         """
-        version = self.versions.get(key, 0) + 1
+        version = self.version_of(key) + 1
         holders = self.directory.note_dropped(key)
-        await self._invalidate(key, version, holders)
+        await self._invalidate(key, version, holders, strict=False)
         self.store.delete(key)
-        self.versions.pop(key, None)
+        # fold into the base: were this node to own the key again, its
+        # versions must not restart below a floor some peer recorded
+        self._version_base = max(self._version_base, self.versions.pop(key, 0))
         await self._flush_evictions()
+        return tuple(sorted(self._pending_invals.pop(key, ())))
+
+    def inherit_pending(self, key: str, holders) -> None:
+        """Adopt a relinquishing owner's unacked-INVAL debt for ``key``.
+
+        The inherited holders join this owner's pending set, so its next
+        fan-out for the key re-invalidates them and no write acks until
+        they answer.
+        """
+        holders = {h for h in holders if h != self.name}
+        if holders:
+            self._pending_invals.setdefault(key, set()).update(holders)
 
     def adopt(self, key: str, value: bytes, version: int) -> bool:
         """Take ownership of a migrated key (store bypassing admission)."""
-        self.versions[key] = max(self.versions.get(key, 0), version)
+        self.versions[key] = max(self.version_of(key), version)
+        self.replica_store.evict(key)  # owner now: the replica copy is moot
         stored = self.store.force_set(key, value)
         if stored:
             self.directory.note_admit(key)
         return stored
+
+    def maybe_adopt(self, key: str, value: bytes, version: int) -> bool:
+        """Adopt ``key`` unless this owner already assigned it a version.
+
+        Migration publishes the ring before it copies keys, so a client
+        write can reach the new owner mid-migration; that fresh write
+        must win — force-adopting the migrated old value over it would
+        be a silent lost update.
+        """
+        if key in self.versions:
+            return False
+        return self.adopt(key, value, version)
 
     # -- store eviction -> DataRepl/TagRepl ----------------------------------
 
@@ -458,61 +571,105 @@ class ClusterNode:
             # the INVAL version is bumped past the evicted value's version
             # so the strict floor drops replicas of that exact version; the
             # bump is recorded (never reset — a reset would make peers
-            # reject every replication of a re-admitted key as stale)
-            version = self.versions.get(key, 0) + 1
+            # reject every replication of a re-admitted key as stale).
+            # Non-strict: an unreached holder's replica still equals the
+            # last acked value, so nothing is stale yet — the debt parks
+            # in the pending set and fences the key's next write instead
+            # of failing the unrelated operation that evicted it.
+            version = self.version_of(key) + 1
             self.versions[key] = version
-            await self._invalidate(key, version, holders)
+            await self._invalidate(key, version, holders, strict=False)
 
     # -- cross-node fan-out ---------------------------------------------------
 
-    async def _invalidate(self, key: str, version: int, holders) -> None:
+    async def _invalidate(self, key: str, version: int, holders,
+                          strict: bool = True) -> None:
         """Send INVAL to every holder and await the acks (before any ack
-        of the operation that triggered it — the consistency linchpin)."""
-        if not holders:
+        of the operation that triggered it — the consistency linchpin).
+
+        Holders still owed an INVAL from an earlier fan-out (the key's
+        pending set) are always re-targeted.  A holder that does not ack
+        after one retry is parked in the pending set, and with
+        ``strict`` the triggering operation fails
+        (:class:`InvalidationError`) rather than acking a write whose
+        old copies may still be served — a slow peer keeps its replica;
+        only the version floor on *recovery* is not enough.
+        """
+        targets = sorted(set(holders) | self._pending_invals.get(key, set()))
+        if not targets:
             return
         tr = self.obs.tracer
         start = clock()
-        results = await asyncio.gather(
-            *[self._inval_one(h, key, version) for h in holders],
-            return_exceptions=True,
-        )
-        failures = sum(1 for r in results if r is not True)
+        failed = await self._inval_round(targets, key, version)
+        if failed:
+            # one immediate retry: pool contention or a slow peer, not
+            # necessarily a dead one
+            failed = await self._inval_round(failed, key, version)
         registry = self.obs.registry
         if registry.enabled:
             registry.counter(
                 "repro_cluster_invalidations_total",
                 help="INVAL messages fanned out to replica holders",
                 node=self.name,
-            ).inc(len(holders))
-            if failures:
+            ).inc(len(targets))
+            if failed:
                 registry.counter(
                     "repro_cluster_inval_failures_total",
-                    help="INVAL sends that failed (peer down or timed out)",
+                    help="INVAL sends with no ack after retry",
                     node=self.name,
-                ).inc(failures)
-        if failures:
+                ).inc(len(failed))
+        if failed:
+            self._pending_invals[key] = set(failed)
             log.warning(
-                "%s: %d/%d INVAL(s) for %r failed; the peer is unreachable "
-                "and will reject stale pushes by version floor on recovery",
-                self.name, failures, len(holders), key,
+                "%s: %d/%d INVAL(s) for %r unacked after retry; holders "
+                "%s parked pending — no write to the key acks until they "
+                "answer or leave the cluster",
+                self.name, len(failed), len(targets), key, failed,
             )
+        else:
+            self._pending_invals.pop(key, None)
         if tr.enabled:
             tr.emit(
                 "INVAL", cat=CAT_CLUSTER, ts=start, pid=self.lane, tid=0,
                 dur=clock() - start,
-                args={"key": key, "holders": len(holders)},
+                args={"key": key, "holders": len(targets)},
             )
+        if failed and strict:
+            raise InvalidationError(
+                f"inval fan-out incomplete for {key!r}: no ack from "
+                f"{','.join(failed)}"
+            )
+
+    async def _inval_round(self, targets, key: str, version: int) -> list:
+        """One concurrent INVAL round; returns the holders that did not ack."""
+        results = await asyncio.gather(
+            *[self._inval_one(h, key, version) for h in targets],
+            return_exceptions=True,
+        )
+        return [h for h, r in zip(targets, results) if r is not True]
 
     async def _inval_one(self, holder: str, key: str, version: int) -> bool:
         peer = self._peers.get(holder)
         if peer is None:
-            return False
+            # not a member any more: it left read routing with its peer
+            # registration, so there is no replica left to invalidate
+            return True
         return await asyncio.wait_for(
             peer.inval(key, version), self.peer_timeout
         )
 
     async def _replicate(self, key: str, version: int, value: bytes) -> None:
-        """Push the freshly stored value to the key's ring successors."""
+        """Push the freshly stored value to the key's ring successors.
+
+        Each target is recorded as a holder *before* its push: a timed
+        out push may still be delivered and stored (cancellation does
+        not undeliver the request bytes), and an untracked holder would
+        be invisible to every future INVAL fan-out — a stale replica no
+        write could ever clear.  Only a confirmed ``STALE`` rejection
+        proves the peer kept nothing and untracks it; after a transport
+        failure the possibly-phantom holder stays, costing at worst one
+        spurious INVAL on the key's next write.
+        """
         targets = [
             n for n in self.ring.preference(key, self.replicas)
             if n != self.name and n in self._peers
@@ -522,21 +679,23 @@ class ClusterNode:
         tr = self.obs.tracer
         start = clock()
         for target in targets:
+            self.directory.note_replicate(key, target)
             try:
                 accepted = await asyncio.wait_for(
                     self._peers[target].repl(key, version, value),
                     self.peer_timeout,
                 )
             except (ConnectionError, asyncio.TimeoutError, OSError):
-                accepted = False
-            if accepted:
-                self.directory.note_replicate(key, target)
+                accepted = None  # unknown: the push may still land
+            if accepted is False:
+                self.directory.note_replica_evicted(key, target)
             if self.obs.registry.enabled:
                 self.obs.registry.counter(
                     "repro_cluster_replications_total",
                     help="replica pushes, by acceptance",
                     node=self.name,
-                    accepted=str(accepted).lower(),
+                    accepted=("unknown" if accepted is None
+                              else str(accepted).lower()),
                 ).inc()
         if tr.enabled:
             tr.emit(
@@ -625,6 +784,9 @@ class ClusterNode:
             "directory_holders": self.directory.tracked_holders,
             "protocol_races": self.directory.races,
             "versions_tracked": len(self.versions),
+            "pending_invals": sum(
+                len(h) for h in self._pending_invals.values()
+            ),
             "peers": list(self.peer_names()),
             "replication_factor": self.replicas,
         }

@@ -138,6 +138,14 @@ class CacheClient:
                         reader.readexactly(length + 1), self.timeout
                     )
                     body = body[:-1]
+            except asyncio.CancelledError:
+                # cancelled from outside (e.g. a caller's wait_for) with
+                # the request possibly already on the wire: the pending
+                # response would poison the next request on this
+                # connection, so tear it down instead of repooling it
+                if conn is not None:
+                    self._discard(conn)
+                raise
             except (ConnectionError, asyncio.IncompleteReadError,
                     asyncio.TimeoutError, OSError) as exc:
                 if conn is not None:  # dial failures never joined the pool

@@ -22,6 +22,7 @@ from repro.coherence.distributed import (
     legal_events,
 )
 from repro.coherence.states import Event, State
+from repro.service.client import CacheClient, ServerError
 
 
 def run(coro):
@@ -427,6 +428,190 @@ class TestMembership:
                 name = next(iter(cluster.nodes))
                 with pytest.raises(ValueError):
                     await cluster.remove_node(name)
+
+        run(body())
+
+
+class TestInvalFencing:
+    """A holder that does not ack an INVAL must fence the write, not be
+    logged over — the acked write would otherwise be stale-readable."""
+
+    def test_unacked_inval_fails_the_write(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                await client.set("fk", b"v1")
+                owner_name, holder_name = cluster.ring.preference("fk", 2)
+                owner = cluster.nodes[owner_name]
+                holder = cluster.nodes[holder_name]
+                assert holder.replica_store.get("fk") == b"v1"
+
+                async def never_acks(h, key, version):
+                    return False
+
+                original = owner._inval_one
+                owner._inval_one = never_acks
+                with pytest.raises(ServerError):
+                    await client.set("fk", b"v2")
+                # not acked, and nothing moved: the replica still equals
+                # the last *acked* value, so no reader can go stale
+                assert owner.store.get("fk") == b"v1"
+                assert holder.replica_store.get("fk") == b"v1"
+                assert holder_name in owner._pending_invals.get("fk", ())
+                # the peer recovers: the next write clears the debt first
+                owner._inval_one = original
+                assert await client.set("fk", b"v2")
+                assert "fk" not in owner._pending_invals
+                assert await client.get("fk") == b"v2"
+                assert holder.replica_store.get("fk") in (b"v2", None)
+
+        run(body())
+
+    def test_debt_to_a_departed_member_clears(self):
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                name = cluster.ring.owner("dk")
+                node = cluster.nodes[name]
+                # a holder that left the cluster also left read routing:
+                # nothing of it remains to invalidate
+                node._pending_invals["dk"] = {"gone-node"}
+                assert await client.set("dk", b"v") is True
+                assert "dk" not in node._pending_invals
+
+        run(body())
+
+    def test_relinquish_hands_unacked_holders_to_the_adopter(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                await client.set("ik", b"v1")
+                owner_name, holder_name = cluster.ring.preference("ik", 2)
+                owner = cluster.nodes[owner_name]
+
+                async def never_acks(h, key, version):
+                    return False
+
+                owner._inval_one = never_acks
+                failed = await owner.relinquish_key("ik")
+                assert failed == (holder_name,)
+                third = next(n for n in cluster.nodes.values()
+                             if n.name != owner_name)
+                third.inherit_pending("ik", failed)
+                assert holder_name in third._pending_invals["ik"]
+                third.inherit_pending("ik2", (third.name,))  # self: skipped
+                assert "ik2" not in third._pending_invals
+
+        run(body())
+
+
+class TestPessimisticReplication:
+    """A timed-out REPL push may still land at the peer — the holder must
+    be tracked before the push, not only on a confirmed accept."""
+
+    def test_timed_out_push_keeps_holder_tracked(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                owner_name, holder_name = cluster.ring.preference("pk", 2)
+                owner = cluster.nodes[owner_name]
+
+                async def push_times_out(key, version, value):
+                    raise asyncio.TimeoutError
+
+                owner._peers[holder_name].repl = push_times_out
+                assert await client.set("pk", b"v1")
+                # outcome unknown: the holder stays tracked so the next
+                # write's INVAL fan-out reaches a late-landing copy
+                assert holder_name in owner.directory.holders_of("pk")
+
+        run(body())
+
+    def test_confirmed_stale_push_untracks_the_holder(self):
+        async def body():
+            async with LocalCluster(3, admission="always", replicas=2,
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                owner_name, holder_name = cluster.ring.preference("sk", 2)
+                owner = cluster.nodes[owner_name]
+                holder = cluster.nodes[holder_name]
+                holder.replica_store.invalidate("sk", 10 ** 6)
+                assert await client.set("sk", b"v1")
+                # STALE is a proof the peer kept nothing
+                assert holder_name not in owner.directory.holders_of("sk")
+                assert owner.directory.races == 0
+
+        run(body())
+
+
+class TestMigrationGuards:
+    def test_maybe_adopt_defers_to_fresh_writes(self):
+        cluster = LocalCluster(1, admission="always")
+        node = next(iter(cluster.nodes.values()))
+        node.versions["mk"] = 5  # the new owner already took a client write
+        assert node.maybe_adopt("mk", b"migrated", 3) is False
+        assert node.store.get("mk") is None
+        assert node.maybe_adopt("other", b"migrated", 3) is True
+        assert node.store.get("other") == b"migrated"
+
+
+class TestFloorAging:
+    def test_young_floors_survive_the_count_bound(self):
+        rs = ReplicaStore(1)  # count bound would be 4
+        for i in range(10):
+            rs.invalidate(f"k{i}", 5)
+        # younger than floor_min_age: kept, so a delayed REPL of any
+        # invalidated key still cannot resurrect an old value
+        assert len(rs._floor) == 10
+        for i in range(10):
+            assert rs.put(f"k{i}", 4, b"late", "o") == (False, [])
+
+    def test_aged_floors_are_evicted_past_the_bound(self):
+        rs = ReplicaStore(1, floor_min_age=0.0)
+        for i in range(10):
+            rs.invalidate(f"k{i}", 5)
+        assert len(rs._floor) <= 4
+
+
+class TestVersionCompaction:
+    def test_dead_counters_fold_into_the_base(self):
+        cluster = LocalCluster(1, admission="always",
+                               data_capacity_per_node=8)
+        node = next(iter(cluster.nodes.values()))
+        node.store.force_set("live", b"v")
+        node.versions["live"] = 3
+        node.versions.update({f"dead:{i}": i + 1 for i in range(2000)})
+        node._compact_versions()
+        assert len(node.versions) < 100  # the dead tail is gone
+        assert node.versions["live"] == 3  # stored keys keep their counter
+        # monotonicity survives the prune: every future assignment starts
+        # above every version this owner ever handed out
+        assert node.version_of("dead:1999") >= 2000
+        assert node.version_of("never-seen") >= 2000
+
+
+class TestClientCancellation:
+    def test_cancelled_request_tears_down_its_connection(self):
+        async def body():
+            async def never_answer(reader, writer):
+                await asyncio.sleep(30)
+
+            server = await asyncio.start_server(never_answer, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            client = CacheClient("127.0.0.1", port, pool_size=1)
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(client.ping(), 0.2)
+            # the connection with a request in flight was discarded, not
+            # repooled — a late response can never poison the next request
+            assert client._open == 0
+            assert client._pool.qsize() == 0
+            await client.close()
+            server.close()
+            await server.wait_closed()
 
         run(body())
 
