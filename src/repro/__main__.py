@@ -24,10 +24,11 @@ dispatched to :mod:`repro.service.cli`::
     python -m repro serve --shards 4 --data-capacity 4096
     python -m repro bench-service --refs 20000 --json BENCH_service.json
 
-Static checks (see ``docs/devtools.md``) live under two more subcommands
-dispatched to :mod:`repro.devtools.cli`::
+Static checks (see ``docs/devtools.md``) live under three more
+subcommands dispatched to :mod:`repro.devtools.cli`::
 
     python -m repro lint src
+    python -m repro analyze src --baseline analyze-baseline.json
     python -m repro check-protocol --format json
 
 Observability (see ``docs/observability.md``) adds a live dashboard and

@@ -161,9 +161,11 @@ class ClusterClient:
             client = self._client_for(owner)
             try:
                 value = await client.get(key)
+                # repro: atomic=_down/_failures are advisory routing hints; a stale check only costs one extra try, never consistency
                 self._ok(owner)
                 return value
             except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
+                # repro: atomic=same advisory-health invariant as the _ok above
                 self._fail(owner)
                 last_exc = exc
         raise NodeDownError(

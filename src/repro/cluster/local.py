@@ -27,6 +27,8 @@ ring:
 
 from __future__ import annotations
 
+import asyncio
+
 from ..obs import Observability
 from ..obs.logging import get_logger
 from ..service.sharding import ShardedStore
@@ -69,6 +71,10 @@ class LocalCluster:
         self.nodes = {}  # name -> ClusterNode
         self._next_index = 0
         self._clients = []
+        # serializes membership changes: a join and a leave migrating the
+        # same span concurrently could relinquish a key to a node that is
+        # itself mid-departure
+        self._membership_lock = asyncio.Lock()
         for _ in range(num_nodes):
             self._build_node()
 
@@ -104,11 +110,12 @@ class LocalCluster:
 
     async def start(self) -> None:
         """Start every node, join them to the ring, wire the peer mesh."""
-        for node in self.nodes.values():
-            await node.start()
-        for name in self.nodes:
-            self.ring.add(name)
-        self._wire_peers()
+        async with self._membership_lock:
+            for node in self.nodes.values():
+                await node.start()
+            for name in self.nodes:
+                self.ring.add(name)
+            self._wire_peers()
         log.info("cluster up: %d node(s) x %d entries, replicas=%d",
                  len(self.nodes), self.data_capacity_per_node, self.replicas)
 
@@ -137,78 +144,81 @@ class LocalCluster:
         Returns a migration report: keys examined/moved and the moved
         fraction (bounded near ``1/(N+1)`` by the ring).
         """
-        node = self._build_node(name)
-        await node.start()
-        for other in self.nodes.values():
-            if other.name != node.name:
-                other.connect_peer(node.name, node.host, node.port)
-                node.connect_peer(other.name, other.host, other.port)
-        for client in self._clients:
-            client.add_node(node.name, node.host, node.port)
-        self.ring.add(node.name)
-        examined = moved = 0
-        for other in list(self.nodes.values()):
-            if other.name == node.name:
-                continue
-            for key in other.store.keys():
-                examined += 1
-                if self.ring.owner(key) != node.name:
+        async with self._membership_lock:
+            node = self._build_node(name)
+            await node.start()
+            for other in self.nodes.values():
+                if other.name != node.name:
+                    other.connect_peer(node.name, node.host, node.port)
+                    node.connect_peer(other.name, other.host, other.port)
+            for client in self._clients:
+                client.add_node(node.name, node.host, node.port)
+            self.ring.add(node.name)
+            examined = moved = 0
+            for other in list(self.nodes.values()):
+                if other.name == node.name:
                     continue
-                value = other.store.get(key)
-                if value is None:
-                    continue
-                version = other.version_of(key)
-                # relinquish first (INVAL the old value's replica holders,
-                # drop the old copy), adopt after: by adoption time no
-                # replica of the migrated value survives untracked
-                failed = await other.relinquish_key(key)
-                node.inherit_pending(key, failed)
-                # a racing client write to the already-published new owner
-                # wins over the migrated value (lost-update guard)
-                if node.maybe_adopt(key, value, version):
-                    await node._flush_evictions()
-                moved += 1
-        report = {
-            "node": node.name,
-            "examined": examined,
-            "moved": moved,
-            "moved_fraction": moved / examined if examined else 0.0,
-        }
-        log.info("join %s: moved %d/%d key(s)", node.name, moved, examined)
-        return report
+                for key in other.store.keys():
+                    examined += 1
+                    if self.ring.owner(key) != node.name:
+                        continue
+                    value = other.store.get(key)
+                    if value is None:
+                        continue
+                    version = other.version_of(key)
+                    # relinquish first (INVAL the old value's replica
+                    # holders, drop the old copy), adopt after: by adoption
+                    # time no replica of the migrated value survives
+                    # untracked
+                    failed = await other.relinquish_key(key)
+                    node.inherit_pending(key, failed)
+                    # a racing client write to the already-published new
+                    # owner wins over the migrated value (lost-update guard)
+                    if node.maybe_adopt(key, value, version):
+                        await node._flush_evictions()
+                    moved += 1
+            report = {
+                "node": node.name,
+                "examined": examined,
+                "moved": moved,
+                "moved_fraction": moved / examined if examined else 0.0,
+            }
+            log.info("join %s: moved %d/%d key(s)", node.name, moved, examined)
+            return report
 
     async def remove_node(self, name: str, drain_timeout: float = 5.0) -> dict:
         """Drain ``name``, migrate its keys to ring successors, stop it."""
-        node = self.nodes.get(name)
-        if node is None:
-            raise ValueError(f"no such node {name!r}")
-        if len(self.nodes) == 1:
-            raise ValueError("cannot remove the last node of the cluster")
-        node.draining = True
-        self.ring.remove(name)
-        moved = 0
-        for key in node.store.keys():
-            value = node.store.get(key)
-            if value is None:
-                continue
-            version = node.version_of(key)
-            new_owner = self.nodes[self.ring.owner(key)]
-            failed = await node.relinquish_key(key)
-            new_owner.inherit_pending(key, failed)
-            # the ring already routes to the successor: a write that beat
-            # the migration there must not be clobbered
-            if new_owner.maybe_adopt(key, value, version):
-                await new_owner._flush_evictions()
-            moved += 1
-        for client in self._clients:
-            await client.remove_node(name)
-        for other in self.nodes.values():
-            if other.name != name:
-                await other.disconnect_peer(name)
-        await node.stop(drain_timeout)
-        del self.nodes[name]
-        log.info("leave %s: migrated %d key(s)", name, moved)
-        return {"node": name, "moved": moved}
+        async with self._membership_lock:
+            node = self.nodes.get(name)
+            if node is None:
+                raise ValueError(f"no such node {name!r}")
+            if len(self.nodes) == 1:
+                raise ValueError("cannot remove the last node of the cluster")
+            node.draining = True
+            self.ring.remove(name)
+            moved = 0
+            for key in node.store.keys():
+                value = node.store.get(key)
+                if value is None:
+                    continue
+                version = node.version_of(key)
+                new_owner = self.nodes[self.ring.owner(key)]
+                failed = await node.relinquish_key(key)
+                new_owner.inherit_pending(key, failed)
+                # the ring already routes to the successor: a write that
+                # beat the migration there must not be clobbered
+                if new_owner.maybe_adopt(key, value, version):
+                    await new_owner._flush_evictions()
+                moved += 1
+            for client in self._clients:
+                await client.remove_node(name)
+            for other in self.nodes.values():
+                if other.name != name:
+                    await other.disconnect_peer(name)
+            await node.stop(drain_timeout)
+            del self.nodes[name]
+            log.info("leave %s: migrated %d key(s)", name, moved)
+            return {"node": name, "moved": moved}
 
     # -- lifecycle / introspection ---------------------------------------------
 

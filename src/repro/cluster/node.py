@@ -220,6 +220,15 @@ class PeerClient(CacheClient):
             raise ProtocolError(f"unexpected response {tokens!r}")
         return json.loads(body.decode("utf-8"))
 
+    async def drain(self) -> bool:
+        """Ask the peer to stop accepting connections and drain.
+
+        The peer acks before it begins shutting down; in-flight requests
+        on other connections still complete.
+        """
+        tokens, _ = await self._request(b"DRAIN\n")
+        return tokens[0] == "DRAINING"
+
 
 class ClusterServer(CacheServer):
     """The service protocol plus the cluster verbs, bound to one node."""
@@ -509,16 +518,30 @@ class ClusterNode:
         Returns the holders whose INVAL ack is still missing, for the
         adopting owner to inherit (:meth:`inherit_pending`) — this node
         is leaving the key behind and can no longer collect the debt.
+
+        Takes the key's write lock like :meth:`handle_set` /
+        :meth:`handle_delete`: a client write racing the migration must
+        either complete before the relinquish (and have its replicas
+        invalidated here) or start after it (and be routed by the ring).
+        Interleaving with a half-done write could fold a version counter
+        the write is about to re-publish, breaking monotonicity.
         """
-        version = self.version_of(key) + 1
-        holders = self.directory.note_dropped(key)
-        await self._invalidate(key, version, holders, strict=False)
-        self.store.delete(key)
-        # fold into the base: were this node to own the key again, its
-        # versions must not restart below a floor some peer recorded
-        self._version_base = max(self._version_base, self.versions.pop(key, 0))
-        await self._flush_evictions()
-        return tuple(sorted(self._pending_invals.pop(key, ())))
+        lock = self._key_lock(key)
+        async with lock:
+            try:
+                version = self.version_of(key) + 1
+                holders = self.directory.note_dropped(key)
+                await self._invalidate(key, version, holders, strict=False)
+                self.store.delete(key)
+                # fold into the base: were this node to own the key again,
+                # its versions must not restart below a peer-recorded floor
+                self._version_base = max(
+                    self._version_base, self.versions.pop(key, 0)
+                )
+                await self._flush_evictions()
+                return tuple(sorted(self._pending_invals.pop(key, ())))
+            finally:
+                self._unlock(key, lock)
 
     def inherit_pending(self, key: str, holders) -> None:
         """Adopt a relinquishing owner's unacked-INVAL debt for ``key``.
@@ -618,16 +641,30 @@ class ClusterNode:
                     help="INVAL sends with no ack after retry",
                     node=self.name,
                 ).inc(len(failed))
+        # Merge, never overwrite: the eviction path fans out without the
+        # key's write lock, so another round for the same key may have
+        # parked debt of its own while this one awaited its acks.
+        # Subtracting this round's acked holders and unioning its failed
+        # ones is commutative across rounds; assigning (or popping) the
+        # set wholesale would silently forgive a concurrent round's
+        # unacked INVAL.
+        acked = set(targets) - set(failed)
+        pend = self._pending_invals.get(key)
         if failed:
-            self._pending_invals[key] = set(failed)
+            if pend is None:
+                pend = self._pending_invals.setdefault(key, set())
+            pend.difference_update(acked)
+            pend.update(failed)
             log.warning(
                 "%s: %d/%d INVAL(s) for %r unacked after retry; holders "
                 "%s parked pending — no write to the key acks until they "
                 "answer or leave the cluster",
                 self.name, len(failed), len(targets), key, failed,
             )
-        else:
-            self._pending_invals.pop(key, None)
+        elif pend is not None:
+            pend.difference_update(acked)
+            if not pend:
+                del self._pending_invals[key]
         if tr.enabled:
             tr.emit(
                 "INVAL", cat=CAT_CLUSTER, ts=start, pid=self.lane, tid=0,

@@ -1,15 +1,20 @@
 """Static-analysis devtools for the reuse-cache reproduction.
 
-Two engines guard the correctness-critical surfaces of the repo:
+Three engines guard the correctness-critical surfaces of the repo:
 
 * :mod:`repro.devtools.lint` — an AST-based lint framework with
   repo-specific rules (determinism, async hygiene, layering); run it with
   ``repro lint src``.
+* :mod:`repro.devtools.flow` — flow-aware whole-repo analysis: per-function
+  CFGs with suspension points, a project call graph and a shared-state
+  model, powering the FLOW001 async-atomicity, FLOW002 lock-discipline
+  and FLOW003 wire-protocol-conformance checks; run it with
+  ``repro analyze src``.
 * :mod:`repro.devtools.protocol_check` — a model checker that exhaustively
   enumerates every ``(State, Event)`` pair against the executable
   TO-MSI/TO-MOSI coherence tables; run it with ``repro check-protocol``.
 
-Both are wired into CI as a blocking job (see ``.github/workflows/ci.yml``)
+All are wired into CI as a blocking job (see ``.github/workflows/ci.yml``)
 and documented in ``docs/devtools.md``.  This package sits at the very top
 of the layering order: it may import any ``repro`` package, and nothing
 below the CLI may import it.
@@ -17,6 +22,7 @@ below the CLI may import it.
 
 from __future__ import annotations
 
+from .flow import FLOW_RULES, FlowEngine, run_analyze
 from .lint import Finding, LintEngine, Rule, default_rules, run_lint
 from .protocol_check import (
     ProtocolFinding,
@@ -28,10 +34,13 @@ from .protocol_check import (
 )
 
 __all__ = [
+    "FLOW_RULES",
     "Finding",
+    "FlowEngine",
     "LintEngine",
     "Rule",
     "default_rules",
+    "run_analyze",
     "run_lint",
     "ProtocolFinding",
     "ProtocolSpec",

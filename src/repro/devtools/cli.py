@@ -1,10 +1,15 @@
-"""CLI for the static checks: ``repro lint`` / ``repro check-protocol``.
+"""CLI for the static checks: ``repro lint`` / ``analyze`` / ``check-protocol``.
 
-Both commands exit 0 when clean and 1 when they report findings, so CI
-can gate on them (the ``lint`` job in ``.github/workflows/ci.yml`` runs
-both before the test matrix).  ``--format json`` emits the
+All three commands exit 0 when clean and 1 when they report findings, so
+CI can gate on them (the ``lint`` job in ``.github/workflows/ci.yml``
+runs all of them before the test matrix).  ``--format json`` emits the
 machine-readable reports whose schemas are pinned by
-``tests/test_lint.py`` and ``tests/test_protocol_check.py``.
+``tests/test_lint.py``, ``tests/test_flow.py`` and
+``tests/test_protocol_check.py``.
+
+``repro analyze`` additionally takes ``--baseline <file>`` — the
+committed ratchet that suppresses recorded findings but fails when any
+(rule, file) count grows; see :mod:`repro.devtools.flow.cli`.
 """
 
 from __future__ import annotations
@@ -15,10 +20,12 @@ import sys
 from pathlib import Path
 
 from . import protocol_check
-from .lint import RULES, default_rules, format_human, format_json, run_lint
+from .flow import FLOW_RULES
+from .flow.cli import apply_baseline, load_baseline, run_analyze
+from .lint import RULES, format_human, format_json, run_lint
 
 #: CLI names handled by this module (dispatched from repro.__main__)
-DEVTOOLS_COMMANDS = ("lint", "check-protocol")
+DEVTOOLS_COMMANDS = ("lint", "analyze", "check-protocol")
 
 
 def build_devtools_parser() -> argparse.ArgumentParser:
@@ -46,6 +53,32 @@ def build_devtools_parser() -> argparse.ArgumentParser:
         help="print the registered rules and exit",
     )
 
+    analyze = sub.add_parser(
+        "analyze",
+        help="run the flow analyses (FLOW001-FLOW003): async-atomicity, "
+             "lock discipline, wire-protocol conformance",
+    )
+    analyze.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to analyze (default: src, else cwd)",
+    )
+    analyze.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
+    analyze.add_argument(
+        "--select", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    analyze.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help="suppress findings recorded in FILE; fail only when a "
+             "(rule, file) count grows",
+    )
+    analyze.add_argument(
+        "--list-rules", action="store_true",
+        help="print the registered rules and exit",
+    )
+
     check = sub.add_parser(
         "check-protocol",
         help="model-check the TO-MSI / TO-MOSI coherence tables",
@@ -64,20 +97,68 @@ def default_lint_paths() -> list:
     return ["src"] if Path("src").is_dir() else ["."]
 
 
+def rule_description(cls) -> str:
+    """One-line description of a rule: first docstring line, else attr."""
+    doc = (cls.__doc__ or "").strip()
+    if doc:
+        return doc.splitlines()[0].strip()
+    return cls.description
+
+
+def print_rules(rule_map) -> None:
+    """``--list-rules`` output: id, slug, severity, one-line description."""
+    for cls in rule_map.values():
+        print(
+            f"{cls.id}  {cls.name:<24} [{cls.severity}] "
+            f"{rule_description(cls)}"
+        )
+
+
+def _parse_select(raw):
+    if not raw:
+        return None
+    return {code.strip().upper() for code in raw.split(",")}
+
+
 def lint_main(args) -> int:
     """Entry for ``repro lint``; returns the process exit code."""
     if args.list_rules:
-        for cls in RULES.values():
-            print(f"{cls.id}  {cls.name:<22} [{cls.severity}] {cls.description}")
+        print_rules(RULES)
         return 0
-    select = None
-    if args.select:
-        select = {code.strip().upper() for code in args.select.split(",")}
     try:
-        findings, engine = run_lint(args.paths or default_lint_paths(), select)
+        findings, engine = run_lint(
+            args.paths or default_lint_paths(), _parse_select(args.select)
+        )
     except ValueError as exc:  # unknown --select code
         print(str(exc), file=sys.stderr)
         return 2
+    if args.format == "json":
+        print(format_json(findings, engine.files_checked, engine.rules))
+    else:
+        print(format_human(findings, engine.files_checked))
+    return 1 if findings else 0
+
+
+def analyze_main(args) -> int:
+    """Entry for ``repro analyze``; returns the process exit code."""
+    if args.list_rules:
+        print_rules(FLOW_RULES)
+        return 0
+    try:
+        findings, engine = run_analyze(
+            args.paths or default_lint_paths(), _parse_select(args.select)
+        )
+    except ValueError as exc:  # unknown --select code
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
+        engine.suppressed += suppressed
     if args.format == "json":
         print(format_json(findings, engine.files_checked, engine.rules))
     else:
@@ -105,6 +186,8 @@ def main(argv=None) -> int:
     args = build_devtools_parser().parse_args(argv)
     if args.command == "lint":
         return lint_main(args)
+    if args.command == "analyze":
+        return analyze_main(args)
     return check_protocol_main(args)
 
 

@@ -1,0 +1,46 @@
+"""Flow-aware static analysis: async-atomicity, lock discipline, protocol.
+
+The package behind ``repro analyze``.  Layering:
+
+* :mod:`.cfg` — per-function control-flow graphs with suspension points;
+* :mod:`.callgraph` — project class/method index + call resolution;
+* :mod:`.shared` — the conservative shared-state model and the
+  ``# repro: atomic=`` / ``# repro: shared`` annotation contract;
+* :mod:`.checks` — FLOW001 (async-atomicity dataflow), FLOW002 (lock
+  discipline), FLOW003 (wire-protocol conformance);
+* :mod:`.protocol_spec` — the declarative verb spec FLOW003 diffs against;
+* :mod:`.cli` — engine façade, JSON/human output, baseline ratchet.
+"""
+
+from __future__ import annotations
+
+from .callgraph import CallGraph
+from .cfg import build_cfg, iter_functions
+from .checks import (
+    FLOW_RULES,
+    ProjectAnalysis,
+    default_flow_rules,
+    extract_handled_verbs,
+    extract_sent_verbs,
+)
+from .cli import FlowEngine, apply_baseline, finding_counts, load_baseline, run_analyze
+from .shared import FileAnnotations, Loc, SharedModel
+
+__all__ = [
+    "CallGraph",
+    "FLOW_RULES",
+    "FileAnnotations",
+    "FlowEngine",
+    "Loc",
+    "ProjectAnalysis",
+    "SharedModel",
+    "apply_baseline",
+    "build_cfg",
+    "default_flow_rules",
+    "extract_handled_verbs",
+    "extract_sent_verbs",
+    "finding_counts",
+    "iter_functions",
+    "load_baseline",
+    "run_analyze",
+]

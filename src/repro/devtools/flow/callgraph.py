@@ -1,0 +1,187 @@
+"""Project call graph: resolve ``self.``-method and module-level calls.
+
+The flow checks inline *one level* of callee effects (a read of shared
+state performed inside ``self.version_of(key)`` must count as a read at
+the call site), so the engine needs to know which function a call lands
+in.  Resolution is deliberately conservative and purely syntactic:
+
+* ``self.m(...)`` inside a method of class ``C`` resolves through ``C``'s
+  method table, then through its project base classes (name-matched:
+  same module first, else a unique class of that name anywhere in the
+  analyzed tree — the repo convention of unique public class names makes
+  this exact in practice);
+* ``super().m(...)`` resolves starting at the first base class;
+* ``f(...)`` resolves to a module-level function of the same module;
+* anything else (imported callables, attribute chains on locals, stdlib)
+  resolves to ``None`` and contributes no effects.
+
+Unresolved calls are *not* treated as clobbering the world — that would
+drown every real finding; the shared-state model already assumes any
+suspension can interleave arbitrary shared mutations, which is the sound
+part of the approximation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from .cfg import dotted_name
+
+
+@dataclass
+class FuncInfo:
+    """One function or method of the analyzed project."""
+
+    module: str
+    cls: str  # "" for module-level functions
+    name: str
+    node: object
+    is_async: bool
+
+    @property
+    def qualname(self) -> str:
+        return f"{self.cls}.{self.name}" if self.cls else self.name
+
+    @property
+    def key(self) -> tuple:
+        return (self.module, self.cls, self.name)
+
+
+@dataclass
+class ClassInfo:
+    """One class of the analyzed project."""
+
+    module: str
+    name: str
+    bases: tuple  # base-class *names* (dotted names flattened to last part)
+    methods: dict = field(default_factory=dict)  # name -> FuncInfo
+    lineno: int = 0
+
+    @property
+    def key(self) -> tuple:
+        return (self.module, self.name)
+
+
+class CallGraph:
+    """Class/method/function index plus call resolution for a project."""
+
+    def __init__(self, project):
+        """``project`` is an iterable of ``(module_name, ast_tree)``."""
+        self.classes = {}  # (module, name) -> ClassInfo
+        self.by_name = {}  # class name -> [ClassInfo]
+        self.functions = {}  # (module, "", name) -> FuncInfo
+        for module, tree in project:
+            self._index_module(module, tree)
+
+    # -- indexing --------------------------------------------------------------
+
+    def _index_module(self, module: str, tree) -> None:
+        for node in tree.body:
+            if isinstance(node, ast.ClassDef):
+                bases = []
+                for base in node.bases:
+                    name = dotted_name(base)
+                    if name:
+                        bases.append(name.rsplit(".", 1)[-1])
+                info = ClassInfo(
+                    module=module, name=node.name, bases=tuple(bases),
+                    lineno=node.lineno,
+                )
+                for child in node.body:
+                    if isinstance(
+                        child, (ast.FunctionDef, ast.AsyncFunctionDef)
+                    ):
+                        info.methods[child.name] = FuncInfo(
+                            module=module,
+                            cls=node.name,
+                            name=child.name,
+                            node=child,
+                            is_async=isinstance(child, ast.AsyncFunctionDef),
+                        )
+                self.classes[info.key] = info
+                self.by_name.setdefault(node.name, []).append(info)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = FuncInfo(
+                    module=module, cls="", name=node.name, node=node,
+                    is_async=isinstance(node, ast.AsyncFunctionDef),
+                )
+                self.functions[info.key] = info
+
+    # -- class machinery -------------------------------------------------------
+
+    def resolve_class(self, name: str, module: str):
+        """The project :class:`ClassInfo` called ``name``, seen from ``module``.
+
+        Prefers a class of that name defined in ``module``; otherwise a
+        project-unique class of that name; else ``None`` (external base).
+        """
+        local = self.classes.get((module, name))
+        if local is not None:
+            return local
+        candidates = self.by_name.get(name, [])
+        return candidates[0] if len(candidates) == 1 else None
+
+    def class_chain(self, cls: ClassInfo):
+        """``cls`` followed by its project base classes, MRO-ish order."""
+        chain, seen, queue = [], set(), [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.key in seen:
+                continue
+            seen.add(current.key)
+            chain.append(current)
+            for base in current.bases:
+                resolved = self.resolve_class(base, current.module)
+                if resolved is not None:
+                    queue.append(resolved)
+        return chain
+
+    def find_method(self, cls: ClassInfo, name: str, skip_self: bool = False):
+        """Look ``name`` up along the class chain (``skip_self`` = super())."""
+        chain = self.class_chain(cls)
+        if skip_self and chain:
+            chain = chain[1:]
+        for info in chain:
+            if name in info.methods:
+                return info.methods[name]
+        return None
+
+    def has_async_method(self, cls: ClassInfo) -> bool:
+        """True when the class (or a project base) defines an async method."""
+        return any(
+            method.is_async
+            for info in self.class_chain(cls)
+            for method in info.methods.values()
+        )
+
+    # -- call resolution -------------------------------------------------------
+
+    def resolve_call(self, call, module: str, cls_name: str):
+        """The :class:`FuncInfo` a call lands in, or ``None``.
+
+        ``cls_name`` is the class whose method contains the call (or "").
+        """
+        func = call.func
+        # super().m(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Call)
+            and dotted_name(func.value.func) == "super"
+            and cls_name
+        ):
+            cls = self.classes.get((module, cls_name))
+            if cls is not None:
+                return self.find_method(cls, func.attr, skip_self=True)
+            return None
+        name = dotted_name(func)
+        if not name:
+            return None
+        if name.startswith("self.") and name.count(".") == 1 and cls_name:
+            cls = self.classes.get((module, cls_name))
+            if cls is not None:
+                return self.find_method(cls, name.split(".", 1)[1])
+            return None
+        if "." not in name:
+            return self.functions.get((module, "", name))
+        return None

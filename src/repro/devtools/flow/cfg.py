@@ -1,0 +1,375 @@
+"""Per-function control-flow graphs with suspension points.
+
+The flow analyses (:mod:`repro.devtools.flow.checks`) reason about what
+can interleave *between* two statements of an ``async def``.  The unit of
+interleaving under asyncio is the suspension point — ``await``, each
+``async for`` iteration, ``async with`` enter/exit — so the CFG is built
+at statement granularity with every node annotated with:
+
+* ``suspends`` — the node contains an ``await`` expression (or is the
+  header of an ``async for`` / ``async with``, whose protocol methods are
+  awaited);
+* ``withs`` — the stack of enclosing ``with`` / ``async with`` context
+  managers as ``(normalized name, with_id, is_async)`` triples.  Two
+  nodes share a ``with_id`` exactly when they sit inside the *same*
+  ``with`` statement, which is what "a lock held across the gap" means
+  structurally;
+* ``conditions`` — the enclosing branch/loop test expressions, used for
+  control-dependence (a write guarded by ``if self.x:`` depends on the
+  read of ``self.x``);
+* ``in_finally`` — the node sits in a ``finally`` block (lock-release
+  discipline, FLOW002);
+* ``scan_nodes`` — the AST subtrees that belong to this CFG node.  For a
+  compound statement that is only its header (an ``If`` node owns its
+  ``test``; the body statements are separate CFG nodes).
+
+Edges are the usual structural ones.  ``try`` is approximated: every
+statement of the body may transfer to each handler head, and handlers and
+body both reach the ``finally`` — precise exception flow is not needed
+for a conservative interleaving analysis.  Exits (``return``, ``raise``,
+falling off the end) simply have no successors.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+
+def dotted_name(node) -> str:
+    """``a.b.c`` for a Name/Attribute chain; ``""`` when not a plain chain."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def normalized_context_name(expr, assigns=None) -> str:
+    """A stable human-readable name for a ``with`` context expression.
+
+    ``self._lock`` -> ``"self._lock"``; ``self._key_lock(key)`` ->
+    ``"self._key_lock()"``; a bare local (``lock``) resolves through the
+    function's single-assignment map, so ``lock = self._key_lock(key);
+    async with lock:`` also normalizes to ``"self._key_lock()"`` — the
+    name two functions guarding the same state agree on.  Anything else
+    falls back to the node type name.
+    """
+    if (
+        assigns is not None
+        and isinstance(expr, ast.Name)
+        and assigns.get(expr.id) is not None
+    ):
+        resolved = normalized_context_name(assigns[expr.id])
+        if not resolved.startswith("<"):
+            return resolved
+    name = dotted_name(expr)
+    if name:
+        return name
+    if isinstance(expr, ast.Call):
+        fn = dotted_name(expr.func)
+        if fn:
+            return fn + "()"
+    return f"<{type(expr).__name__}>"
+
+
+def function_assigns(func) -> dict:
+    """Single-assignment map of a function: ``{name: value expr}``.
+
+    Names assigned more than once map to ``None`` — only an unambiguous
+    binding may be used to resolve a ``with`` context name.
+    """
+    assigns = {}
+    for sub in iter_scope(func):
+        if (
+            isinstance(sub, ast.Assign)
+            and len(sub.targets) == 1
+            and isinstance(sub.targets[0], ast.Name)
+        ):
+            name = sub.targets[0].id
+            assigns[name] = None if name in assigns else sub.value
+        elif isinstance(sub, (ast.AugAssign, ast.AnnAssign)) and isinstance(
+            sub.target, ast.Name
+        ):
+            assigns[sub.target.id] = None
+    return assigns
+
+
+def iter_scope(node):
+    """Walk ``node`` without descending into nested function/class bodies.
+
+    The effects of a nested ``def`` belong to that function, not to the
+    statement that merely defines it.
+    """
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+def contains_await(node) -> bool:
+    """True when the subtree (minus nested functions) awaits anything."""
+    return any(isinstance(sub, ast.Await) for sub in iter_scope(node))
+
+
+@dataclass
+class Node:
+    """One CFG node: a simple statement or a compound statement's header."""
+
+    index: int
+    stmt: ast.stmt
+    line: int
+    #: AST subtrees owned by this node (header expressions for compounds)
+    scan_nodes: tuple
+    suspends: bool = False
+    #: enclosing with-contexts: (normalized name, with_id, is_async)
+    withs: tuple = ()
+    #: enclosing branch/loop tests: (expr, line)
+    conditions: tuple = ()
+    in_finally: bool = False
+    effects: object = field(default=None, repr=False)  # filled by checks.py
+
+
+class CFG:
+    """Statement-level control-flow graph of one function."""
+
+    def __init__(self, func):
+        self.func = func
+        self.name = func.name
+        self.is_async = isinstance(func, ast.AsyncFunctionDef)
+        self.nodes = []
+        self.succs = {}
+        self.entry = []  # indices of the first node(s)
+        builder = _Builder(self)
+        frontier = builder.build_block(func.body, frontier=None)
+        del frontier  # dangling exits fall off the end of the function
+
+    def add_node(self, node: Node) -> int:
+        self.nodes.append(node)
+        self.succs[node.index] = []
+        return node.index
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs[src]:
+            self.succs[src].append(dst)
+
+
+class _Builder:
+    """Recursive-descent CFG construction over statement lists.
+
+    ``frontier`` threading: a frontier is the list of node indices whose
+    control continues at the *next* statement; ``None`` marks the very
+    start of the function (the next node becomes an entry node).
+    """
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        self._next_with_id = 0
+        self._loop_stack = []  # (breaks, continues) collectors
+        self._assigns = function_assigns(cfg.func)
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _new_node(self, stmt, scan_nodes, ctx, suspends=False) -> int:
+        node = Node(
+            index=len(self.cfg.nodes),
+            stmt=stmt,
+            line=stmt.lineno,
+            scan_nodes=tuple(scan_nodes),
+            suspends=suspends or any(contains_await(s) for s in scan_nodes),
+            withs=ctx["withs"],
+            conditions=ctx["conditions"],
+            in_finally=ctx["in_finally"],
+        )
+        return self.cfg.add_node(node)
+
+    def _link(self, frontier, index) -> None:
+        if frontier is None:
+            self.cfg.entry.append(index)
+            return
+        for src in frontier:
+            self.cfg.add_edge(src, index)
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def build_block(self, stmts, frontier, ctx=None):
+        if ctx is None:
+            ctx = {"withs": (), "conditions": (), "in_finally": False}
+        for stmt in stmts:
+            frontier = self.build_stmt(stmt, frontier, ctx)
+        return frontier
+
+    def build_stmt(self, stmt, frontier, ctx):
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier, ctx)
+        if isinstance(stmt, ast.While):
+            return self._build_while(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._build_for(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._build_with(stmt, frontier, ctx)
+        if isinstance(stmt, ast.Try):
+            return self._build_try(stmt, frontier, ctx)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            index = self._new_node(
+                stmt, [s for s in (getattr(stmt, "value", None),
+                                   getattr(stmt, "exc", None)) if s], ctx
+            )
+            self._link(frontier, index)
+            return []  # control leaves the function
+        if isinstance(stmt, (ast.Break, ast.Continue)):
+            index = self._new_node(stmt, [], ctx)
+            self._link(frontier, index)
+            if self._loop_stack:
+                breaks, continues = self._loop_stack[-1]
+                (breaks if isinstance(stmt, ast.Break) else continues).append(
+                    index
+                )
+            return []
+        # simple statement (incl. nested def/class headers, which own
+        # nothing: their bodies are analyzed as their own functions)
+        scan = [] if isinstance(
+            stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+        ) else [stmt]
+        index = self._new_node(stmt, scan, ctx)
+        self._link(frontier, index)
+        return [index]
+
+    # -- compound statements ---------------------------------------------------
+
+    def _with_condition(self, ctx, test):
+        return dict(
+            ctx, conditions=ctx["conditions"] + ((test, test.lineno),)
+        )
+
+    def _build_if(self, stmt, frontier, ctx):
+        cond = self._new_node(stmt, [stmt.test], ctx)
+        self._link(frontier, cond)
+        inner = self._with_condition(ctx, stmt.test)
+        body_f = self.build_block(stmt.body, [cond], inner)
+        if stmt.orelse:
+            else_f = self.build_block(stmt.orelse, [cond], inner)
+            return body_f + else_f
+        return body_f + [cond]
+
+    def _build_while(self, stmt, frontier, ctx):
+        cond = self._new_node(stmt, [stmt.test], ctx)
+        self._link(frontier, cond)
+        self._loop_stack.append(([], []))
+        inner = self._with_condition(ctx, stmt.test)
+        body_f = self.build_block(stmt.body, [cond], inner)
+        breaks, continues = self._loop_stack.pop()
+        for idx in body_f + continues:
+            self.cfg.add_edge(idx, cond)
+        else_f = self.build_block(stmt.orelse, [cond], ctx) if stmt.orelse \
+            else [cond]
+        return else_f + breaks
+
+    def _build_for(self, stmt, frontier, ctx):
+        header = self._new_node(
+            stmt, [stmt.iter, stmt.target], ctx,
+            suspends=isinstance(stmt, ast.AsyncFor),
+        )
+        self._link(frontier, header)
+        self._loop_stack.append(([], []))
+        inner = self._with_condition(ctx, stmt.iter)
+        body_f = self.build_block(stmt.body, [header], inner)
+        breaks, continues = self._loop_stack.pop()
+        for idx in body_f + continues:
+            self.cfg.add_edge(idx, header)
+        else_f = self.build_block(stmt.orelse, [header], ctx) if stmt.orelse \
+            else [header]
+        return else_f + breaks
+
+    def _build_with(self, stmt, frontier, ctx):
+        is_async = isinstance(stmt, ast.AsyncWith)
+        scan = []
+        withs = ctx["withs"]
+        for item in stmt.items:
+            scan.append(item.context_expr)
+            if item.optional_vars is not None:
+                scan.append(item.optional_vars)
+            self._next_with_id += 1
+            withs = withs + (
+                (
+                    normalized_context_name(item.context_expr, self._assigns),
+                    self._next_with_id,
+                    is_async,
+                ),
+            )
+        header = self._new_node(stmt, scan, ctx, suspends=is_async)
+        self._link(frontier, header)
+        inner = dict(ctx, withs=withs)
+        return self.build_block(stmt.body, [header], inner)
+
+    def _build_try(self, stmt, frontier, ctx):
+        body_entry_frontier = frontier
+        body_f = self.build_block(stmt.body, body_entry_frontier, ctx)
+        body_nodes = [
+            n.index for n in self.cfg.nodes
+            if n.stmt in _stmt_set(stmt.body)
+        ]
+        handler_fs = []
+        for handler in stmt.handlers:
+            # any statement of the body may raise into the handler
+            handler_f = self.build_block(
+                handler.body, body_nodes if body_nodes else frontier, ctx
+            )
+            handler_fs.extend(handler_f)
+        else_f = self.build_block(stmt.orelse, body_f, ctx) if stmt.orelse \
+            else body_f
+        if stmt.finalbody:
+            final_ctx = dict(ctx, in_finally=True)
+            return self.build_block(
+                stmt.finalbody, else_f + handler_fs + body_nodes, final_ctx
+            )
+        return else_f + handler_fs
+
+
+def _stmt_set(stmts):
+    """Identity set of every statement nested under ``stmts`` (for try)."""
+    out = set()
+    for stmt in stmts:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, ast.stmt):
+                out.add(sub)
+    return out
+
+
+def build_cfg(func) -> CFG:
+    """Build the CFG of one ``FunctionDef`` / ``AsyncFunctionDef``."""
+    return CFG(func)
+
+
+def iter_functions(tree):
+    """Yield ``(class_name_or_None, func_node)`` for every function.
+
+    Methods are reported with their class; nested functions are reported
+    with the class of their outermost enclosing scope (their ``self``, if
+    any, is not modeled).
+    """
+    def visit(node, cls):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                for sub in visit(child, child.name):
+                    yield sub
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield cls, child
+                for sub in visit(child, cls):
+                    yield sub
+            else:
+                for sub in visit(child, cls):
+                    yield sub
+
+    for item in visit(tree, None):
+        yield item

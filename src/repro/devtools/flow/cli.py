@@ -1,0 +1,126 @@
+"""``repro analyze`` plumbing: engine façade + baseline ratchet.
+
+The flow analyzer reuses the lint engine's file discovery, finding type
+and output formats, so ``repro analyze --format json`` emits the same
+schema as ``repro lint --format json`` (version / files_checked / rules /
+findings) and drops into the same CI tooling.
+
+The **baseline ratchet** (``--baseline analyze-baseline.json``) makes the
+check adoptable on a codebase with known findings: the committed baseline
+records a finding *count* per (rule, file) pair; pairs at or below their
+recorded count are suppressed, any pair that *grows* fails with all of
+its findings shown.  Shrinking counts is always allowed (and the baseline
+should then be re-tightened).  The repo's own baseline is empty — every
+real finding was fixed or carries a ``# repro: atomic=`` invariant — so
+the ratchet only exists to keep it that way.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+
+from ..lint.engine import Finding, LintEngine, module_name_for
+from .checks import ProjectAnalysis, default_flow_rules
+
+BASELINE_VERSION = 1
+
+
+class FlowEngine:
+    """Run the flow checks over files or directory trees."""
+
+    def __init__(self, rules=None):
+        self.rules = list(rules) if rules is not None else default_flow_rules()
+        self.files_checked = 0
+        self.suppressed = 0
+
+    def analyze_paths(self, paths) -> list:
+        """Analyze every Python file under ``paths``; findings sorted."""
+        sources = {}
+        for path in LintEngine.iter_python_files(paths):
+            sources[str(path)] = path.read_text(encoding="utf-8")
+        return self.analyze_sources(sources)
+
+    def analyze_sources(self, sources) -> list:
+        """Analyze a ``{path: source}`` mapping as one project."""
+        findings = []
+        files = []
+        for path_str in sorted(sources):
+            source = sources[path_str]
+            try:
+                tree = ast.parse(source, filename=path_str)
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(
+                        rule="FLOW000", severity="error", path=path_str,
+                        line=exc.lineno or 1, col=exc.offset or 0,
+                        message=f"syntax error: {exc.msg}",
+                    )
+                )
+                continue
+            files.append(
+                (path_str, module_name_for(Path(path_str)), tree, source)
+            )
+        self.files_checked = len(sources)
+        analysis = ProjectAnalysis(files)
+        findings.extend(analysis.run(self.rules))
+        self.suppressed = analysis.suppressed
+        return sorted(findings, key=Finding.sort_key)
+
+
+def run_analyze(paths, select=None) -> tuple:
+    """Convenience: analyze ``paths``; returns ``(findings, engine)``."""
+    engine = FlowEngine(default_flow_rules(select))
+    return engine.analyze_paths(paths), engine
+
+
+# -- baseline ratchet --------------------------------------------------------
+
+
+def load_baseline(path) -> dict:
+    """Parse a baseline file; raises ``ValueError`` on a bad shape."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ValueError(f"baseline file not found: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"baseline is not valid JSON: {exc}") from None
+    if (
+        not isinstance(data, dict)
+        or data.get("version") != BASELINE_VERSION
+        or not isinstance(data.get("counts"), dict)
+    ):
+        raise ValueError(
+            "baseline must be {'version': 1, 'counts': {rule: {path: n}}}"
+        )
+    return data
+
+
+def finding_counts(findings) -> dict:
+    """``{rule: {path: count}}`` for a finding list (baseline shape)."""
+    counts = {}
+    for finding in findings:
+        by_path = counts.setdefault(finding.rule, {})
+        by_path[finding.path] = by_path.get(finding.path, 0) + 1
+    return counts
+
+
+def apply_baseline(findings, baseline) -> tuple:
+    """Ratchet ``findings`` against ``baseline``.
+
+    Returns ``(kept, suppressed_count)``: findings of a (rule, path) pair
+    whose count stayed at or below the recorded one are suppressed; a
+    pair that grew (or is new) keeps *all* of its findings so the report
+    shows the full context, not just the delta.
+    """
+    counts = finding_counts(findings)
+    recorded = baseline.get("counts", {})
+    kept, suppressed = [], 0
+    for finding in findings:
+        allowed = recorded.get(finding.rule, {}).get(finding.path, 0)
+        if counts[finding.rule][finding.path] <= allowed:
+            suppressed += 1
+        else:
+            kept.append(finding)
+    return kept, suppressed

@@ -1,0 +1,218 @@
+"""Conservative shared-state model + the ``# repro:`` annotation contract.
+
+What counts as *shared* mutable state for the flow analyses:
+
+* **Instance attributes** (``self.x``) of any class that has an ``async
+  def`` method, directly or via a project base class.  Such an instance
+  is, by construction of the serving stack, touched by many concurrently
+  suspended coroutines (every connection handler shares the server; every
+  in-flight write shares the node), so any of its attributes can change
+  across a suspension point.  A class with no async method is only ever
+  driven from one coroutine at a time in this codebase and is excluded —
+  its methods still contribute *effect summaries* when called from a
+  shared class.
+* **Module globals** that some function in the module writes (rebinding
+  via ``global``, augmented assignment, subscript stores or a mutating
+  method call).  Read-only module constants are not shared state.
+* Anything explicitly annotated ``# repro: shared`` on the ``class`` line
+  or on a module-level assignment, for state the heuristics cannot see
+  (e.g. a registry handed to other tasks).
+
+Annotations (checked per physical line, like the linter's ``noqa``; an
+annotation on a comment-only line also covers the line below it):
+
+* ``# repro: shared`` — force a class or module global into the model;
+* ``# repro: atomic=<reason>`` — suppress FLOW001/FLOW002 findings
+  anchored on that line, or on every line of a function when placed on
+  its ``def`` line.  The reason is *mandatory*: it must state the
+  invariant that makes the flagged interleaving safe (who serializes the
+  writers, why staleness is bounded, ...), so the suppression documents
+  the proof obligation instead of hiding it.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+
+#: methods that mutate their receiver in place (container RMW)
+MUTATORS = frozenset(
+    {
+        "add", "append", "appendleft", "clear", "discard", "extend",
+        "insert", "pop", "popitem", "popleft", "remove", "reverse",
+        "setdefault", "sort", "update",
+    }
+)
+
+_ATOMIC_RE = re.compile(r"#\s*repro:\s*atomic=(\S.*?)\s*$")
+_SHARED_RE = re.compile(r"#\s*repro:\s*shared\b")
+
+
+@dataclass(frozen=True, order=True)
+class Loc:
+    """One shared-state location: a class attribute or a module global."""
+
+    kind: str  # "attr" | "global"
+    module: str
+    owner: str  # class name for attrs, "" for globals
+    name: str
+
+    @property
+    def label(self) -> str:
+        """Short human-readable spelling used in messages."""
+        if self.kind == "attr":
+            return f"{self.owner}.{self.name}"
+        return f"{self.module}.{self.name}"
+
+
+class FileAnnotations:
+    """``# repro: atomic=`` / ``# repro: shared`` markers of one file."""
+
+    def __init__(self, source: str):
+        self.atomic = {}  # line -> reason
+        self.shared_lines = set()
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            # an annotation on a comment-only line also covers the next
+            # line, so long reasons need not ride as trailing comments
+            own_line = text.lstrip().startswith("#")
+            match = _ATOMIC_RE.search(text)
+            if match:
+                self.atomic[lineno] = match.group(1)
+                if own_line:
+                    self.atomic.setdefault(lineno + 1, match.group(1))
+            if _SHARED_RE.search(text):
+                self.shared_lines.add(lineno)
+                if own_line:
+                    self.shared_lines.add(lineno + 1)
+
+    def atomic_reason(self, *lines):
+        """The first ``atomic=`` reason found on any of ``lines``, or None."""
+        for line in lines:
+            if line in self.atomic:
+                return self.atomic[line]
+        return None
+
+
+class SharedModel:
+    """Which locations the project treats as cross-coroutine shared state."""
+
+    def __init__(self, project, callgraph, annotations):
+        """``project``: iterable of ``(module, tree)``;
+        ``annotations``: dict module -> :class:`FileAnnotations`."""
+        self._callgraph = callgraph
+        self._shared_classes = set()  # (module, class name)
+        self._shared_globals = {}  # module -> set of names
+        for module, tree in project:
+            notes = annotations.get(module)
+            self._classify_classes(module, tree, notes)
+            self._classify_globals(module, tree, notes)
+
+    # -- model construction ----------------------------------------------------
+
+    def _classify_classes(self, module, tree, notes) -> None:
+        for node in tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            info = self._callgraph.classes.get((module, node.name))
+            annotated = notes is not None and node.lineno in notes.shared_lines
+            if annotated or (
+                info is not None and self._callgraph.has_async_method(info)
+            ):
+                self._shared_classes.add((module, node.name))
+
+    def _classify_globals(self, module, tree, notes) -> None:
+        module_level = set()
+        annotated = set()
+        for node in tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_level.add(target.id)
+                    if notes is not None and node.lineno in notes.shared_lines:
+                        annotated.add(target.id)
+        mutated = set()
+        for func in ast.walk(tree):
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            local = _local_names(func)
+            for sub in ast.walk(func):
+                if isinstance(sub, ast.Global):
+                    mutated.update(sub.names)
+                elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+                    targets = sub.targets if isinstance(sub, ast.Assign) \
+                        else [sub.target]
+                    for target in targets:
+                        base = _subscript_base(target)
+                        if (
+                            isinstance(base, ast.Name)
+                            and base.id not in local
+                        ):
+                            mutated.add(base.id)
+                elif isinstance(sub, ast.Call):
+                    func_expr = sub.func
+                    if (
+                        isinstance(func_expr, ast.Attribute)
+                        and func_expr.attr in MUTATORS
+                        and isinstance(func_expr.value, ast.Name)
+                        and func_expr.value.id not in local
+                    ):
+                        mutated.add(func_expr.value.id)
+        shared = (mutated & module_level) | annotated
+        if shared:
+            self._shared_globals[module] = shared
+
+    # -- queries ---------------------------------------------------------------
+
+    def is_shared_class(self, module: str, cls_name: str) -> bool:
+        return (module, cls_name) in self._shared_classes
+
+    def attr_loc(self, module: str, cls_name: str, attr: str):
+        """The :class:`Loc` of ``self.<attr>`` in ``cls_name``, or None."""
+        if not cls_name:
+            return None
+        # name the location after the root-most shared class of the
+        # chain, so a method inherited from a base and an override in the
+        # subclass agree they touch the *same* location
+        info = self._callgraph.classes.get((module, cls_name))
+        if info is not None:
+            owner = None
+            for cls in self._callgraph.class_chain(info):
+                if self.is_shared_class(cls.module, cls.name):
+                    owner = cls
+            if owner is not None:
+                return Loc("attr", owner.module, owner.name, attr)
+        if self.is_shared_class(module, cls_name):
+            return Loc("attr", module, cls_name, attr)
+        return None
+
+    def global_loc(self, module: str, name: str):
+        if name in self._shared_globals.get(module, ()):
+            return Loc("global", module, "", name)
+        return None
+
+
+def _local_names(func) -> set:
+    """Names bound locally in ``func`` (params + simple assignments)."""
+    local = {arg.arg for arg in func.args.args}
+    local.update(arg.arg for arg in func.args.kwonlyargs)
+    local.update(
+        arg.arg for arg in (func.args.vararg, func.args.kwarg) if arg
+    )
+    for sub in ast.walk(func):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            local.add(sub.id)
+        elif isinstance(sub, ast.Global):
+            local.difference_update(sub.names)
+    return local
+
+
+def _subscript_base(target):
+    """``x`` for ``x[...]`` / ``x[...][...]`` store targets, else target."""
+    while isinstance(target, ast.Subscript):
+        target = target.value
+    return target

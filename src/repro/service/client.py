@@ -78,6 +78,7 @@ class CacheClient:
                     asyncio.open_connection(self.host, self.port), self.timeout
                 )
             except BaseException:
+                # repro: atomic=releases the slot the += above reserved; every path balances the counter, no read is re-used across the await
                 self._open -= 1
                 raise
         return await self._pool.get()
@@ -100,6 +101,7 @@ class CacheClient:
                 reader, writer = await asyncio.wait_for(self._pool.get(), 1.0)
             except asyncio.TimeoutError:
                 break  # still checked out; the holder discards on release
+            # repro: atomic=loop re-reads _open each pass; concurrent _discard only decrements, so the worst case is an early exit
             self._open -= 1
             writer.close()
             try:
@@ -213,3 +215,12 @@ class CacheClient:
         """Round-trip health check."""
         tokens, _ = await self._request(b"PING\n")
         return tokens[0] == "PONG"
+
+    async def quit(self) -> bool:
+        """Ask the server to close this connection after acking.
+
+        The server hangs up right after the ``BYE``; the pool's stale
+        check drops the dead connection on its next checkout.
+        """
+        tokens, _ = await self._request(b"QUIT\n")
+        return tokens[0] == "BYE"

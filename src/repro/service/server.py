@@ -131,6 +131,7 @@ class CacheServer:
     async def serve_forever(self) -> None:
         """Block serving requests until cancelled or :meth:`stop` is called."""
         if self._server is None:
+            # repro: atomic=lifecycle is driven by one owner task; a racing second start() raises rather than double-binding
             await self.start()
         try:
             await self._server.serve_forever()

@@ -10,6 +10,7 @@ import pytest
 from repro.cluster import (
     ClusterClient,
     ClusterError,
+    InvalidationError,
     LocalCluster,
     ReplicaStore,
     run_storm,
@@ -431,6 +432,37 @@ class TestMembership:
 
         run(body())
 
+    def test_peer_drain_verb_stops_the_target(self):
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=64) as cluster:
+                a, b = sorted(cluster.nodes.values(), key=lambda n: n.name)
+                assert await a._peers[b.name].drain() is True
+                assert b.draining is True
+
+        run(body())
+
+    def test_membership_changes_are_serialized(self):
+        # a join and a leave launched together must not interleave their
+        # ring edits and migrations (the membership lock)
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=256) as cluster:
+                client = cluster.client()
+                keys = [f"ser:{i}" for i in range(50)]
+                for key in keys:
+                    await client.set(key, key.encode())
+                victim = sorted(cluster.nodes)[0]
+                join, leave = await asyncio.gather(
+                    cluster.add_node(), cluster.remove_node(victim)
+                )
+                assert victim not in cluster.nodes
+                assert join["node"] in cluster.nodes
+                for key in keys:
+                    assert await client.get(key) == key.encode()
+
+        run(body())
+
 
 class TestInvalFencing:
     """A holder that does not ack an INVAL must fence the write, not be
@@ -504,6 +536,51 @@ class TestInvalFencing:
                 assert holder_name in third._pending_invals["ik"]
                 third.inherit_pending("ik2", (third.name,))  # self: skipped
                 assert "ik2" not in third._pending_invals
+
+        run(body())
+
+    def test_concurrent_fanout_debt_is_merged_not_overwritten(self):
+        # the eviction path fans out without the key's write lock, so a
+        # second round can park debt while the first awaits its acks; the
+        # completing round must merge its result into the pending set
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=64) as cluster:
+                node = next(iter(cluster.nodes.values()))
+
+                async def flaky(holder, key, version):
+                    # a concurrent fan-out parks its own debt mid-flight
+                    node._pending_invals.setdefault(key, set()).add("parked")
+                    return holder != "bad"
+
+                node._inval_one = flaky
+                with pytest.raises(InvalidationError):
+                    await node._invalidate("ck", 1, ["bad", "good"])
+                assert node._pending_invals["ck"] == {"bad", "parked"}
+
+                node._pending_invals.clear()
+                await node._invalidate("sk", 1, ["good"])
+                # the fully-acked round clears only its own targets
+                assert node._pending_invals["sk"] == {"parked"}
+
+        run(body())
+
+    def test_relinquish_waits_for_the_key_write_lock(self):
+        # migration must not interleave with a half-done write to the key
+        async def body():
+            async with LocalCluster(2, admission="always",
+                                    data_capacity_per_node=64) as cluster:
+                client = cluster.client()
+                await client.set("rk", b"v1")
+                owner = cluster.nodes[cluster.ring.owner("rk")]
+                lock = owner._key_lock("rk")
+                await lock.acquire()
+                task = asyncio.ensure_future(owner.relinquish_key("rk"))
+                await asyncio.sleep(0.05)
+                assert not task.done()      # blocked on the writer's lock
+                lock.release()
+                await task
+                assert owner.store.get("rk") is None
 
         run(body())
 

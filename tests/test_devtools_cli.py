@@ -62,6 +62,20 @@ class TestLintCommand:
             assert rule_id in out
 
 
+class TestAnalyzeCommand:
+    def test_clean_tree_with_shipped_baseline_exits_zero(self, capsys):
+        # the exact invocation CI gates on (see .github/workflows/ci.yml)
+        baseline = SRC_DIR.parent.parent / "analyze-baseline.json"
+        if not baseline.exists():
+            pytest.skip("not running from a repo checkout")
+        assert main(
+            ["analyze", str(SRC_DIR), "--format", "json",
+             "--baseline", str(baseline)]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["findings"] == []
+
+
 class TestCheckProtocolCommand:
     def test_shipped_tables_exit_zero(self, capsys):
         assert main(["check-protocol"]) == 0

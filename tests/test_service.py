@@ -415,6 +415,19 @@ class TestGracefulShutdown:
             assert server.connections == 0
         run(body())
 
+    def test_quit_closes_only_its_own_connection(self):
+        async def body():
+            server = await _started_server()
+            try:
+                async with CacheClient("127.0.0.1", server.port) as c:
+                    assert await c.quit() is True
+                    # the server hung up that connection, not the server:
+                    # the pool dials a fresh one for the next request
+                    assert await c.ping() is True
+            finally:
+                await server.stop()
+        run(body())
+
 
 class TestClient:
     def test_retry_reaches_server_started_late(self):
