@@ -35,8 +35,11 @@ Observability (see ``docs/observability.md``) adds a live dashboard and
 trace export, dispatched to :mod:`repro.obs.cli`::
 
     python -m repro top --port 9876
+    python -m repro top --cluster --node node0=127.0.0.1:9876 ...
     python -m repro obs export --format chrome-trace --out trace.json
-    python -m repro obs validate trace.json
+    python -m repro obs validate --causal trace.json
+    python -m repro obs collect node0.jsonl node1.jsonl --out cluster.json
+    python -m repro explain --key storm:0 cluster-trace.json
 
 Performance baselines (see ``docs/perf.md``) dispatch to
 :mod:`repro.perf.cli`::
@@ -51,6 +54,7 @@ Cluster mode (see ``docs/cluster.md``) dispatches to
     python -m repro cluster serve --nodes 3 --data-capacity 512
     python -m repro cluster bench --node-counts 1 2 3 --json BENCH_cluster.json
     python -m repro cluster smoke
+    python -m repro cluster trace --nodes 3 --out cluster-trace.json
 """
 
 from __future__ import annotations
@@ -343,7 +347,7 @@ def main(argv=None) -> int:
             print(f"  {name}")
         print("cluster mode (see 'repro cluster --help'):")
         for name in cluster_cli.CLUSTER_COMMANDS:
-            print(f"  {name} serve|bench|status|smoke")
+            print(f"  {name} serve|bench|status|smoke|trace")
         return 0
     if args.experiment != "all" and args.experiment not in registry.names():
         print(f"unknown experiment {args.experiment!r}; try 'list-experiments'",

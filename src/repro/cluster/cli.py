@@ -16,6 +16,13 @@ hit-rate-per-MB argument.  :func:`run_cluster_benchmark` is importable so
 ``smoke`` is the CI gate: boot a 3-node cluster, drive loadgen through a
 routing client, then run the invalidation storm of
 :mod:`repro.cluster.consistency` and fail on any stale read.
+
+``trace`` produces the distributed-tracing artifact of
+:mod:`repro.obs.dist`: either boot a local cluster with per-node tracers,
+drive a deterministic write/invalidate storm and drain every ring over the
+``TRACE`` verb, or (with ``--node``) drain already-running nodes; the
+per-node batches merge into one causally-validated Chrome trace
+(``repro obs validate --causal`` compatible, cross-node edges included).
 """
 
 from __future__ import annotations
@@ -25,7 +32,8 @@ import asyncio
 import json
 import signal
 
-from ..obs import Observability
+from ..obs import Observability, validate_chrome_trace
+from ..obs.dist import merge_node_traces
 from ..obs.logging import configure as configure_logging
 from ..service.loadgen import VALUE_BYTES, replay_interleaved, replay_with_client
 from ..workloads.mixes import EXAMPLE_MIX, build_workload
@@ -111,13 +119,37 @@ def build_cluster_parser() -> argparse.ArgumentParser:
                        help="storm writes per writer")
     smoke.add_argument("--json", metavar="FILE", default=None,
                        help="dump the smoke report as JSON")
+
+    trace = sub.add_parser(
+        "trace",
+        help="storm a traced local cluster (or drain running nodes with "
+             "--node) and write one merged causal Chrome trace",
+    )
+    add_cluster_args(trace)
+    trace.set_defaults(replicas=2)
+    trace.add_argument("--node", action="append", default=None,
+                       metavar="NAME=HOST:PORT",
+                       help="drain these already-running nodes instead of "
+                            "booting a local storm (repeatable)")
+    trace.add_argument("--refs", type=int, default=2_000,
+                       help="loadgen references per core before the storm")
+    trace.add_argument("--scale", type=int, default=32)
+    trace.add_argument("--storm-writes", type=int, default=64,
+                       help="deterministic get/set/del rounds in the storm")
+    trace.add_argument("--sample-every", type=int, default=1,
+                       help="tracer sampling period (>1 WILL orphan spans)")
+    trace.add_argument("--trace-capacity", type=int, default=65536,
+                       help="per-node trace ring capacity")
+    trace.add_argument("--out", metavar="FILE", default="cluster-trace.json",
+                       help="merged Chrome trace output path")
     return parser
 
 
 # -- serve --------------------------------------------------------------------
 
 
-def _build_cluster(args, obs=None, host="127.0.0.1") -> LocalCluster:
+def _build_cluster(args, obs=None, host="127.0.0.1",
+                   obs_factory=None) -> LocalCluster:
     return LocalCluster(
         num_nodes=args.nodes,
         data_capacity_per_node=args.data_capacity,
@@ -128,6 +160,7 @@ def _build_cluster(args, obs=None, host="127.0.0.1") -> LocalCluster:
         host=host,
         seed=args.seed,
         obs=obs,
+        obs_factory=obs_factory,
     )
 
 
@@ -359,6 +392,98 @@ def cmd_cluster_smoke(args) -> int:
     return 0 if report["ok"] else 1
 
 
+# -- trace --------------------------------------------------------------------
+
+
+async def _sequential_storm(client, writes: int, keys: int = 8) -> dict:
+    """Deterministic GET→SET(→DEL) rounds that exercise every trace edge.
+
+    The GET before each SET is what makes the storm produce cross-node
+    traffic under reuse admission: round one tags the key (SET declined),
+    round two detects reuse and stores, which replicates; later rounds
+    update in place, which INVALs the replica holders before re-pushing —
+    owner-write → INVAL fan-out → peer ack, the tree the merged trace
+    must connect.  Every 7th round deletes, adding DEL→INVAL edges.
+    """
+    ops = {"gets": 0, "sets": 0, "stored": 0, "deletes": 0}
+    for i in range(writes):
+        key = f"storm:{i % keys}"
+        await client.get(key)
+        ops["gets"] += 1
+        if await client.set(key, b"storm-value-%d" % i):
+            ops["stored"] += 1
+        ops["sets"] += 1
+        if i % 7 == 6:
+            await client.delete(key)
+            ops["deletes"] += 1
+    return ops
+
+
+async def collect_cluster_trace(args) -> dict:
+    """Run the traced storm (or drain live nodes) and merge the rings.
+
+    Returns ``{"merged": <chrome doc>, "problems": [...], "storm": ...}``;
+    importable so tests drive the same path as ``repro cluster trace``.
+    """
+    if args.node:
+        nodes = _parse_node_args(args.node)
+        async with ClusterClient(nodes, seed=args.seed) as client:
+            node_events = await client.traces()
+        storm = None
+    else:
+        def obs_factory(name, index):
+            return Observability.enabled(
+                tracing=True,
+                trace_capacity=args.trace_capacity,
+                sample_every=args.sample_every,
+                time_unit="s",
+            )
+
+        cluster = _build_cluster(args, obs_factory=obs_factory)
+        async with cluster:
+            client = cluster.client()
+            if args.refs:
+                workload = build_workload(EXAMPLE_MIX, n_refs=args.refs,
+                                          seed=args.seed, scale=args.scale)
+                await replay_interleaved(client, workload, sample_every=8)
+            storm = await _sequential_storm(client, args.storm_writes)
+            # let the final request's span land in its ring before draining
+            # (spans are recorded right after the response is flushed)
+            await asyncio.sleep(0.05)
+            node_events = await client.traces()
+    merged = merge_node_traces(node_events, time_unit="s")
+    problems = validate_chrome_trace(merged, causal=True)
+    return {"merged": merged, "problems": problems, "storm": storm}
+
+
+def cmd_cluster_trace(args) -> int:
+    result = asyncio.run(collect_cluster_trace(args))
+    merged, problems = result["merged"], result["problems"]
+    events = merged["traceEvents"]
+    other = merged["otherData"]
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=1)
+    mode = "drained live nodes" if args.node else (
+        f"storm over {args.nodes} node(s), replicas={args.replicas}"
+    )
+    print(f"cluster trace — {mode}")
+    if result["storm"]:
+        storm = result["storm"]
+        print(f"  storm: {storm['gets']} gets, {storm['sets']} sets "
+              f"({storm['stored']} stored), {storm['deletes']} deletes")
+    print(f"  merged: {len(events)} event(s) from "
+          f"{len(other['nodes'])} node(s), "
+          f"{other['cross_node_edges']} cross-node edge(s)")
+    print(f"  wrote {args.out}")
+    if problems:
+        for problem in problems[:10]:
+            print(f"  CAUSAL PROBLEM: {problem}")
+        print("cluster trace: FAIL")
+        return 1
+    print("cluster trace: PASS (causally complete — no orphans, no cycles)")
+    return 0
+
+
 def main(argv) -> int:
     """Entry point for ``repro cluster ...`` (argv excludes "cluster")."""
     configure_logging()
@@ -368,5 +493,6 @@ def main(argv) -> int:
         "bench": cmd_cluster_bench,
         "status": cmd_cluster_status,
         "smoke": cmd_cluster_smoke,
+        "trace": cmd_cluster_trace,
     }[args.subcommand]
     return handler(args)

@@ -134,7 +134,7 @@ class ClusterClient:
             pref = pref[start:] + pref[:start]
         return pref
 
-    async def get(self, key: str):
+    async def get(self, key: str, trace=None):
         """Value bytes for ``key`` or None; replica-spread, never stale."""
         owner = self.ring.owner(key)
         last_exc = None
@@ -144,9 +144,9 @@ class ClusterClient:
             client = self._client_for(name)
             try:
                 if name == owner:
-                    value = await client.get(key)
+                    value = await client.get(key, trace=trace)
                 else:
-                    value = await client.rget(key)
+                    value = await client.rget(key, trace=trace)
                 self._ok(name)
             except (ConnectionError, asyncio.TimeoutError, OSError) as exc:
                 self._fail(name)
@@ -160,7 +160,7 @@ class ClusterClient:
         if owner not in self._down:
             client = self._client_for(owner)
             try:
-                value = await client.get(key)
+                value = await client.get(key, trace=trace)
                 # repro: atomic=_down/_failures are advisory routing hints; a stale check only costs one extra try, never consistency
                 self._ok(owner)
                 return value
@@ -173,28 +173,28 @@ class ClusterClient:
             f"(owner {owner!r}, down={sorted(self._down)})"
         ) from last_exc
 
-    async def set(self, key: str, value: bytes) -> bool:
+    async def set(self, key: str, value: bytes, trace=None) -> bool:
         """Offer ``value`` to the key's owner; True iff stored."""
         owner = self.ring.owner(key)
         if owner in self._down:
             raise NodeDownError(f"owner {owner!r} of {key!r} is down")
         client = self._client_for(owner)
         try:
-            stored = await client.set(key, value)
+            stored = await client.set(key, value, trace=trace)
         except (ConnectionError, asyncio.TimeoutError, OSError):
             self._fail(owner)
             raise
         self._ok(owner)
         return stored
 
-    async def delete(self, key: str) -> bool:
+    async def delete(self, key: str, trace=None) -> bool:
         """Delete ``key`` at its owner; True iff a stored value was removed."""
         owner = self.ring.owner(key)
         if owner in self._down:
             raise NodeDownError(f"owner {owner!r} of {key!r} is down")
         client = self._client_for(owner)
         try:
-            removed = await client.delete(key)
+            removed = await client.delete(key, trace=trace)
         except (ConnectionError, asyncio.TimeoutError, OSError):
             self._fail(owner)
             raise
@@ -265,6 +265,80 @@ class ClusterClient:
                 out[name] = await self._client_for(name).cstatus()
             except (ConnectionError, asyncio.TimeoutError, OSError):
                 out[name] = {"name": name, "unreachable": True}
+        return out
+
+    #: CSTATUS counters summed into the ``totals`` block of
+    #: :meth:`cstatus_summary` (absent keys count as zero)
+    _SUMMED_STATUS_KEYS = (
+        "stored", "data_capacity", "replicas_held", "pending_invals",
+        "stale_rejects", "protocol_races", "directory_entries",
+    )
+
+    async def cstatus_summary(self) -> dict:
+        """One aggregated cluster-health view over every node's CSTATUS.
+
+        Backs ``repro top --cluster`` and tests: per-node blocks under
+        ``"nodes"``, summed counters under ``"totals"``, plus the
+        ``unreachable`` / ``draining`` name lists.  Down or mid-drain
+        nodes are *reported*, never raised over.
+        """
+        nodes = await self.status()
+        totals = {key: 0 for key in self._SUMMED_STATUS_KEYS}
+        unreachable, draining = [], []
+        for name, block in nodes.items():
+            if block.get("unreachable"):
+                unreachable.append(name)
+                continue
+            if block.get("draining"):
+                draining.append(name)
+            for key in self._SUMMED_STATUS_KEYS:
+                totals[key] += block.get(key, 0)
+        return {
+            "nodes": nodes,
+            "totals": totals,
+            "num_nodes": len(nodes),
+            "unreachable": sorted(unreachable),
+            "draining": sorted(draining),
+        }
+
+    async def metrics(self) -> dict:
+        """name -> Prometheus text from each node's METRICS verb.
+
+        Unreachable nodes map to ``None`` (and count one failure toward
+        the down-mark); nodes already marked down are skipped as ``None``
+        without a probe.
+        """
+        out = {}
+        for name in self.node_names:
+            if name in self._down:
+                out[name] = None
+                continue
+            try:
+                out[name] = await self._client_for(name).metrics()
+                self._ok(name)
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                self._fail(name)
+                out[name] = None
+        return out
+
+    async def traces(self) -> dict:
+        """Drain every reachable node's trace ring; name -> event dicts.
+
+        The building block of ``repro cluster trace``: each node's TRACE
+        verb hands over a disjoint JSONL batch (the server clears its ring
+        on drain), parsed here into event dicts ready for
+        :func:`repro.obs.dist.merge_node_traces`.  Down/unreachable nodes
+        are skipped — their events stay in their rings for a later drain.
+        """
+        out = {}
+        for name in self.node_names:
+            if name in self._down:
+                continue
+            try:
+                out[name] = await self._client_for(name).trace()
+                self._ok(name)
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                self._fail(name)
         return out
 
     async def close(self) -> None:

@@ -55,7 +55,14 @@ class LocalCluster:
         seed: int = 2013,
         vnodes: int = DEFAULT_VNODES,
         obs: Observability | None = None,
+        obs_factory=None,
     ):
+        """``obs_factory``, when given, is ``fn(name, index) -> Observability``
+        called once per node so each node gets its *own* bundle — required
+        for per-node trace ring buffers (one shared tracer would interleave
+        every node's events into one ring and defeat the per-node TRACE
+        drain).  Without it every node shares ``obs``.
+        """
         if num_nodes <= 0:
             raise ValueError(f"num_nodes must be positive, got {num_nodes}")
         self.data_capacity_per_node = data_capacity_per_node
@@ -67,6 +74,7 @@ class LocalCluster:
         self.host = host
         self.seed = seed
         self.obs = obs if obs is not None else Observability.disabled()
+        self.obs_factory = obs_factory
         self.ring = HashRing(vnodes=vnodes, seed=seed)
         self.nodes = {}  # name -> ClusterNode
         self._next_index = 0
@@ -95,6 +103,8 @@ class LocalCluster:
             seed=self.seed + 1000 * (index + 1),
             obs=Observability.disabled(),  # node-level obs covers serving
         )
+        node_obs = (self.obs_factory(name, index)
+                    if self.obs_factory is not None else self.obs)
         node = ClusterNode(
             name,
             store,
@@ -103,7 +113,7 @@ class LocalCluster:
             port=0,
             replicas=self.replicas,
             lane=index,
-            obs=self.obs,
+            obs=node_obs,
         )
         self.nodes[name] = node
         return node

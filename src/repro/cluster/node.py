@@ -55,6 +55,16 @@ import json
 import time
 
 from ..obs import Observability
+from ..obs.dist import (
+    CAT_AUDIT,
+    REPLICA_INVALIDATED,
+    SpanIds,
+    current_context,
+    leaf_args,
+    span_args,
+    use_context,
+    wire_token,
+)
 from ..obs.logging import get_logger
 from ..obs.prof import clock
 from ..coherence.distributed import ReplicaDirectory
@@ -120,6 +130,9 @@ class ReplicaStore:
         self.floor_min_age = floor_min_age
         self._entries = {}  # key -> (version, value, owner); insertion-ordered
         self._floor = {}  # key -> (version, monotonic stamp); insertion-ordered
+        #: pushes rejected as stale (version below the key's floor or the
+        #: held copy) — the fence working; CSTATUS surfaces it
+        self.stale_rejects = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -137,9 +150,11 @@ class ReplicaStore:
         """
         floor = self._floor.get(key)
         if floor is not None and version < floor[0]:
+            self.stale_rejects += 1
             return False, []
         current = self._entries.get(key)
         if current is not None and version < current[0]:
+            self.stale_rejects += 1
             return False, []
         self._entries.pop(key, None)  # refresh insertion order
         self._entries[key] = (version, value, owner)
@@ -176,14 +191,25 @@ class ReplicaStore:
 
 
 class PeerClient(CacheClient):
-    """Owner-to-peer client speaking the cluster verbs."""
+    """Owner-to-peer client speaking the cluster verbs.
+
+    Unlike the base client, the cluster verbs default their ``trace``
+    argument to the *ambient* context (:func:`current_context`): fan-outs
+    run under the triggering request's span (``use_context``), so the
+    propagation happens without threading a ctx through every patchable
+    call-site signature.  Pass ``trace`` explicitly to override.
+    """
 
     _BODY_TOKENS = CacheClient._BODY_TOKENS + ("CSTATUS",)
 
-    async def repl(self, key: str, version: int, value: bytes) -> bool:
+    async def repl(self, key: str, version: int, value: bytes,
+                   trace=None) -> bool:
         """Push a replica; True iff the peer accepted (not STALE)."""
-        payload = b"REPL %s %d %d\n%s\n" % (
-            key.encode("utf-8"), version, len(value), value,
+        trace = trace if trace is not None else current_context()
+        tail = f" {wire_token(trace)}" if trace is not None else ""
+        payload = b"REPL %s %d %d%s\n%s\n" % (
+            key.encode("utf-8"), version, len(value),
+            tail.encode("utf-8"), value,
         )
         tokens, _ = await self._request(payload)
         if tokens[0] == "REPLICATED":
@@ -192,21 +218,29 @@ class PeerClient(CacheClient):
             return False
         raise ProtocolError(f"unexpected response {tokens!r}")
 
-    async def inval(self, key: str, version: int) -> bool:
+    async def inval(self, key: str, version: int, trace=None) -> bool:
         """Invalidate the peer's replica up to ``version``."""
+        trace = trace if trace is not None else current_context()
+        tail = f" {wire_token(trace)}" if trace is not None else ""
         tokens, _ = await self._request(
-            f"INVAL {key} {version}\n".encode("utf-8")
+            f"INVAL {key} {version}{tail}\n".encode("utf-8")
         )
         return tokens[0] == "INVALED"
 
-    async def puts(self, key: str, node: str) -> bool:
+    async def puts(self, key: str, node: str, trace=None) -> bool:
         """Tell the owner this node dropped its replica of ``key``."""
-        tokens, _ = await self._request(f"PUTS {key} {node}\n".encode("utf-8"))
+        trace = trace if trace is not None else current_context()
+        tail = f" {wire_token(trace)}" if trace is not None else ""
+        tokens, _ = await self._request(
+            f"PUTS {key} {node}{tail}\n".encode("utf-8")
+        )
         return tokens[0] == "OK"
 
-    async def rget(self, key: str):
+    async def rget(self, key: str, trace=None):
         """Read the peer's replica of ``key``; None on a replica miss."""
-        tokens, body = await self._request(f"RGET {key}\n".encode("utf-8"))
+        trace = trace if trace is not None else current_context()
+        tail = f" {wire_token(trace)}" if trace is not None else ""
+        tokens, body = await self._request(f"RGET {key}{tail}\n".encode("utf-8"))
         if tokens[0] == "MISS":
             return None
         if tokens[0] == "VALUE":
@@ -237,16 +271,18 @@ class ClusterServer(CacheServer):
         super().__init__(store, **kwargs)
         self.node = node
 
-    async def _serve_request(self, line: bytes, reader, writer, conn_id: int = 0) -> None:
-        try:
-            parts = line.decode("utf-8").split()
-        except UnicodeDecodeError:
-            raise ProtocolError("request not utf-8") from None
-        cmd = parts[0].upper() if parts else ""
+    async def _serve_request(self, cmd: str, parts: list, reader, writer,
+                             conn_id: int = 0):
+        """Cluster-verb dispatch; non-cluster verbs fall through to the base.
+
+        Same contract as the base method: ``cmd``/``parts`` are the decoded
+        request line with any trace field already stripped (the shared
+        ``_handle_request`` wrapper popped it and opened the request span),
+        and the returned outcome label feeds ``_record_request``.
+        """
         if cmd not in CLUSTER_VERBS:
-            await super()._serve_request(line, reader, writer, conn_id)
-            return
-        start = clock()
+            return await super()._serve_request(cmd, parts, reader, writer,
+                                                conn_id)
         node = self.node
 
         if cmd == "SET":
@@ -255,12 +291,14 @@ class ClusterServer(CacheServer):
             key, value = parts[1], await self._read_body(reader, parts[2])
             stored = await node.handle_set(key, value)
             writer.write(b"STORED\n" if stored else b"TAGGED\n")
+            return "stored" if stored else "tagged"
         elif cmd == "DEL":
             if len(parts) != 2:
                 raise ProtocolError("usage: DEL <key>")
             key = parts[1]
             removed = await node.handle_delete(key)
             writer.write(b"DELETED\n" if removed else b"NOTFOUND\n")
+            return "deleted" if removed else "notfound"
         elif cmd == "REPL":
             if len(parts) != 4:
                 raise ProtocolError("usage: REPL <key> <version> <len>")
@@ -268,11 +306,13 @@ class ClusterServer(CacheServer):
             value = await self._read_body(reader, parts[3])
             accepted = await node.handle_repl(key, version, value)
             writer.write(b"REPLICATED\n" if accepted else b"STALE\n")
+            return "replicated" if accepted else "stale"
         elif cmd == "INVAL":
             if len(parts) != 3:
                 raise ProtocolError("usage: INVAL <key> <version>")
-            node.handle_inval(parts[1], self._int(parts[2], "version"))
+            dropped = node.handle_inval(parts[1], self._int(parts[2], "version"))
             writer.write(b"INVALED\n")
+            return "dropped" if dropped else "clean"
         elif cmd == "PUTS":
             if len(parts) != 3:
                 raise ProtocolError("usage: PUTS <key> <node>")
@@ -284,10 +324,11 @@ class ClusterServer(CacheServer):
             value = node.handle_rget(parts[1])
             if value is None:
                 writer.write(b"MISS\n")
-            else:
-                writer.write(b"VALUE %d\n" % len(value))
-                writer.write(value)
-                writer.write(b"\n")
+                return "miss"
+            writer.write(b"VALUE %d\n" % len(value))
+            writer.write(value)
+            writer.write(b"\n")
+            return "hit"
         elif cmd == "CSTATUS":
             payload = json.dumps(node.status()).encode("utf-8")
             writer.write(b"CSTATUS %d\n" % len(payload))
@@ -300,13 +341,21 @@ class ClusterServer(CacheServer):
             # stop accepting & drain in the background; this response (and
             # every other in-flight request) still completes
             asyncio.ensure_future(self.stop())
+        return None
 
-        await writer.drain()
-        elapsed = clock() - start
-        if cmd in ("SET", "DEL"):
+    def _record_request(self, cmd: str, parts: list, start: float,
+                        elapsed: float, conn_id: int, ctx, outcome) -> None:
+        if cmd not in CLUSTER_VERBS:
+            super()._record_request(cmd, parts, start, elapsed, conn_id,
+                                    ctx, outcome)
+            return
+        if cmd in ("SET", "DEL") and len(parts) > 1:
             shard_idx = self.store.shard_of(parts[1])
             self.store.shards[shard_idx].stats.record_latency(elapsed)
-        node.record_request(cmd, elapsed, conn_id)
+        key = parts[1] if cmd in ("SET", "DEL", "REPL", "INVAL", "PUTS",
+                                  "RGET") and len(parts) > 1 else None
+        self.node.record_request(cmd, elapsed, conn_id, start=start,
+                                 ctx=ctx, key=key, outcome=outcome)
 
     async def _read_body(self, reader, length_token: str) -> bytes:
         length = self._int(length_token, "length")
@@ -373,9 +422,23 @@ class ClusterNode:
         self._write_locks = {}  # key -> asyncio.Lock (pruned when idle)
         self._pending_evictions = []  # (key, kind) from the store listener
         store.set_evict_listener(self._on_store_evict)
+        #: one id allocator for the node's request spans *and* its fan-out
+        #: spans (the server shares it), prefixed with the node name so a
+        #: merged trace's ids read as ``node0.17``
+        self._trace_ids = SpanIds(name)
         self.server = ClusterServer(
-            self, store, host=host, port=port, obs=self.obs, **server_kwargs
+            self, store, host=host, port=port, obs=self.obs,
+            trace_ids=self._trace_ids, **server_kwargs
         )
+        if self.obs.registry.enabled:
+            self.obs.registry.gauge_callback(
+                "repro_cluster_pending_invals",
+                lambda: float(sum(
+                    len(h) for h in self._pending_invals.values()
+                )),
+                help="unacked-INVAL debt currently fencing writes",
+                node=name,
+            )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -622,12 +685,21 @@ class ClusterNode:
         if not targets:
             return
         tr = self.obs.tracer
+        # the fan-out span: child of the request span that triggered it
+        # (found via the contextvar — eviction fan-outs with no active
+        # request become roots), propagated to each peer on the wire so
+        # the peers' INVAL spans join the same tree
+        ctx = self._trace_ids.begin(current_context()) if tr.enabled else None
         start = clock()
-        failed = await self._inval_round(targets, key, version)
-        if failed:
-            # one immediate retry: pool contention or a slow peer, not
-            # necessarily a dead one
-            failed = await self._inval_round(failed, key, version)
+        # the rounds run under the fan-out span (a no-op re-set when
+        # tracing is off), so each _inval_one picks the parent up from the
+        # contextvar — keeping its signature patchable in tests
+        with use_context(ctx if ctx is not None else current_context()):
+            failed = await self._inval_round(targets, key, version)
+            if failed:
+                # one immediate retry: pool contention or a slow peer, not
+                # necessarily a dead one
+                failed = await self._inval_round(failed, key, version)
         registry = self.obs.registry
         if registry.enabled:
             registry.counter(
@@ -669,7 +741,7 @@ class ClusterNode:
             tr.emit(
                 "INVAL", cat=CAT_CLUSTER, ts=start, pid=self.lane, tid=0,
                 dur=clock() - start,
-                args={"key": key, "holders": len(targets)},
+                args=span_args(ctx, key=key, holders=len(targets)),
             )
         if failed and strict:
             raise InvalidationError(
@@ -714,31 +786,33 @@ class ClusterNode:
         if not targets:
             return
         tr = self.obs.tracer
+        ctx = self._trace_ids.begin(current_context()) if tr.enabled else None
         start = clock()
-        for target in targets:
-            self.directory.note_replicate(key, target)
-            try:
-                accepted = await asyncio.wait_for(
-                    self._peers[target].repl(key, version, value),
-                    self.peer_timeout,
-                )
-            except (ConnectionError, asyncio.TimeoutError, OSError):
-                accepted = None  # unknown: the push may still land
-            if accepted is False:
-                self.directory.note_replica_evicted(key, target)
-            if self.obs.registry.enabled:
-                self.obs.registry.counter(
-                    "repro_cluster_replications_total",
-                    help="replica pushes, by acceptance",
-                    node=self.name,
-                    accepted=("unknown" if accepted is None
-                              else str(accepted).lower()),
-                ).inc()
+        with use_context(ctx if ctx is not None else current_context()):
+            for target in targets:
+                self.directory.note_replicate(key, target)
+                try:
+                    accepted = await asyncio.wait_for(
+                        self._peers[target].repl(key, version, value),
+                        self.peer_timeout,
+                    )
+                except (ConnectionError, asyncio.TimeoutError, OSError):
+                    accepted = None  # unknown: the push may still land
+                if accepted is False:
+                    self.directory.note_replica_evicted(key, target)
+                if self.obs.registry.enabled:
+                    self.obs.registry.counter(
+                        "repro_cluster_replications_total",
+                        help="replica pushes, by acceptance",
+                        node=self.name,
+                        accepted=("unknown" if accepted is None
+                                  else str(accepted).lower()),
+                    ).inc()
         if tr.enabled:
             tr.emit(
                 "REPL", cat=CAT_CLUSTER, ts=start, pid=self.lane, tid=0,
                 dur=clock() - start,
-                args={"key": key, "targets": len(targets)},
+                args=span_args(ctx, key=key, targets=len(targets)),
             )
 
     # -- peer-side handlers ---------------------------------------------------
@@ -758,6 +832,15 @@ class ClusterNode:
                 help="INVAL messages applied to the local replica store",
                 node=self.name,
             ).inc()
+        tr = self.obs.tracer
+        if tr.enabled and dropped:
+            # audit instant hanging off this INVAL's request span: the
+            # moment the replica actually left this holder
+            tr.emit(
+                REPLICA_INVALIDATED, cat=CAT_AUDIT, ts=clock(),
+                pid=self.lane, tid=0,
+                args=leaf_args(current_context(), key=key, version=version),
+            )
         return dropped
 
     def handle_puts(self, key: str, holder: str) -> None:
@@ -779,13 +862,18 @@ class ClusterNode:
         if peer is None:
             return
         try:
-            await asyncio.wait_for(peer.puts(key, self.name), self.peer_timeout)
+            await asyncio.wait_for(
+                peer.puts(key, self.name, trace=current_context()),
+                self.peer_timeout,
+            )
         except (ConnectionError, asyncio.TimeoutError, OSError):
             pass  # best-effort notice; the owner's INVAL still finds nothing
 
     # -- introspection --------------------------------------------------------
 
-    def record_request(self, cmd: str, elapsed: float, conn_id: int) -> None:
+    def record_request(self, cmd: str, elapsed: float, conn_id: int,
+                       start: float | None = None, ctx=None,
+                       key: str | None = None, outcome=None) -> None:
         """Counters + tracing for one cluster-verb request."""
         registry = self.obs.registry
         if registry.enabled:
@@ -801,9 +889,16 @@ class ClusterNode:
             ).observe(elapsed)
         tr = self.obs.tracer
         if tr.enabled:
+            extra = {}
+            if key is not None:
+                extra["key"] = key
+            if outcome is not None:
+                extra["outcome"] = outcome
             tr.emit(
-                cmd, cat=CAT_CLUSTER, ts=clock() - elapsed, pid=self.lane,
-                tid=conn_id, dur=elapsed,
+                cmd, cat=CAT_CLUSTER,
+                ts=start if start is not None else clock() - elapsed,
+                pid=self.lane, tid=conn_id, dur=elapsed,
+                args=span_args(ctx, **extra),
             )
 
     def status(self) -> dict:
@@ -824,6 +919,8 @@ class ClusterNode:
             "pending_invals": sum(
                 len(h) for h in self._pending_invals.values()
             ),
+            "stale_rejects": self.replica_store.stale_rejects,
+            "eventloop_lag_s": self.server.eventloop_lag,
             "peers": list(self.peer_names()),
             "replication_factor": self.replicas,
         }

@@ -16,6 +16,10 @@ Layers: ``"service"`` is the base cache protocol served by
 served by ``repro.cluster.node.ClusterServer`` on top of it.  ``SET`` and
 ``DEL`` appear in both because the cluster server intercepts them for
 owner routing while plain cache servers handle them directly.
+
+Every request line additionally accepts one optional trailing trace field
+``T=<trace-id>/<span-id>`` (:mod:`repro.obs.dist`), stripped before
+dispatch; it is a field, not a verb, so it has no :class:`Verb` entry.
 """
 
 from __future__ import annotations
@@ -51,6 +55,7 @@ SPEC = (
     Verb("DEL", ("service", "cluster"), "delete a key (cluster: routed)"),
     Verb("STATS", ("service",), "per-shard + aggregate stats snapshot"),
     Verb("METRICS", ("service",), "obs registry in Prometheus text format"),
+    Verb("TRACE", ("service",), "drain the node's trace ring (JSONL batch)"),
     Verb("PING", ("service",), "liveness round-trip"),
     Verb("QUIT", ("service",), "close this connection gracefully"),
     Verb("REPL", ("cluster",), "owner pushes a versioned replica to a peer"),

@@ -1,11 +1,12 @@
-"""Repo-specific lint rules (REP001–REP012).
+"""Repo-specific lint rules (REP001–REP013).
 
 Each rule targets a hazard class that corrupts simulation results or
 serving behaviour *without failing any test*: nondeterminism (REP001,
 REP002), event-loop stalls (REP3/4), Python foot-guns (REP005–REP007),
 architecture erosion (REP008), observability bypass (REP009),
-decentralised parallelism (REP010), unaccounted host timing (REP011)
-and raw transport outside the serving/cluster stack (REP012).
+decentralised parallelism (REP010), unaccounted host timing (REP011),
+raw transport outside the serving/cluster stack (REP012) and
+manually-managed span/timer lifecycles (REP013).
 ``docs/devtools.md`` documents the rule set and how to add one.
 """
 
@@ -349,6 +350,9 @@ ALLOWED_PEERS = {
     # the cluster-scaling experiment drives a LocalCluster; both sit at
     # layer 5, with the experiment registry on the consuming side
     ("repro.experiments", "repro.cluster"),
+    # repro top --cluster fans CSTATUS/STATS in through ClusterClient;
+    # both sit at layer 5, with the obs CLI on the consuming side
+    ("repro.obs.cli", "repro.cluster"),
 }
 
 
@@ -656,3 +660,66 @@ class RawTransportRule(Rule):
                 "or subclass CacheServer so the connection is framed, "
                 "drained and counted",
             )
+
+
+@register
+class UnscopedSpanRule(Rule):
+    """Spans and phase timers must be context-managed outside :mod:`repro.obs`.
+
+    ``tracer.span(...)`` and ``prof.phase(...)`` return context managers
+    whose exit records the timed event; calling one without ``with``
+    either silently records nothing (the generator never runs) or, with
+    a manual ``.start()``/``.stop()`` pair, leaks the span on any
+    exception between the two — a trace with holes exactly where the
+    interesting failures happened.  :mod:`repro.obs` itself implements
+    the managers, so it is exempt.
+    """
+
+    id = "REP013"
+    name = "unscoped-span"
+    description = (
+        "tracer span / phase timer used without 'with' (or via manual "
+        "start/stop) outside repro.obs"
+    )
+    scope = ("repro",)
+
+    #: attribute calls that produce a context-managed timing scope
+    _SCOPE_FACTORIES = frozenset({"span", "phase"})
+    #: receiver-name fragments that mark a manual lifecycle call as a
+    #: span/timer object (``span.start()``, ``timer.stop()``)
+    _SCOPED_RECEIVERS = ("span", "timer", "phase")
+
+    def _exempt(self, ctx) -> bool:
+        return ctx.module == "repro.obs" or ctx.module.startswith("repro.obs.")
+
+    def check_Module(self, node: ast.Module, ctx) -> None:
+        # per-file state on a shared rule instance: the context
+        # expressions of every with-item, so check_Call can tell
+        # ``with tracer.span(...):`` from a bare ``tracer.span(...)``
+        self._with_items = {
+            id(item.context_expr)
+            for wnode in ast.walk(node)
+            if isinstance(wnode, (ast.With, ast.AsyncWith))
+            for item in wnode.items
+        }
+
+    def check_Call(self, node: ast.Call, ctx) -> None:
+        if self._exempt(ctx) or not isinstance(node.func, ast.Attribute):
+            return
+        attr = node.func.attr
+        if attr in self._SCOPE_FACTORIES:
+            if id(node) not in getattr(self, "_with_items", ()):
+                ctx.report(
+                    self, node,
+                    f".{attr}(...) outside a 'with' block records nothing "
+                    "(or leaks on exceptions); use "
+                    f"'with ...{attr}(...):' so the scope always closes",
+                )
+        elif attr in ("start", "stop"):
+            receiver = dotted_name(node.func.value).rsplit(".", 1)[-1].lower()
+            if any(frag in receiver for frag in self._SCOPED_RECEIVERS):
+                ctx.report(
+                    self, node,
+                    f"manual {receiver}.{attr}() lifecycle leaks the scope "
+                    "on exceptions; use the context-manager form instead",
+                )

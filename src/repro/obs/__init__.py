@@ -12,8 +12,12 @@ package is the one place both live:
   in ``chrome://tracing`` / Perfetto);
 * :mod:`repro.obs.logging` — the repo-wide ``configure()`` /
   ``get_logger()`` helpers (``REPRO_LOG_LEVEL`` env var);
-* :mod:`repro.obs.top` — renders the live ``repro top`` dashboard from
-  STATS snapshots (the CLI loop lives in :mod:`repro.obs.cli`).
+* :mod:`repro.obs.dist` — distributed causal tracing: the wire trace
+  field, per-node span ids, cross-node trace merging, topology
+  normalization and the per-key ``repro explain`` audit;
+* :mod:`repro.obs.top` — renders the live ``repro top`` dashboard (and
+  its ``--cluster`` variant) from STATS/CSTATUS snapshots (the CLI loops
+  live in :mod:`repro.obs.cli`).
 
 :class:`Observability` bundles one registry and one tracer so constructors
 thread a single handle.  The disabled bundle is a true no-op: null metrics,
@@ -28,6 +32,21 @@ request path of :mod:`repro.service`.  See ``docs/observability.md``.
 
 from __future__ import annotations
 
+from .dist import (
+    ADMISSION_DENIED,
+    ADMITTED,
+    DELETED,
+    REPLICA_INVALIDATED,
+    UPDATED,
+    SpanIds,
+    TraceContext,
+    current_context,
+    explain_key,
+    format_explain,
+    merge_node_traces,
+    trace_topology,
+    use_context,
+)
 from .prof import (
     NULL_PHASE_TIMER,
     DeterministicSampler,
@@ -43,6 +62,7 @@ from .registry import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    SLOTracker,
     diff_snapshots,
     format_prometheus,
     log_bounds,
@@ -91,6 +111,20 @@ __all__ = [
     "FILL",
     "EVICTION",
     "COHERENCE_TRANSITION",
+    "SLOTracker",
+    "TraceContext",
+    "SpanIds",
+    "current_context",
+    "use_context",
+    "merge_node_traces",
+    "trace_topology",
+    "explain_key",
+    "format_explain",
+    "ADMISSION_DENIED",
+    "ADMITTED",
+    "UPDATED",
+    "DELETED",
+    "REPLICA_INVALIDATED",
 ]
 
 

@@ -1,19 +1,37 @@
-"""CLI commands for observability: ``repro top`` and ``repro obs ...``.
+"""CLI commands for observability: ``repro top``, ``repro obs ...``,
+``repro explain``.
 
 ``top`` is the live dashboard: it polls a running ``repro serve`` instance's
 STATS verb and redraws :func:`repro.obs.top.render_dashboard` every
 ``--interval`` seconds — per-shard hit rates, latency quantiles and request
-rates derived from successive snapshots.
+rates derived from successive snapshots.  With ``--cluster`` (plus
+repeatable ``--node NAME=HOST:PORT``) it fans CSTATUS/STATS in across a
+whole cluster instead and renders
+:func:`repro.obs.top.render_cluster_dashboard`: aggregate hit rate,
+pending-INVAL debt, the stale-push fence counter, per-node event-loop lag
+and SLO burn-rate gauges.  A node that stops answering mid-drain keeps its
+last good row on screen (flagged ``DOWN*n``) rather than crashing the
+frame loop.
 
 ``obs export`` runs a short instrumented simulation (the fig6 reuse-cache
 configuration by default) with tracing enabled and writes the event stream
 as Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
 https://ui.perfetto.dev) or JSONL; ``--metrics-out`` additionally dumps the
 metrics registry in Prometheus text format.  ``obs validate`` checks that a
-trace file will load in those viewers (the CI smoke job gates on it).
+trace file will load in those viewers (the CI smoke job gates on it);
+``--causal`` additionally rejects traces whose span graph has orphan
+parents or cycles.  ``obs collect`` merges per-node trace drains (one
+JSONL/Chrome file per node, node name taken from the file stem) into one
+causal cluster trace via :func:`repro.obs.dist.merge_node_traces`.
 
-This module sits at the CLI layer (it imports the simulator and the service
-client); the rest of :mod:`repro.obs` stays importable from layer 1.
+``explain`` is the decision audit: given a collected trace and ``--key``,
+it prints the key's cross-node lifecycle — tag-only allocation, reuse
+detection, admission verdicts, eviction, replication and invalidation —
+glossed against the paper's I/TO/S state machine.
+
+This module sits at the CLI layer (it imports the simulator, the service
+client and the cluster client); the rest of :mod:`repro.obs` stays
+importable from layer 1.
 """
 
 from __future__ import annotations
@@ -22,18 +40,22 @@ import argparse
 import asyncio
 import json
 import sys
+from pathlib import Path
 
+from ..cluster.client import ClusterClient
 from ..hierarchy.config import LLCSpec, SystemConfig
 from ..hierarchy.system import System
 from ..service.client import CacheClient
 from ..workloads.mixes import EXAMPLE_MIX, build_workload
 from . import Observability
+from .dist import explain_key, format_explain, merge_node_traces
 from .logging import configure as configure_logging
+from .registry import MetricsRegistry, SLOTracker
 from .tracing import validate_chrome_trace
-from .top import CLEAR_SCREEN, render_dashboard
+from .top import CLEAR_SCREEN, render_cluster_dashboard, render_dashboard
 
 #: CLI names handled by this module (dispatched from repro.__main__)
-OBS_COMMANDS = ("top", "obs")
+OBS_COMMANDS = ("top", "obs", "explain")
 
 
 def build_obs_parser() -> argparse.ArgumentParser:
@@ -44,7 +66,8 @@ def build_obs_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    top = sub.add_parser("top", help="live dashboard over a running server")
+    top = sub.add_parser("top", help="live dashboard over a running server "
+                                     "or a whole cluster")
     top.add_argument("--host", default="127.0.0.1")
     top.add_argument("--port", type=int, default=9876)
     top.add_argument("--interval", type=float, default=1.0,
@@ -53,8 +76,16 @@ def build_obs_parser() -> argparse.ArgumentParser:
                      help="frames to draw (0 = until interrupted)")
     top.add_argument("--no-clear", action="store_true",
                      help="append frames instead of clearing the screen")
+    top.add_argument("--cluster", action="store_true",
+                     help="cluster dashboard: fan CSTATUS/STATS in over "
+                          "every --node")
+    top.add_argument("--node", action="append", default=None,
+                     metavar="NAME=HOST:PORT",
+                     help="cluster node address (repeatable, with --cluster)")
+    top.add_argument("--seed", type=int, default=2013,
+                     help="ring seed (must match the cluster's)")
 
-    obs = sub.add_parser("obs", help="trace export / validation")
+    obs = sub.add_parser("obs", help="trace export / validation / collection")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
 
     export = obs_sub.add_parser(
@@ -84,6 +115,26 @@ def build_obs_parser() -> argparse.ArgumentParser:
         "validate", help="check a Chrome-trace file for viewer compatibility"
     )
     validate.add_argument("file", help="trace JSON file to validate")
+    validate.add_argument("--causal", action="store_true",
+                          help="also reject orphan parents and span cycles")
+
+    collect = obs_sub.add_parser(
+        "collect",
+        help="merge per-node trace drains into one causal cluster trace",
+    )
+    collect.add_argument("files", nargs="+", metavar="NODE_TRACE",
+                         help="one JSONL or Chrome-trace file per node; "
+                              "the node name is the file stem")
+    collect.add_argument("--out", metavar="FILE", default="cluster-trace.json",
+                         help="merged Chrome trace output path")
+
+    explain = sub.add_parser(
+        "explain", help="per-key lifecycle audit from a collected trace"
+    )
+    explain.add_argument("file", help="trace JSON/JSONL file (e.g. the "
+                                      "output of 'repro cluster trace')")
+    explain.add_argument("--key", required=True,
+                         help="cache key whose lifecycle to report")
     return parser
 
 
@@ -112,8 +163,102 @@ async def _top_loop(args) -> int:
         await client.close()
 
 
+def _parse_node_specs(specs) -> dict:
+    nodes = {}
+    for spec in specs:
+        try:
+            name, addr = spec.split("=", 1)
+            host, port = addr.rsplit(":", 1)
+            nodes[name] = (host, int(port))
+        except ValueError:
+            raise SystemExit(
+                f"bad --node {spec!r}; expected NAME=HOST:PORT"
+            ) from None
+    return nodes
+
+
+async def _top_cluster_loop(args) -> int:
+    """Poll CSTATUS/STATS across the cluster and redraw the dashboard.
+
+    Degradation contract (a dashboard must outlive the incidents it is
+    watching): ``cstatus_summary`` already reports down nodes instead of
+    raising; on top of that this loop keeps each node's *last good*
+    CSTATUS block on screen, flagged with how many polls ago it was
+    taken, and treats a failed STATS fan-in as "no hit-rate line this
+    frame" rather than a crash.
+    """
+    nodes = _parse_node_specs(args.node)
+    registry = MetricsRegistry(enabled=True)
+    slos = {
+        # fraction of node-polls answered: burns when nodes are down
+        "availability": SLOTracker("availability", 0.99, registry=registry),
+        # fraction of lookups NOT saved from staleness by the version
+        # fence: burns when INVAL debt turns into fenced stale pushes
+        "freshness": SLOTracker("freshness", 0.999, registry=registry),
+    }
+    polls_total = polls_ok = 0
+    last_good = {}  # name -> last reachable CSTATUS block
+    stale_polls = {}  # name -> consecutive polls served from last_good
+    frames = 0
+    async with ClusterClient(nodes, seed=args.seed) as client:
+        while True:
+            summary = await client.cstatus_summary()
+            for name, block in summary["nodes"].items():
+                if block.get("unreachable"):
+                    stale_polls[name] = stale_polls.get(name, 0) + 1
+                    if name in last_good:
+                        summary["nodes"][name] = {
+                            **last_good[name],
+                            "unreachable": True,
+                            "stale_polls": stale_polls[name],
+                        }
+                else:
+                    last_good[name] = block
+                    stale_polls[name] = 0
+            polls_total += len(summary["nodes"])
+            polls_ok += len(summary["nodes"]) - len(summary["unreachable"])
+            try:
+                stats = await client.stats()
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                stats = None  # mid-drain node: skip the hit-rate line
+            burn = {
+                "availability": slos["availability"].observe(
+                    polls_ok, polls_total
+                ),
+            }
+            if stats is not None:
+                total = stats.get("total", {})
+                lookups = total.get("hits", 0) + total.get("misses", 0)
+                fenced = min(
+                    summary["totals"].get("stale_rejects", 0), lookups
+                )
+                burn["freshness"] = slos["freshness"].observe(
+                    lookups - fenced, lookups
+                )
+            frame = render_cluster_dashboard(
+                summary, stats=stats,
+                interval=args.interval if frames else None, burn=burn,
+            )
+            if not args.no_clear:
+                sys.stdout.write(CLEAR_SCREEN)
+            print(frame, flush=True)
+            frames += 1
+            if args.iterations and frames >= args.iterations:
+                return 0
+            await asyncio.sleep(args.interval)
+
+
 def cmd_top(args) -> int:
-    """Poll STATS and redraw the dashboard until interrupted."""
+    """Poll STATS (or cluster CSTATUS) and redraw until interrupted."""
+    if args.cluster:
+        if not args.node:
+            print("repro top: --cluster needs at least one "
+                  "--node NAME=HOST:PORT", file=sys.stderr)
+            return 2
+        try:
+            return asyncio.run(_top_cluster_loop(args))
+        except KeyboardInterrupt:
+            return 0
     try:
         return asyncio.run(_top_loop(args))
     except KeyboardInterrupt:
@@ -124,7 +269,7 @@ def cmd_top(args) -> int:
         return 1
 
 
-# -- repro obs export / validate ---------------------------------------------
+# -- repro obs export / validate / collect ------------------------------------
 
 
 def cmd_export(args) -> int:
@@ -167,14 +312,85 @@ def cmd_validate(args) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"repro obs validate: {args.file}: {exc}", file=sys.stderr)
         return 1
-    problems = validate_chrome_trace(doc)
+    problems = validate_chrome_trace(doc, causal=args.causal)
     if problems:
         for problem in problems:
             print(f"{args.file}: {problem}", file=sys.stderr)
         return 1
     events = doc["traceEvents"] if isinstance(doc, dict) else doc
-    print(f"{args.file}: OK ({len(events)} event(s))")
+    print(f"{args.file}: OK ({len(events)} event(s)"
+          + (", causally complete" if args.causal else "") + ")")
     return 0
+
+
+def _load_trace_events(path: Path) -> list:
+    """Event dicts from either a JSONL drain or a Chrome-trace document."""
+    text = path.read_text(encoding="utf-8")
+    stripped = text.lstrip()
+    if stripped.startswith("["):
+        return json.loads(text)
+    if stripped.startswith("{"):
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            pass  # not one document: fall through to JSONL, line per event
+        else:
+            events = doc.get("traceEvents")
+            if isinstance(events, list):
+                return events
+            if "ph" in doc:  # a one-line JSONL drain: one bare event
+                return [doc]
+            raise ValueError("object has no 'traceEvents' list")
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def cmd_collect(args) -> int:
+    """Merge per-node trace files into one causally-validated trace."""
+    node_events = {}
+    for spec in args.files:
+        path = Path(spec)
+        name = path.stem
+        if name in node_events:
+            print(f"repro obs collect: duplicate node name {name!r} "
+                  f"(from {spec})", file=sys.stderr)
+            return 1
+        try:
+            node_events[name] = _load_trace_events(path)
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"repro obs collect: {spec}: {exc}", file=sys.stderr)
+            return 1
+    merged = merge_node_traces(node_events, time_unit="s")
+    problems = validate_chrome_trace(merged, causal=True)
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(merged, fh, indent=1)
+    other = merged["otherData"]
+    print(f"collected {len(merged['traceEvents'])} event(s) from "
+          f"{len(other['nodes'])} node(s), "
+          f"{other['cross_node_edges']} cross-node edge(s)")
+    print(f"wrote {args.out}")
+    if problems:
+        for problem in problems[:10]:
+            print(f"{args.out}: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+# -- repro explain ------------------------------------------------------------
+
+
+def cmd_explain(args) -> int:
+    """Print one key's cross-node lifecycle from a collected trace."""
+    try:
+        doc = _load_trace_events(Path(args.file))
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro explain: {args.file}: {exc}", file=sys.stderr)
+        return 1
+    # _load_trace_events flattens to an event list, which loses the
+    # process_name metadata lookup only if absent; merged traces keep
+    # their metadata events in the list, so node names still resolve
+    records = explain_key(doc, args.key)
+    print(format_explain(args.key, records))
+    return 0 if records else 1
 
 
 def main(argv) -> int:
@@ -183,6 +399,10 @@ def main(argv) -> int:
     args = build_obs_parser().parse_args(argv)
     if args.command == "top":
         return cmd_top(args)
+    if args.command == "explain":
+        return cmd_explain(args)
     if args.obs_command == "export":
         return cmd_export(args)
+    if args.obs_command == "collect":
+        return cmd_collect(args)
     return cmd_validate(args)

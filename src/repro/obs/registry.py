@@ -310,6 +310,68 @@ class MetricsRegistry:
         return format_prometheus(self.snapshot(run_collectors))
 
 
+class SLOTracker:
+    """Error-budget burn rate for one service-level objective.
+
+    ``objective`` is the target good/total ratio (e.g. ``0.999`` for
+    "99.9% of reads are not stale").  Feed it cumulative ``(good, total)``
+    counters with :meth:`observe`; the burn rate is the observed error
+    rate divided by the budgeted error rate, so ``1.0`` means the budget
+    is being consumed exactly on schedule, ``>1`` means faster (a burn
+    rate of 10 exhausts a 30-day budget in 3 days), and ``0`` means no
+    errors at all.  With a ``registry`` the current rate is published as
+    the gauge ``repro_slo_burn_rate{slo=<name>}``, which is what the
+    ``repro top --cluster`` burn-gauge line reads.
+    """
+
+    __slots__ = ("name", "objective", "good", "total", "_gauge")
+
+    def __init__(self, name: str, objective: float, registry=None, **labels):
+        if not 0.0 < objective < 1.0:
+            raise ValueError(
+                f"objective must be in (0, 1), got {objective} for {name!r}"
+            )
+        self.name = name
+        self.objective = objective
+        self.good = 0
+        self.total = 0
+        self._gauge = None
+        if registry is not None:
+            self._gauge = registry.gauge(
+                "repro_slo_burn_rate",
+                help="error-budget burn rate (1.0 = on budget)",
+                slo=name, **labels,
+            )
+
+    def observe(self, good, total) -> float:
+        """Record cumulative counters; returns the current burn rate.
+
+        ``good``/``total`` are lifetime totals (the natural shape of
+        CSTATUS/STATS counters), not deltas — each call replaces the
+        previous observation.
+        """
+        if total < good:
+            raise ValueError(f"good ({good}) cannot exceed total ({total})")
+        self.good = good
+        self.total = total
+        rate = self.burn_rate
+        if self._gauge is not None:
+            self._gauge.set(rate)
+        return rate
+
+    @property
+    def error_rate(self) -> float:
+        """Observed bad/total ratio (0.0 before any traffic)."""
+        if self.total == 0:
+            return 0.0
+        return (self.total - self.good) / self.total
+
+    @property
+    def burn_rate(self) -> float:
+        """``error_rate / (1 - objective)`` — how fast the budget burns."""
+        return self.error_rate / (1.0 - self.objective)
+
+
 # -- snapshot algebra ---------------------------------------------------------
 
 

@@ -136,6 +136,94 @@ def render_dashboard(
     return "\n".join(lines)
 
 
+def render_cluster_dashboard(
+    summary: dict,
+    stats: dict | None = None,
+    interval: float | None = None,
+    burn: dict | None = None,
+) -> str:
+    """One ``repro top --cluster`` frame from a ``cstatus_summary()`` dict.
+
+    Pure like :func:`render_dashboard`: summary in, text out.  ``summary``
+    node blocks may additionally carry a ``stale_polls`` count (added by
+    the poll loop when it re-uses the last good CSTATUS of a node that
+    stopped answering) — such nodes render with their stale data flagged
+    rather than vanishing from the table.  ``stats`` is an optional
+    ``ClusterClient.stats()`` aggregate for the hit-rate line; ``burn``
+    maps SLO name -> current burn rate.
+    """
+    nodes = summary.get("nodes", {})
+    totals = summary.get("totals", {})
+    unreachable = summary.get("unreachable", [])
+    draining = summary.get("draining", [])
+    reachable = len(nodes) - len(unreachable)
+    lines = [
+        "repro top — cache cluster"
+        + (f"  (refresh {interval:g}s)" if interval else ""),
+        (
+            f"nodes {len(nodes)} ({reachable} reachable"
+            + (f", {len(draining)} draining" if draining else "")
+            + ")"
+            f" · stored {totals.get('stored', 0)}"
+            f"/{totals.get('data_capacity', 0)}"
+            f" · replicas held {totals.get('replicas_held', 0)}"
+        ),
+        (
+            f"pending-INVAL debt {totals.get('pending_invals', 0)}"
+            f" · stale pushes fenced {totals.get('stale_rejects', 0)}"
+            f" · protocol races {totals.get('protocol_races', 0)}"
+        ),
+    ]
+    if stats is not None:
+        total = stats.get("total", {})
+        lines.append(
+            f"cluster hit rate {total.get('hit_rate', 0.0):.4f}"
+            f" · hits {total.get('hits', 0)}"
+            f" · misses {total.get('misses', 0)}"
+        )
+    if burn:
+        lines.append(
+            "slo burn  "
+            + "  ·  ".join(
+                f"{name} {rate:.2f}x" for name, rate in sorted(burn.items())
+            )
+        )
+    lines.append("")
+    lines.append(
+        f"{'node':>8} {'state':>9} {'stored':>12} {'repl':>6} {'pendI':>6} "
+        f"{'stale':>6} {'races':>6} {'loop ms':>8}"
+    )
+    for name in sorted(nodes):
+        block = nodes[name]
+        if block.get("unreachable") and "stored" not in block:
+            # down before we ever got a CSTATUS: nothing cached to show
+            lines.append(f"{name:>8} {'DOWN':>9} {'-':>12} {'-':>6} {'-':>6} "
+                         f"{'-':>6} {'-':>6} {'-':>8}")
+            continue
+        if block.get("unreachable"):
+            state = f"DOWN*{block.get('stale_polls', 0)}"
+        elif block.get("draining"):
+            state = "draining"
+        else:
+            state = "ok"
+        stored = f"{block.get('stored', 0)}/{block.get('data_capacity', 0)}"
+        lines.append(
+            f"{name:>8} {state:>9} {stored:>12} "
+            f"{block.get('replicas_held', 0):>6} "
+            f"{block.get('pending_invals', 0):>6} "
+            f"{block.get('stale_rejects', 0):>6} "
+            f"{block.get('protocol_races', 0):>6} "
+            f"{block.get('eventloop_lag_s', 0.0) * 1e3:>8.2f}"
+        )
+    if unreachable:
+        lines.append("")
+        lines.append(
+            "* DOWN rows show the last CSTATUS each node answered; the "
+            "suffix counts polls since"
+        )
+    return "\n".join(lines)
+
+
 def _gauge_value(obs_snapshot: dict, name: str) -> float:
     family = obs_snapshot.get(name)
     if not family or not family.get("series"):

@@ -209,6 +209,16 @@ class Tracer:
         with open(path, "w", encoding="utf-8") as fh:
             fh.write(payload)
 
+    def drain(self) -> str:
+        """Export the retained events as JSONL and clear the ring.
+
+        Backs the wire ``TRACE`` verb: each drain hands the collector a
+        disjoint batch, so repeated collection never double-counts.
+        """
+        payload = self.to_jsonl()
+        self.clear()
+        return payload
+
 
 class _NullTracer:
     """Disabled tracer: the default attached to instrumented objects."""
@@ -232,6 +242,9 @@ class _NullTracer:
     def clear(self):
         pass
 
+    def drain(self):
+        return ""
+
 
 NULL_TRACER = _NullTracer()
 
@@ -239,16 +252,22 @@ NULL_TRACER = _NullTracer()
 # -- trace_event schema validation ---------------------------------------------
 
 #: phases of the trace_event format we may emit or accept
-_VALID_PHASES = frozenset("BEXiIsnteSTpFbMNODPvRc(){}")
+_VALID_PHASES = frozenset("BEXiIsnteSTpFbfMNODPvRc(){}")
 
 
-def validate_chrome_trace(doc) -> list:
+def validate_chrome_trace(doc, causal: bool = False) -> list:
     """Validate a parsed Chrome-trace document; returns a list of problems.
 
     Checks the shape CI gates on: a ``traceEvents`` list (or a bare event
     list, which the format also allows) whose entries carry ``ph``/``ts``/
     ``pid`` keys with sane types.  An empty problem list means Perfetto and
     ``chrome://tracing`` will load the file.
+
+    With ``causal=True`` the span graph declared in event ``args``
+    (``span``/``parent``, see :mod:`repro.obs.dist`) is checked too: every
+    referenced parent must exist somewhere in the document (no orphans —
+    a dangling INVAL span means its originating write was lost), and the
+    parent links must not cycle.
     """
     problems = []
     if isinstance(doc, dict):
@@ -281,4 +300,54 @@ def validate_chrome_trace(doc) -> list:
         if len(problems) >= 50:
             problems.append("... (validation stopped after 50 problems)")
             break
+    if causal and not problems:
+        problems.extend(_causal_problems(events))
+    return problems
+
+
+def _causal_problems(events) -> list:
+    """Orphan-parent and parent-cycle findings over the span graph."""
+    problems = []
+    parent_of = {}  # span id -> its declared parent (or None)
+    for event in events:
+        if not isinstance(event, dict):
+            continue
+        args = event.get("args")
+        if isinstance(args, dict) and "span" in args:
+            parent_of[args["span"]] = args.get("parent")
+    orphans = 0
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            continue
+        args = event.get("args")
+        parent = args.get("parent") if isinstance(args, dict) else None
+        if parent is not None and parent not in parent_of:
+            orphans += 1
+            if orphans <= 10:
+                problems.append(
+                    f"event {i} ({event.get('name')!r}): orphan — parent "
+                    f"span {parent!r} is nowhere in the trace"
+                )
+    if orphans > 10:
+        problems.append(f"... ({orphans} orphan event(s) in total)")
+    verified = set()  # spans proven to reach a root without cycling
+    flagged = set()
+    for span in parent_of:
+        chain = []
+        seen = set()
+        cur = span
+        while cur is not None and cur in parent_of and cur not in verified:
+            if cur in seen:
+                if cur not in flagged:
+                    flagged.add(cur)
+                    problems.append(
+                        f"span {cur!r}: parent links form a cycle "
+                        "(causal order is unsatisfiable)"
+                    )
+                break
+            seen.add(cur)
+            chain.append(cur)
+            cur = parent_of[cur]
+        else:
+            verified.update(chain)
     return problems

@@ -22,6 +22,7 @@ from __future__ import annotations
 import asyncio
 import json
 
+from ..obs.dist import wire_token
 from .server import MAX_VALUE_BYTES
 
 
@@ -30,11 +31,19 @@ class ServerError(Exception):
 
 
 class CacheClient:
-    """Pooled asyncio client with retry/backoff."""
+    """Pooled asyncio client with retry/backoff.
+
+    The key/value verbs accept an optional ``trace`` keyword — a
+    :class:`repro.obs.dist.TraceContext` appended to the request line as a
+    trailing ``T=<trace>/<span>`` field — so a caller's span becomes the
+    parent of the server-side request span (distributed causal tracing).
+    ``trace=None`` (the default) sends the exact same bytes as before the
+    field existed.
+    """
 
     #: response headers followed by a length-prefixed body; subclasses
     #: (the cluster's peer client) extend this for their extra verbs
-    _BODY_TOKENS = ("VALUE", "STATS", "METRICS")
+    _BODY_TOKENS = ("VALUE", "STATS", "METRICS", "TRACE")
 
     def __init__(
         self,
@@ -166,18 +175,22 @@ class CacheClient:
 
     # -- protocol commands -----------------------------------------------------
 
-    async def get(self, key: str):
+    async def get(self, key: str, trace=None):
         """Value bytes for ``key``, or ``None`` on a miss."""
-        tokens, body = await self._request(f"GET {key}\n".encode("utf-8"))
+        tail = f" {wire_token(trace)}" if trace is not None else ""
+        tokens, body = await self._request(f"GET {key}{tail}\n".encode("utf-8"))
         if tokens[0] == "MISS":
             return None
         if tokens[0] == "VALUE":
             return body
         raise ServerError(f"unexpected response {tokens!r}")
 
-    async def set(self, key: str, value: bytes) -> bool:
+    async def set(self, key: str, value: bytes, trace=None) -> bool:
         """Offer ``value``; True if stored, False if only tagged (declined)."""
-        payload = b"SET %s %d\n%s\n" % (key.encode("utf-8"), len(value), value)
+        tail = f" {wire_token(trace)}" if trace is not None else ""
+        payload = b"SET %s %d%s\n%s\n" % (
+            key.encode("utf-8"), len(value), tail.encode("utf-8"), value,
+        )
         tokens, _ = await self._request(payload)
         if tokens[0] == "STORED":
             return True
@@ -185,9 +198,10 @@ class CacheClient:
             return False
         raise ServerError(f"unexpected response {tokens!r}")
 
-    async def delete(self, key: str) -> bool:
+    async def delete(self, key: str, trace=None) -> bool:
         """Delete ``key``; True iff a stored value was removed."""
-        tokens, _ = await self._request(f"DEL {key}\n".encode("utf-8"))
+        tail = f" {wire_token(trace)}" if trace is not None else ""
+        tokens, _ = await self._request(f"DEL {key}{tail}\n".encode("utf-8"))
         if tokens[0] == "DELETED":
             return True
         if tokens[0] == "NOTFOUND":
@@ -210,6 +224,19 @@ class CacheClient:
         if tokens[0] != "METRICS":
             raise ServerError(f"unexpected response {tokens!r}")
         return body.decode("utf-8")
+
+    async def trace(self) -> list:
+        """Drain the server's trace ring; returns the events as dicts.
+
+        Each call hands back a disjoint batch (the server clears its ring
+        on drain), so a collector polling several nodes never
+        double-counts.  Empty list when tracing is disabled server-side.
+        """
+        tokens, body = await self._request(b"TRACE\n")
+        if tokens[0] != "TRACE":
+            raise ServerError(f"unexpected response {tokens!r}")
+        text = body.decode("utf-8")
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
 
     async def ping(self) -> bool:
         """Round-trip health check."""

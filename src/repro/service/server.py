@@ -13,7 +13,15 @@ request                                 response
 ``METRICS\\n``                           ``METRICS <len>\\n<prometheus-text>\\n``
 ``PING\\n``                              ``PONG\\n``
 ``QUIT\\n``                              ``BYE\\n`` and the connection closes
+``TRACE\\n``                             ``TRACE <len>\\n<jsonl>\\n`` (drains the
+                                        node's trace ring)
 ======================================  =========================================
+
+Every request line additionally accepts an optional trailing trace field
+``T=<trace-id>/<span-id>`` (see :mod:`repro.obs.dist`): the server opens
+its request span as a *child* of the caller's span, so a cluster write and
+the INVAL fan-out it triggers on peer nodes merge into one causal tree.
+The field is stripped before arity checks and ignored when tracing is off.
 
 ``TAGGED`` is the protocol-visible face of selective allocation: the server
 *declined* to store the value but recorded the key in the tag directory, so
@@ -47,10 +55,21 @@ shard's process lane, with the connection id as the thread lane.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import os
 
 from ..obs import Observability
+from ..obs.dist import (
+    DECISION_EVENTS,
+    CAT_AUDIT,
+    SpanIds,
+    current_context,
+    leaf_args,
+    pop_trace_token,
+    span_args,
+    use_context,
+)
 from ..obs.logging import get_logger
 from ..obs.prof import clock, process_resources
 from ..obs.tracing import CAT_REQUEST
@@ -62,6 +81,10 @@ log = get_logger(__name__)
 MAX_VALUE_BYTES = 16 * 1024 * 1024
 #: hard cap on request-line length (fits any sane key)
 MAX_LINE_BYTES = 64 * 1024
+
+#: default span-id prefixes for servers not given one (cluster nodes pass
+#: their node name); a plain counter keeps ids deterministic per process
+_SERVER_SEQ = itertools.count(1)
 
 
 class ProtocolError(Exception):
@@ -83,6 +106,7 @@ class CacheServer:
         max_connections: int = 256,
         request_timeout: float = 5.0,
         obs: Observability | None = None,
+        trace_ids: SpanIds | None = None,
     ):
         self.store = store
         self.host = host
@@ -90,6 +114,14 @@ class CacheServer:
         self.max_connections = max_connections
         self.request_timeout = request_timeout
         self.obs = obs if obs is not None else Observability.disabled()
+        self._trace_ids = (trace_ids if trace_ids is not None
+                           else SpanIds(f"srv{next(_SERVER_SEQ)}"))
+        #: most recent event-loop lag sample (0.0 until measured); CSTATUS
+        #: surfaces it so ``repro top --cluster`` can show saturation
+        self.eventloop_lag = 0.0
+        if (self.obs.tracer.enabled
+                and hasattr(store, "set_decision_listener")):
+            store.set_decision_listener(self._on_store_decision)
         self._server = None
         self._writers = set()
         self._inflight = 0
@@ -178,7 +210,8 @@ class CacheServer:
             while True:
                 before = loop.time()
                 await asyncio.sleep(interval)
-                gauge.set(max(0.0, loop.time() - before - interval))
+                self.eventloop_lag = max(0.0, loop.time() - before - interval)
+                gauge.set(self.eventloop_lag)
         except asyncio.CancelledError:
             pass
 
@@ -223,7 +256,7 @@ class CacheServer:
                 self._inflight += 1
                 try:
                     await asyncio.wait_for(
-                        self._serve_request(line, reader, writer, conn_id),
+                        self._handle_request(line, reader, writer, conn_id),
                         self.request_timeout,
                     )
                 except asyncio.TimeoutError:
@@ -249,25 +282,60 @@ class CacheServer:
             except (ConnectionError, OSError):
                 pass
 
-    async def _serve_request(self, line: bytes, reader, writer, conn_id: int = 0) -> None:
+    async def _handle_request(self, line: bytes, reader, writer,
+                              conn_id: int = 0) -> None:
+        """Frame one request: decode, pop the trace field, dispatch, record.
+
+        The trace field is stripped *before* arity checks so every verb
+        accepts it; with tracing enabled the dispatch runs under the
+        request's span context (:func:`use_context`), which is how
+        fan-outs deep inside the cluster layer find their parent.
+        """
         try:
             parts = line.decode("utf-8").split()
         except UnicodeDecodeError:
             raise ProtocolError("request not utf-8") from None
+        parts, wire_ctx = pop_trace_token(parts)
         if not parts:
             raise ProtocolError("empty request")
         cmd = parts[0].upper()
         start = clock()
+        tr = self.obs.tracer
+        if tr.enabled:
+            ctx = self._trace_ids.begin(wire_ctx)
+            with use_context(ctx):
+                outcome = await self._serve_request(
+                    cmd, parts, reader, writer, conn_id
+                )
+        else:
+            ctx = None
+            outcome = await self._serve_request(
+                cmd, parts, reader, writer, conn_id
+            )
+        await writer.drain()
+        self._record_request(
+            cmd, parts, start, clock() - start, conn_id, ctx, outcome
+        )
 
+    async def _serve_request(self, cmd: str, parts: list, reader, writer,
+                             conn_id: int = 0):
+        """Dispatch one decoded request; returns the outcome label (or None).
+
+        ``cmd`` is ``parts[0].upper()``; responses are written but not yet
+        drained (the caller drains once).  FLOW003 extracts the served
+        verbs from the ``cmd`` comparisons in this method — a new verb
+        needs its arm here, a spec entry, and a client sender.
+        """
         if cmd == "GET":
             key = self._one_key(parts)
             value = self.store.get(key)
             if value is None:
                 writer.write(b"MISS\n")
-            else:
-                writer.write(b"VALUE %d\n" % len(value))
-                writer.write(value)
-                writer.write(b"\n")
+                return "miss"
+            writer.write(b"VALUE %d\n" % len(value))
+            writer.write(value)
+            writer.write(b"\n")
+            return "hit"
         elif cmd == "SET":
             if len(parts) != 3:
                 raise ProtocolError("usage: SET <key> <len>")
@@ -286,10 +354,12 @@ class CacheServer:
                 raise ProtocolError("value not newline-terminated")
             stored = self.store.set(key, body[:-1])
             writer.write(b"STORED\n" if stored else b"TAGGED\n")
+            return "stored" if stored else "tagged"
         elif cmd == "DEL":
             key = self._one_key(parts)
             removed = self.store.delete(key)
             writer.write(b"DELETED\n" if removed else b"NOTFOUND\n")
+            return "deleted" if removed else "notfound"
         elif cmd == "STATS":
             snapshot = self.store.stats_snapshot()
             snapshot["process"] = {"pid": os.getpid(), **process_resources()}
@@ -304,6 +374,11 @@ class CacheServer:
             writer.write(b"METRICS %d\n" % len(payload))
             writer.write(payload)
             writer.write(b"\n")
+        elif cmd == "TRACE":
+            payload = self.obs.tracer.drain().encode("utf-8")
+            writer.write(b"TRACE %d\n" % len(payload))
+            writer.write(payload)
+            writer.write(b"\n")
         elif cmd == "PING":
             writer.write(b"PONG\n")
         elif cmd == "QUIT":
@@ -312,12 +387,16 @@ class CacheServer:
             raise _Quit
         else:
             raise ProtocolError(f"unknown command {cmd!r}")
+        return None
 
-        await writer.drain()
-        elapsed = clock() - start
+    def _record_request(self, cmd: str, parts: list, start: float,
+                        elapsed: float, conn_id: int, ctx, outcome) -> None:
+        """Latency, counters and the request span for one answered request."""
         shard_idx = 0
-        if cmd in ("GET", "SET", "DEL"):
-            shard_idx = self.store.shard_of(parts[1])
+        key = None
+        if cmd in ("GET", "SET", "DEL") and len(parts) > 1:
+            key = parts[1]
+            shard_idx = self.store.shard_of(key)
             self.store.shards[shard_idx].stats.record_latency(elapsed)
         registry = self.obs.registry
         if registry.enabled:
@@ -332,11 +411,32 @@ class CacheServer:
                 cmd=cmd,
             ).observe(elapsed)
         tr = self.obs.tracer
-        if tr.enabled:
+        # the TRACE verb's own span would pollute the batch after a drain
+        if tr.enabled and cmd != "TRACE":
+            extra = {}
+            if key is not None:
+                extra["key"] = key
+            if outcome is not None:
+                extra["outcome"] = outcome
             tr.emit(
                 cmd, cat=CAT_REQUEST, ts=start, pid=shard_idx, tid=conn_id,
-                dur=elapsed,
+                dur=elapsed, args=span_args(ctx, **extra),
             )
+
+    def _on_store_decision(self, key: str, decision: str) -> None:
+        """Store decision hook -> audit instant on the active request span.
+
+        Installed only when tracing is on (the obs-off store keeps a bare
+        ``None`` listener); runs under the store lock, so it only appends
+        to the ring.
+        """
+        name = DECISION_EVENTS.get(decision)
+        if name is None:
+            return
+        self.obs.tracer.emit(
+            name, cat=CAT_AUDIT, ts=clock(), pid=self.store.shard_of(key),
+            tid=0, args=leaf_args(current_context(), key=key),
+        )
 
     @staticmethod
     def _one_key(parts: list) -> str:

@@ -106,6 +106,11 @@ class ShardedStore:
         for shard in self.shards:
             shard.evict_listener = fn
 
+    def set_decision_listener(self, fn) -> None:
+        """Install ``fn(key, decision)`` as every shard's decision listener."""
+        for shard in self.shards:
+            shard.decision_listener = fn
+
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
 

@@ -114,6 +114,15 @@ class ReuseStore:
         #: callback runs under the store lock and must not re-enter the
         #: store.
         self.evict_listener = None
+        #: optional ``fn(key, decision)`` observing every admission-relevant
+        #: decision the store takes, with ``decision`` one of
+        #: ``("tag_alloc", "reuse", "deny", "admit", "update", "delete",
+        #: "evict_data", "evict_tag")``.  The observability layer turns
+        #: these into per-key audit events (``repro explain``); same
+        #: contract as ``evict_listener``: runs under the store lock, must
+        #: not re-enter the store.  ``None`` (the default) costs one
+        #: ``is not None`` branch per decision point.
+        self.decision_listener = None
 
     # -- public API ----------------------------------------------------------
 
@@ -139,6 +148,8 @@ class ReuseStore:
                 set_idx, tag_way = loc
                 self._tag_reused[set_idx][tag_way] = True
                 self._nrr.on_hit(set_idx, tag_way)
+                if self.decision_listener is not None:
+                    self.decision_listener(key, "reuse")
             else:
                 self._insert_tag(key)
             return None
@@ -156,6 +167,8 @@ class ReuseStore:
                 self.stats.record_update(len(value), len(self._values[way]))
                 self._values[way] = value
                 self._clock.on_hit(0, way)
+                if self.decision_listener is not None:
+                    self.decision_listener(key, "update")
                 return True
 
             loc = self._tag_index.get(key)
@@ -165,6 +178,8 @@ class ReuseStore:
 
             if self.admission == "reuse" and not self._tag_reused[set_idx][tag_way]:
                 self.stats.record_tag_only_set()
+                if self.decision_listener is not None:
+                    self.decision_listener(key, "deny")
                 return False
 
             way = self._allocate_data_way()
@@ -173,6 +188,8 @@ class ReuseStore:
             self._data_index[key] = way
             self._clock.on_fill(0, way)
             self.stats.record_admission(len(value))
+            if self.decision_listener is not None:
+                self.decision_listener(key, "admit")
             return True
 
     def force_set(self, key: str, value: bytes) -> bool:
@@ -200,6 +217,8 @@ class ReuseStore:
                 self._release_data_way(way)
                 self.stats.record_delete()
                 had_value = True
+                if self.decision_listener is not None:
+                    self.decision_listener(key, "delete")
             loc = self._tag_index.pop(key, None)
             if loc is not None:
                 set_idx, tag_way = loc
@@ -263,6 +282,8 @@ class ReuseStore:
         self._tag_reused[set_idx][way] = False
         self._tag_index[key] = (set_idx, way)
         self._nrr.on_fill(set_idx, way)
+        if self.decision_listener is not None:
+            self.decision_listener(key, "tag_alloc")
         return set_idx, way
 
     def _evict_tag(self, set_idx: int) -> int:
@@ -287,6 +308,8 @@ class ReuseStore:
         self.stats.record_tag_eviction()
         if self.evict_listener is not None:
             self.evict_listener(victim_key, "tag")
+        if self.decision_listener is not None:
+            self.decision_listener(victim_key, "evict_tag")
         return way
 
     def _allocate_data_way(self) -> int:
@@ -303,6 +326,8 @@ class ReuseStore:
         self.stats.record_data_eviction()
         if self.evict_listener is not None:
             self.evict_listener(victim_key, "data")
+        if self.decision_listener is not None:
+            self.decision_listener(victim_key, "evict_data")
         # demote, keeping the reuse history (paper: S -> TO on DataRepl);
         # the tag stays resident so the next fetch re-admits the key
         return way

@@ -60,8 +60,8 @@ class TestEngine:
         assert codes(findings) == ["REP000"]
         assert "syntax error" in findings[0].message
 
-    def test_registry_has_the_twelve_repo_rules(self):
-        assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 13)]
+    def test_registry_has_the_thirteen_repo_rules(self):
+        assert sorted(RULES) == [f"REP{i:03d}" for i in range(1, 14)]
 
     def test_select_unknown_rule_raises(self):
         with pytest.raises(ValueError, match="unknown rule ids"):
@@ -753,3 +753,78 @@ class TestRawTransport:
             "from repro.cluster import ClusterClient\n",
             module="repro.service.server",
         )) == ["REP008"]
+
+
+class TestUnscopedSpan:
+    def test_flags_bare_span_call(self):
+        findings = lint_snippet(
+            "def handle(tracer):\n"
+            "    tracer.span('request')\n",
+            module="repro.service.server",
+        )
+        assert codes(findings) == ["REP013"]
+        assert "with" in findings[0].message
+
+    def test_flags_bare_phase_call(self):
+        assert codes(lint_snippet(
+            "def run(prof):\n"
+            "    prof.phase('simulate')\n",
+            module="repro.runner.engine",
+        )) == ["REP013"]
+
+    def test_flags_manual_start_stop_lifecycle(self):
+        findings = lint_snippet(
+            "def run(span, timer):\n"
+            "    span.start()\n"
+            "    timer.stop()\n",
+            module="repro.service.server",
+        )
+        assert codes(findings) == ["REP013", "REP013"]
+
+    def test_with_block_is_legal(self):
+        assert lint_snippet(
+            "def handle(tracer, prof):\n"
+            "    with tracer.span('request'):\n"
+            "        with prof.phase('parse'):\n"
+            "            pass\n",
+            module="repro.service.server",
+        ) == []
+
+    def test_async_with_is_legal(self):
+        assert lint_snippet(
+            "async def handle(tracer):\n"
+            "    async with tracer.span('request'):\n"
+            "        pass\n",
+            module="repro.service.server",
+        ) == []
+
+    def test_repro_obs_is_exempt(self):
+        src = (
+            "def span_impl(self):\n"
+            "    self.span('x')\n"
+            "    timer.start()\n"
+        )
+        assert lint_snippet(src, module="repro.obs.tracing") == []
+
+    def test_unrelated_start_receivers_stay_legal(self):
+        assert lint_snippet(
+            "async def boot(node, server):\n"
+            "    await node.start()\n"
+            "    await server.stop()\n",
+            module="repro.cluster.local",
+        ) == []
+
+    def test_suppression(self):
+        assert lint_snippet(
+            "def handle(tracer):\n"
+            "    tracer.span('request')  # repro: noqa=REP013\n",
+            module="repro.service.server",
+        ) == []
+
+    def test_obs_cli_may_import_the_cluster_client(self):
+        # repro top --cluster fans in over ClusterClient: peer-listed
+        assert ("repro.obs.cli", "repro.cluster") in ALLOWED_PEERS
+        assert lint_snippet(
+            "from repro.cluster.client import ClusterClient\n",
+            module="repro.obs.cli",
+        ) == []
