@@ -201,6 +201,111 @@ class ClusterClient:
         self._ok(owner)
         return removed
 
+    # -- batch operations ------------------------------------------------------
+
+    def _group_by_owner(self, keys) -> dict:
+        """owner name -> ``[(position, key), ...]`` preserving key order.
+
+        Raises :class:`NodeDownError` up front if any owner is down:
+        batches are all-or-nothing at routing time, so a partial batch
+        never silently drops the down node's slice.
+        """
+        groups = {}
+        for idx, key in enumerate(keys):
+            groups.setdefault(self.ring.owner(key), []).append((idx, key))
+        for owner in groups:
+            if owner in self._down:
+                raise NodeDownError(f"owner {owner!r} is down")
+        return groups
+
+    async def _batch_per_owner(self, groups, op):
+        """Fan ``op(client, pairs)`` out per owner node, concurrently.
+
+        Owners hold disjoint key sets, so the fan-out preserves per-key
+        operation order; results come back as ``(pairs, values)`` for
+        positional reassembly.
+        """
+        async def one(owner, pairs):
+            client = self._client_for(owner)
+            try:
+                values = await op(client, pairs)
+            except (ConnectionError, asyncio.TimeoutError, OSError):
+                self._fail(owner)
+                raise
+            self._ok(owner)
+            return pairs, values
+
+        return await asyncio.gather(
+            *[one(owner, pairs) for owner, pairs in groups.items()]
+        )
+
+    async def mget(self, keys, trace=None) -> list:
+        """Batch get across the cluster: one ``bytes | None`` per key.
+
+        Keys are grouped by owner and fetched with one MGET per node
+        (single round trip on v2).  Batch reads are owner-only — they
+        skip the replica spreading of :meth:`get`, trading read fan-out
+        for round-trip amortisation — and raise :class:`NodeDownError`
+        if any key's owner is down.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        groups = self._group_by_owner(keys)
+        results = await self._batch_per_owner(
+            groups,
+            lambda client, pairs: client.mget(
+                [k for _, k in pairs], trace=trace
+            ),
+        )
+        out = [None] * len(keys)
+        for pairs, values in results:
+            for (idx, _), value in zip(pairs, values):
+                out[idx] = value
+        return out
+
+    async def mset(self, items, trace=None) -> list:
+        """Batch set of ``(key, value)`` pairs: one stored-bool per item.
+
+        Every item still goes to its key's owner and runs the owner's
+        full write path (cluster nodes fan INVALs out per item before
+        acking), so batching changes round trips, not semantics.
+        """
+        items = list(items)
+        if not items:
+            return []
+        values_by_pos = [value for _, value in items]
+        groups = self._group_by_owner([key for key, _ in items])
+        results = await self._batch_per_owner(
+            groups,
+            lambda client, pairs: client.mset(
+                [(k, values_by_pos[idx]) for idx, k in pairs], trace=trace
+            ),
+        )
+        out = [False] * len(items)
+        for pairs, flags in results:
+            for (idx, _), flag in zip(pairs, flags):
+                out[idx] = flag
+        return out
+
+    async def mdel(self, keys, trace=None) -> list:
+        """Batch delete across the cluster: one removed-bool per key."""
+        keys = list(keys)
+        if not keys:
+            return []
+        groups = self._group_by_owner(keys)
+        results = await self._batch_per_owner(
+            groups,
+            lambda client, pairs: client.mdel(
+                [k for _, k in pairs], trace=trace
+            ),
+        )
+        out = [False] * len(keys)
+        for pairs, flags in results:
+            for (idx, _), flag in zip(pairs, flags):
+                out[idx] = flag
+        return out
+
     # -- cluster-wide introspection --------------------------------------------
 
     async def ping_all(self) -> dict:

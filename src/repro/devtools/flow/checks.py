@@ -573,9 +573,12 @@ def _transfer(node, active, taint, out: FunctionFindings):
 
 # -- FLOW003 verb extraction -------------------------------------------------
 
-#: name of the dispatch method the verb extraction keys on; servers must
-#: dispatch on a local called ``cmd`` inside this method (repo convention)
+#: names of the dispatch methods the verb extraction keys on; servers must
+#: dispatch on a local called ``cmd`` inside these methods (repo convention).
+#: ``_serve_request`` dispatches the v1 line framing, ``_serve_frame`` the
+#: v2 binary framing.
 DISPATCH_METHOD = "_serve_request"
+DISPATCH_METHOD_V2 = "_serve_frame"
 DISPATCH_VAR = "cmd"
 
 _VERB_RE = re.compile(r"^([A-Z][A-Z0-9]*)")
@@ -600,18 +603,51 @@ def _module_string_tuples(tree) -> dict:
     return consts
 
 
-def extract_handled_verbs(tree) -> dict:
-    """Verbs a server file dispatches: ``{verb: line}``.
+def _module_string_dict_keys(tree) -> dict:
+    """Module-level ``NAME = {"A": ..., ...}`` string keys, by name.
 
-    A verb is *handled* when, inside a function named ``_serve_request``,
-    the local ``cmd`` is compared against a string constant (``==``) or
-    against a tuple/list/set of string constants — inline or via a
-    module-level constant such as ``CLUSTER_VERBS`` (``in`` / ``not in``).
+    Returns ``{const_name: {key: line}}`` for every module-level dict
+    literal whose keys are all string constants — the shape of the
+    ``VERB_IDS`` / ``V1_LINES`` framing tables.
+    """
+    consts = {}
+    for node in tree.body:
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+        ):
+            continue
+        value = node.value
+        if isinstance(value, ast.Dict) and value.keys and all(
+            isinstance(k, ast.Constant) and isinstance(k.value, str)
+            for k in value.keys
+        ):
+            consts[node.targets[0].id] = {
+                k.value: k.lineno for k in value.keys
+            }
+    return consts
+
+
+def has_method(tree, name: str) -> bool:
+    """Whether any function in ``tree`` is named ``name``."""
+    return any(func.name == name for _, func in iter_functions(tree))
+
+
+def extract_handled_verbs(tree, method: str = DISPATCH_METHOD) -> dict:
+    """Verbs a server file dispatches in one framing: ``{verb: line}``.
+
+    A verb is *handled* when, inside a function named ``method``
+    (``_serve_request`` for the v1 line framing, ``_serve_frame`` for the
+    v2 binary framing), the local ``cmd`` is compared against a string
+    constant (``==``) or against a tuple/list/set of string constants —
+    inline or via a module-level constant such as ``CLUSTER_VERBS``
+    (``in`` / ``not in``).
     """
     consts = _module_string_tuples(tree)
     handled = {}
     for _, func in iter_functions(tree):
-        if func.name != DISPATCH_METHOD:
+        if func.name != method:
             continue
         for sub in iter_scope(func):
             if not (
@@ -679,9 +715,13 @@ def _payload_text(expr, assigns):
 def extract_sent_verbs(tree) -> dict:
     """Verbs a client file sends: ``{verb: line}``.
 
-    A verb is *sent* when the first argument of a ``*._request(...)``
-    call starts with an upper-case token — as a constant, an f-string, a
-    ``%``-formatted literal, or a local assigned one of those shapes.
+    A verb is *sent* when either
+
+    * the first argument of a ``*.call(...)`` transport call is a string
+      constant naming the verb (the v2-era unified API), or
+    * the first argument of a legacy ``*._request(...)`` call starts with
+      an upper-case token — as a constant, an f-string, a ``%``-formatted
+      literal, or a local assigned one of those shapes.
     """
     sent = {}
     for _, func in iter_functions(tree):
@@ -697,9 +737,18 @@ def extract_sent_verbs(tree) -> dict:
             if not (
                 isinstance(sub, ast.Call)
                 and isinstance(sub.func, ast.Attribute)
-                and sub.func.attr == "_request"
+                and sub.func.attr in ("_request", "call")
                 and sub.args
             ):
+                continue
+            if sub.func.attr == "call":
+                arg = sub.args[0]
+                if (
+                    isinstance(arg, ast.Constant)
+                    and isinstance(arg.value, str)
+                    and _VERB_RE.fullmatch(arg.value)
+                ):
+                    sent.setdefault(arg.value, sub.lineno)
                 continue
             text = _payload_text(sub.args[0], assigns)
             if text is None:
@@ -717,6 +766,15 @@ def check_protocol(files, rule) -> list:
     when its server file is part of the analyzed set; the client-sender
     check additionally needs every spec client file present (a partial
     tree cannot prove the absence of a sender).
+
+    A server file that defines ``_serve_frame`` is *framing-aware*: its
+    v1 (``_serve_request``) and v2 (``_serve_frame``) dispatch arms are
+    diffed separately against the framings each verb declares, so a verb
+    wired into one framing but not the other is a finding.  A file
+    without ``_serve_frame`` is checked as a single undifferentiated
+    dispatch surface (the pre-v2 behaviour).  The ``VERB_IDS`` /
+    ``V1_LINES`` framing tables are cross-checked against the spec when
+    their defining files are part of the analyzed set.
     """
     from . import protocol_spec as spec
 
@@ -737,6 +795,7 @@ def check_protocol(files, rule) -> list:
         )
 
     documented = {verb.name for verb in spec.SPEC}
+    internal = spec.internal_verbs()
     client_files = [(s,) + find(s) for s in spec.CLIENT_FILES]
     clients_present = [(s, p, t) for s, p, t in client_files if t is not None]
     all_clients_present = len(clients_present) == len(spec.CLIENT_FILES)
@@ -749,26 +808,50 @@ def check_protocol(files, rule) -> list:
         server_path, server_tree = find(spec.SERVER_FILES[layer])
         if server_tree is None:
             continue
-        handled = extract_handled_verbs(server_tree)
-        declared = spec.verbs_for_layer(layer)
-        for verb in sorted(set(handled) - declared):
-            report(
-                server_path, handled[verb],
-                f"server dispatches verb {verb!r} not declared for layer "
-                f"{layer!r} in protocol_spec.py — add a spec entry",
+        handled_v1 = extract_handled_verbs(server_tree)
+        if has_method(server_tree, DISPATCH_METHOD_V2):
+            handled_v2 = extract_handled_verbs(
+                server_tree, DISPATCH_METHOD_V2
             )
-        dispatch_line = min(handled.values()) if handled else 1
-        for verb in sorted(declared - set(handled)):
-            report(
-                server_path, dispatch_line,
-                f"protocol_spec.py declares verb {verb!r} for layer "
-                f"{layer!r} but this server never dispatches it",
-            )
+            surfaces = [
+                ("v1", DISPATCH_METHOD, handled_v1,
+                 spec.verbs_for_layer(layer, "v1") - internal),
+                ("v2", DISPATCH_METHOD_V2, handled_v2,
+                 spec.verbs_for_layer(layer, "v2") - internal),
+            ]
+        else:
+            # legacy single-framing tree: one dispatch method is the
+            # whole layer surface, framings are not distinguished
+            handled_v2 = {}
+            surfaces = [
+                (None, DISPATCH_METHOD, handled_v1,
+                 spec.verbs_for_layer(layer)),
+            ]
+        for framing, method, handled, declared in surfaces:
+            where = f" in the {framing} framing ({method})" if framing else ""
+            for verb in sorted(set(handled) - declared):
+                report(
+                    server_path, handled[verb],
+                    f"server dispatches verb {verb!r}{where} not declared "
+                    f"for layer {layer!r} in protocol_spec.py — add a spec "
+                    f"entry",
+                )
+            dispatch_line = min(handled.values()) if handled else 1
+            for verb in sorted(declared - set(handled)):
+                report(
+                    server_path, dispatch_line,
+                    f"protocol_spec.py declares verb {verb!r} for layer "
+                    f"{layer!r} but this server never dispatches it"
+                    f"{where}",
+                )
         if all_clients_present:
-            for verb in sorted(declared & set(handled)):
+            handled_any = dict(handled_v2)
+            handled_any.update(handled_v1)
+            declared_any = spec.verbs_for_layer(layer) - internal
+            for verb in sorted(declared_any & set(handled_any)):
                 if verb not in sent:
                     report(
-                        server_path, handled[verb],
+                        server_path, handled_any[verb],
                         f"verb {verb!r} is dispatched here but no client "
                         f"ever sends it — dead protocol surface",
                     )
@@ -779,6 +862,35 @@ def check_protocol(files, rule) -> list:
                 path, line,
                 f"client sends verb {verb!r} that protocol_spec.py does "
                 f"not document — add a spec entry",
+            )
+
+    # framing tables: VERB_IDS (v2 ids in the codec) and V1_LINES (v1
+    # line templates in the transport) must each cover exactly the verbs
+    # the spec declares for that framing
+    for suffix, table_name, framing in (
+        (spec.CODEC_FILE, "VERB_IDS", "v2"),
+        (spec.TRANSPORT_FILE, "V1_LINES", "v1"),
+    ):
+        table_path, table_tree = find(suffix)
+        if table_tree is None:
+            continue
+        table = _module_string_dict_keys(table_tree).get(table_name)
+        if table is None:
+            continue  # table absent: nothing to diff (stub trees)
+        expected = spec.verbs_for_framing(framing)
+        for verb in sorted(set(table) - expected):
+            report(
+                table_path, table[verb],
+                f"{table_name} has an entry for verb {verb!r} that "
+                f"protocol_spec.py does not declare for the {framing} "
+                f"framing — add/extend a spec entry",
+            )
+        table_line = min(table.values()) if table else 1
+        for verb in sorted(expected - set(table)):
+            report(
+                table_path, table_line,
+                f"protocol_spec.py declares verb {verb!r} for the "
+                f"{framing} framing but {table_name} has no entry for it",
             )
     return findings
 

@@ -3,13 +3,18 @@
 FLOW003 (:func:`repro.devtools.flow.checks.check_protocol`) extracts the
 verbs the servers actually dispatch and the clients actually send, and
 diffs both sets against :data:`SPEC`.  Adding a wire verb therefore takes
-three edits that must land together or CI fails:
+four edits that must land together or CI fails:
 
-1. a :class:`Verb` entry here, naming its layer(s);
-2. the server dispatch arm (``_serve_request``, comparing the local
-   ``cmd`` — the extraction keys on that repo convention);
-3. at least one client sender (a ``*._request(...)`` call whose payload
-   starts with the verb).
+1. a :class:`Verb` entry here, naming its layer(s) and framing(s);
+2. the server dispatch arm — ``_serve_request`` for the v1 line framing,
+   ``_serve_frame`` for the v2 binary framing, both comparing the local
+   ``cmd`` (the extraction keys on that repo convention); a verb framed
+   both ways needs both arms;
+3. the framing tables: a ``VERB_IDS`` entry in
+   :data:`CODEC_FILE` for v2 verbs, a ``V1_LINES`` entry in
+   :data:`TRANSPORT_FILE` for v1 verbs;
+4. at least one client sender — a ``*.call("VERB", ...)`` transport call
+   or a legacy ``*._request(...)`` payload starting with the verb.
 
 Layers: ``"service"`` is the base cache protocol served by
 ``repro.service.server.CacheServer``; ``"cluster"`` is the peer protocol
@@ -17,14 +22,26 @@ served by ``repro.cluster.node.ClusterServer`` on top of it.  ``SET`` and
 ``DEL`` appear in both because the cluster server intercepts them for
 owner routing while plain cache servers handle them directly.
 
-Every request line additionally accepts one optional trailing trace field
-``T=<trace-id>/<span-id>`` (:mod:`repro.obs.dist`), stripped before
-dispatch; it is a field, not a verb, so it has no :class:`Verb` entry.
+Framings: ``"v1"`` is the newline-delimited text protocol, ``"v2"`` the
+length-prefixed binary framing (:mod:`repro.service.protocol`).  Most
+verbs speak both; the batch verbs (``MGET``/``MSET``/``MDEL``) and the
+negotiation probe (``HELLO``) are v2-only — over a v1 connection the
+transport emulates batches as sequential singles.
+
+``internal=True`` marks verbs the transport layer itself originates and
+answers (today only ``HELLO``, handled before dispatch in
+``_handle_frame``); they are exempt from the dispatch-arm and
+client-sender checks but still must appear in ``VERB_IDS``.
+
+Every request additionally accepts one optional trace field
+``T=<trace-id>/<span-id>`` (:mod:`repro.obs.dist`) — trailing token on a
+v1 line, flagged header field in a v2 frame — stripped before dispatch;
+it is a field, not a verb, so it has no :class:`Verb` entry.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 #: layer name -> repo-relative server file whose dispatch defines the layer
 SERVER_FILES = {
@@ -32,27 +49,47 @@ SERVER_FILES = {
     "cluster": "repro/cluster/node.py",
 }
 
-#: repo-relative client files whose ``_request`` payloads are senders
+#: repo-relative client files whose transport calls / payloads are senders
 CLIENT_FILES = (
     "repro/service/client.py",
+    "repro/service/transport.py",
     "repro/cluster/node.py",
     "repro/cluster/client.py",
 )
 
+#: repo-relative codec file whose ``VERB_IDS`` dict is the v2 framing table
+CODEC_FILE = "repro/service/protocol.py"
+
+#: repo-relative transport file whose ``V1_LINES`` dict is the v1 framing table
+TRANSPORT_FILE = "repro/service/transport.py"
+
+#: the wire framings a verb may be declared for
+FRAMINGS = ("v1", "v2")
+
 
 @dataclass(frozen=True)
 class Verb:
-    """One wire verb: its name, the layers that serve it, and a summary."""
+    """One wire verb: name, serving layers, framings, and a summary."""
 
     name: str
     layers: tuple
     summary: str
+    framings: tuple = FRAMINGS
+    internal: bool = field(default=False, compare=False)
 
 
 SPEC = (
+    Verb("HELLO", ("service",), "v2 negotiation probe (transport-internal)",
+         framings=("v2",), internal=True),
     Verb("GET", ("service",), "read a value by key"),
     Verb("SET", ("service", "cluster"), "store a value (cluster: routed)"),
     Verb("DEL", ("service", "cluster"), "delete a key (cluster: routed)"),
+    Verb("MGET", ("service",), "read many keys in one frame",
+         framings=("v2",)),
+    Verb("MSET", ("service",), "store many pairs in one frame",
+         framings=("v2",)),
+    Verb("MDEL", ("service",), "delete many keys in one frame",
+         framings=("v2",)),
     Verb("STATS", ("service",), "per-shard + aggregate stats snapshot"),
     Verb("METRICS", ("service",), "obs registry in Prometheus text format"),
     Verb("TRACE", ("service",), "drain the node's trace ring (JSONL batch)"),
@@ -67,9 +104,23 @@ SPEC = (
 )
 
 
-def verbs_for_layer(layer: str) -> set:
-    """Names of the verbs declared for ``layer``."""
-    return {verb.name for verb in SPEC if layer in verb.layers}
+def verbs_for_layer(layer: str, framing: str = None) -> set:
+    """Names of the verbs declared for ``layer`` (optionally one framing)."""
+    return {
+        verb.name for verb in SPEC
+        if layer in verb.layers
+        and (framing is None or framing in verb.framings)
+    }
+
+
+def verbs_for_framing(framing: str) -> set:
+    """Every declared verb name that speaks ``framing``, across layers."""
+    return {verb.name for verb in SPEC if framing in verb.framings}
+
+
+def internal_verbs() -> set:
+    """Verbs the transport originates itself (dispatch/sender-exempt)."""
+    return {verb.name for verb in SPEC if verb.internal}
 
 
 def documented_verbs() -> set:

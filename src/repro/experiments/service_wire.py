@@ -1,0 +1,118 @@
+"""Extension study: wire-framing cost of the serving layer (v1 vs v2).
+
+The serving stack speaks two framings of the same verb set: the v1
+newline-delimited text protocol and the v2 length-prefixed binary
+protocol with pipelining and batch verbs (:mod:`repro.service.protocol`).
+This experiment replays one pinned workload through both framings at a
+matched batched arrival order — the transport expands v2 batches to the
+identical singles sequence over v1 — so the two legs *must* report the
+same hit rate and differ only in wire cost.  The measured quantity is the
+throughput ratio (the v2 speedup), plus both legs' absolute walls for the
+perf baseline to ratchet.
+
+Unlike the figure reproductions this driver runs a live asyncio server,
+so the ``runner`` argument is not used for execution — but the two legs
+are accounted into its stats as cells (label ``wire-v1`` / ``wire-v2``)
+so ``repro perf record --suite service`` produces a baseline
+``repro perf compare`` can gate on.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from ..obs.prof import clock, cpu_clock, peak_rss_kb
+from ..service.cli import _wire_one, build_service_parser
+from ..workloads.mixes import EXAMPLE_MIX, build_workload
+from .common import ExperimentParams
+
+#: MGET/MSET chunk size of the batched replay (both legs)
+BATCH = 64
+
+#: store geometry, pinned (the downsized regime; admission is exercised
+#: but identical across legs, so framing is the only variable)
+SHARDS = 2
+DATA_CAPACITY = 256
+
+
+def _account(runner, label: str, wall_s: float, cpu_s: float,
+             ops: int) -> None:
+    """Record one live-server leg as an executed cell in ``runner.stats``."""
+    if runner is None:
+        return
+    stats = runner.stats
+    stats.run += 1
+    stats.seconds += wall_s
+    stats.cpu_seconds += cpu_s
+    stats.peak_rss_kb = max(stats.peak_rss_kb, peak_rss_kb())
+    stats.refs += ops
+    stats.cells.append({
+        "label": label,
+        "status": "run",
+        "wall_s": wall_s,
+        "cpu_s": cpu_s,
+        "peak_rss_kb": peak_rss_kb(),
+        "refs": ops,
+        "refs_per_s": ops / wall_s if wall_s > 0 else 0.0,
+    })
+
+
+def run_service_wire(params: ExperimentParams | None = None, runner=None):
+    """Replay one workload over v1 and v2 framing; returns a dict."""
+    if params is None:
+        params = ExperimentParams.from_env()
+    refs = min(params.n_refs, 12_000)  # live servers: keep the wall short
+    args = build_service_parser().parse_args(["bench-service"])
+    args.refs = refs
+    args.seed = params.seed
+    args.scale = params.scale
+    args.shards = SHARDS
+    args.data_capacity = DATA_CAPACITY
+    args.batch = BATCH
+    workload = build_workload(EXAMPLE_MIX, n_refs=refs, seed=params.seed,
+                              scale=params.scale)
+    legs = {}
+    for protocol in ("v1", "v2"):
+        wall0, cpu0 = clock(), cpu_clock()
+        legs[protocol] = asyncio.run(_wire_one(protocol, workload, args))
+        _account(runner, f"wire-{protocol}", clock() - wall0,
+                 cpu_clock() - cpu0, legs[protocol]["ops"])
+    v1, v2 = legs["v1"], legs["v2"]
+    return {
+        "workload": workload.name,
+        "refs_per_core": refs,
+        "scale": params.scale,
+        "seed": params.seed,
+        "batch": BATCH,
+        "shards": SHARDS,
+        "data_capacity": DATA_CAPACITY,
+        "v1": v1,
+        "v2": v2,
+        "speedup": (v2["throughput_rps"] / v1["throughput_rps"]
+                    if v1["throughput_rps"] else 0.0),
+        "hit_rate_match": v1["hit_rate"] == v2["hit_rate"],
+    }
+
+
+def format_service_wire(result: dict) -> str:
+    """Human-readable two-row table of the framing comparison."""
+    lines = []
+    lines.append(
+        f"Service wire framing: {result['workload']} "
+        f"({result['refs_per_core']} refs/core, batch {result['batch']})"
+    )
+    lines.append(
+        f"{'framing':<8} {'hit rate':>9} {'ops':>9} "
+        f"{'wall s':>8} {'rps':>10} {'p99 ms':>8}"
+    )
+    for name in ("v1", "v2"):
+        leg = result[name]
+        lines.append(
+            f"{name:<8} {leg['hit_rate']:>9.4f} {leg['ops']:>9d} "
+            f"{leg['wall_s']:>8.2f} {leg['throughput_rps']:>10.0f} "
+            f"{leg['p99_ms']:>8.3f}"
+        )
+    parity = ("hit rates identical" if result["hit_rate_match"]
+              else "HIT RATE MISMATCH")
+    lines.append(f"v2/v1 speedup: {result['speedup']:.2f}x ({parity})")
+    return "\n".join(lines)

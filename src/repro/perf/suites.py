@@ -61,6 +61,13 @@ _add(PerfSuite(
 ))
 
 _add(PerfSuite(
+    name="service",
+    title="serving-layer wire cost (v1 vs v2 framing, live sockets)",
+    experiments=("service-wire",),
+    params=ExperimentParams(n_workloads=2, n_refs=4000, scale=32, seed=2013),
+))
+
+_add(PerfSuite(
     name="micro",
     title="smallest measurable suite (fig1a, seconds of compute)",
     experiments=("fig1a",),

@@ -1,11 +1,12 @@
 """Asyncio client for the :mod:`repro.service` cache protocol.
 
-:class:`CacheClient` keeps a pool of TCP connections (opened lazily up to
-``pool_size``) and checks one out per request, so a single client instance
-can be shared by many concurrent coroutines.  Transient transport failures
-— connection refused during server start, a connection dropped mid-request
-— are retried with exponential backoff on a fresh connection, up to
-``max_retries`` attempts; protocol-level errors (``ERR ...``) are *not*
+:class:`CacheClient` is a thin verb layer over one shared
+:class:`~repro.service.transport.Transport`: connection pooling, retry
+with exponential backoff, protocol negotiation (binary v2 frames with
+pipelining when the server speaks them, v1 text otherwise) and batch
+framing all live in the transport, so the cluster's ``PeerClient`` and
+``ClusterClient`` reuse the exact same plumbing instead of
+reimplementing it.  Protocol-level errors (``ERR ...``) are *not*
 retried, they raise :class:`ServerError` immediately.
 
 Typical use::
@@ -15,30 +16,30 @@ Typical use::
         if value is None:                       # miss: read through
             value = await fetch_from_backend()
             await client.set("user:42", value)  # admitted only on reuse
+        hot = await client.mget(["user:42", "user:43"])  # one round trip on v2
 """
 
 from __future__ import annotations
 
-import asyncio
 import json
 
-from ..obs.dist import wire_token
-from .server import MAX_VALUE_BYTES
-
-
-class ServerError(Exception):
-    """The server answered ``ERR <reason>`` (not retried)."""
+from .transport import Reply, ServerError, Transport  # noqa: F401  (re-export)
 
 
 class CacheClient:
-    """Pooled asyncio client with retry/backoff.
+    """Pooled asyncio client with retry/backoff and protocol negotiation.
 
     The key/value verbs accept an optional ``trace`` keyword — a
-    :class:`repro.obs.dist.TraceContext` appended to the request line as a
-    trailing ``T=<trace>/<span>`` field — so a caller's span becomes the
-    parent of the server-side request span (distributed causal tracing).
-    ``trace=None`` (the default) sends the exact same bytes as before the
-    field existed.
+    :class:`repro.obs.dist.TraceContext` carried as a trailing
+    ``T=<trace>/<span>`` text field (v1) or a typed trace frame field
+    (v2) — so a caller's span becomes the parent of the server-side
+    request span (distributed causal tracing).  ``trace=None`` (the
+    default) sends the exact same bytes as before the field existed.
+
+    ``protocol`` pins the wire framing: ``"auto"`` (default) negotiates
+    v2 with v1 fallback at connect time, ``"v1"``/``"v2"`` force one
+    framing (forced v2 against a v1-only server raises
+    ``ConnectionError``).
     """
 
     #: response headers followed by a length-prefixed body; subclasses
@@ -53,70 +54,56 @@ class CacheClient:
         max_retries: int = 3,
         backoff: float = 0.05,
         timeout: float = 5.0,
+        protocol: str = "auto",
+        mux_conns: int = 1,
     ):
-        if pool_size <= 0:
-            raise ValueError(f"pool_size must be positive, got {pool_size}")
         self.host = host
         self.port = port
         self.pool_size = pool_size
         self.max_retries = max_retries
         self.backoff = backoff
         self.timeout = timeout
-        self._pool = asyncio.Queue()
-        self._open = 0
-        self._closed = False
+        self.transport = Transport(
+            host, port,
+            pool_size=pool_size,
+            max_retries=max_retries,
+            backoff=backoff,
+            timeout=timeout,
+            mode=protocol,
+            mux_conns=mux_conns,
+            body_tokens=self._BODY_TOKENS,
+        )
 
-    # -- pool management ------------------------------------------------------
+    # -- transport delegation -------------------------------------------------
+    #
+    # The pool internals moved into the Transport; these delegates keep
+    # the old surface (tests and operational probes inspect them).
+
+    @property
+    def protocol_version(self):
+        """Negotiated wire version: ``None`` before first use, then 1 or 2."""
+        return self.transport.version
+
+    @property
+    def _pool(self):
+        return self.transport._pool
+
+    @property
+    def _open(self) -> int:
+        return self.transport._open
 
     async def _acquire(self):
-        """Check a connection out of the pool, dialing a new one if allowed."""
-        if self._closed:
-            raise RuntimeError("client is closed")
-        while True:
-            try:
-                conn = self._pool.get_nowait()
-            except asyncio.QueueEmpty:
-                break
-            if not conn[1].is_closing():
-                return conn
-            self._open -= 1  # stale connection: drop and look again
-        if self._open < self.pool_size:
-            self._open += 1
-            try:
-                return await asyncio.wait_for(
-                    asyncio.open_connection(self.host, self.port), self.timeout
-                )
-            except BaseException:
-                # repro: atomic=releases the slot the += above reserved; every path balances the counter, no read is re-used across the await
-                self._open -= 1
-                raise
-        return await self._pool.get()
+        return await self.transport._acquire()
 
     def _release(self, conn) -> None:
-        if self._closed or conn[1].is_closing():
-            self._discard(conn)
-        else:
-            self._pool.put_nowait(conn)
+        self.transport._release(conn)
 
     def _discard(self, conn) -> None:
-        self._open -= 1
-        conn[1].close()
+        self.transport._discard(conn)
 
     async def close(self) -> None:
-        """Close every pooled connection; in-flight requests finish first."""
-        self._closed = True
-        while self._open > 0:
-            try:
-                reader, writer = await asyncio.wait_for(self._pool.get(), 1.0)
-            except asyncio.TimeoutError:
-                break  # still checked out; the holder discards on release
-            # repro: atomic=loop re-reads _open each pass; concurrent _discard only decrements, so the worst case is an early exit
-            self._open -= 1
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
+        """Close every connection; in-flight requests finish first."""
+        await self.transport.close()
 
     async def __aenter__(self):
         return self
@@ -127,103 +114,94 @@ class CacheClient:
     # -- request plumbing ------------------------------------------------------
 
     async def _request(self, payload: bytes):
-        """Send one framed request, return the response header tokens + body."""
-        attempt = 0
-        while True:
-            conn = None
-            try:
-                conn = await self._acquire()
-                reader, writer = conn
-                writer.write(payload)
-                await writer.drain()
-                header = await asyncio.wait_for(reader.readline(), self.timeout)
-                if not header:
-                    raise ConnectionError("server closed connection")
-                tokens = header.decode("utf-8").split()
-                body = None
-                if tokens and tokens[0] in self._BODY_TOKENS:
-                    length = int(tokens[1])
-                    if not 0 <= length <= MAX_VALUE_BYTES:
-                        raise ConnectionError(f"insane body length {length}")
-                    body = await asyncio.wait_for(
-                        reader.readexactly(length + 1), self.timeout
-                    )
-                    body = body[:-1]
-            except asyncio.CancelledError:
-                # cancelled from outside (e.g. a caller's wait_for) with
-                # the request possibly already on the wire: the pending
-                # response would poison the next request on this
-                # connection, so tear it down instead of repooling it
-                if conn is not None:
-                    self._discard(conn)
-                raise
-            except (ConnectionError, asyncio.IncompleteReadError,
-                    asyncio.TimeoutError, OSError) as exc:
-                if conn is not None:  # dial failures never joined the pool
-                    self._discard(conn)
-                attempt += 1
-                if attempt > self.max_retries:
-                    raise ConnectionError(
-                        f"request failed after {attempt} attempts: {exc}"
-                    ) from exc
-                await asyncio.sleep(self.backoff * (2 ** (attempt - 1)))
-                continue
-            self._release(conn)
-            if tokens and tokens[0] == "ERR":
-                raise ServerError(" ".join(tokens[1:]))
-            return tokens, body
+        """Send one hand-framed v1 text request; returns (tokens, body).
+
+        .. deprecated:: the text-only spelling survives for callers that
+           build raw request lines; new code calls :meth:`Transport.call`
+           (via the verb methods), which frames for the negotiated
+           protocol version and pipelines on v2.
+        """
+        return await self.transport._request(payload)
 
     # -- protocol commands -----------------------------------------------------
 
     async def get(self, key: str, trace=None):
         """Value bytes for ``key``, or ``None`` on a miss."""
-        tail = f" {wire_token(trace)}" if trace is not None else ""
-        tokens, body = await self._request(f"GET {key}{tail}\n".encode("utf-8"))
-        if tokens[0] == "MISS":
+        reply = await self.transport.call("GET", key, trace=trace)
+        if reply.status == "MISS":
             return None
-        if tokens[0] == "VALUE":
-            return body
-        raise ServerError(f"unexpected response {tokens!r}")
+        if reply.status == "VALUE":
+            return reply.body if reply.body is not None else b""
+        raise ServerError(f"unexpected response {reply.status!r}")
 
     async def set(self, key: str, value: bytes, trace=None) -> bool:
         """Offer ``value``; True if stored, False if only tagged (declined)."""
-        tail = f" {wire_token(trace)}" if trace is not None else ""
-        payload = b"SET %s %d%s\n%s\n" % (
-            key.encode("utf-8"), len(value), tail.encode("utf-8"), value,
-        )
-        tokens, _ = await self._request(payload)
-        if tokens[0] == "STORED":
+        reply = await self.transport.call("SET", key, value, trace=trace)
+        if reply.status == "STORED":
             return True
-        if tokens[0] == "TAGGED":
+        if reply.status == "TAGGED":
             return False
-        raise ServerError(f"unexpected response {tokens!r}")
+        raise ServerError(f"unexpected response {reply.status!r}")
 
     async def delete(self, key: str, trace=None) -> bool:
         """Delete ``key``; True iff a stored value was removed."""
-        tail = f" {wire_token(trace)}" if trace is not None else ""
-        tokens, _ = await self._request(f"DEL {key}{tail}\n".encode("utf-8"))
-        if tokens[0] == "DELETED":
+        reply = await self.transport.call("DEL", key, trace=trace)
+        if reply.status == "DELETED":
             return True
-        if tokens[0] == "NOTFOUND":
+        if reply.status == "NOTFOUND":
             return False
-        raise ServerError(f"unexpected response {tokens!r}")
+        raise ServerError(f"unexpected response {reply.status!r}")
+
+    async def mget(self, keys, trace=None) -> list:
+        """Batch get: one ``bytes | None`` per key, in key order.
+
+        One round trip on v2; emulated as sequential GETs over v1, so the
+        observable store behaviour is framing-independent.
+        """
+        keys = list(keys)
+        if not keys:
+            return []
+        reply = await self.transport.call("MGET", keys, trace=trace)
+        if reply.status != "VALUES":
+            raise ServerError(f"unexpected response {reply.status!r}")
+        return reply.values
+
+    async def mset(self, items, trace=None) -> list:
+        """Batch set of ``(key, value)`` pairs: one stored-bool per item."""
+        items = list(items)
+        if not items:
+            return []
+        reply = await self.transport.call("MSET", items, trace=trace)
+        if reply.status != "STATUSES":
+            raise ServerError(f"unexpected response {reply.status!r}")
+        return reply.values
+
+    async def mdel(self, keys, trace=None) -> list:
+        """Batch delete: one removed-bool per key, in key order."""
+        keys = list(keys)
+        if not keys:
+            return []
+        reply = await self.transport.call("MDEL", keys, trace=trace)
+        if reply.status != "STATUSES":
+            raise ServerError(f"unexpected response {reply.status!r}")
+        return reply.values
 
     async def stats(self) -> dict:
         """The server's stats snapshot (per shard + aggregate)."""
-        tokens, body = await self._request(b"STATS\n")
-        if tokens[0] != "STATS":
-            raise ServerError(f"unexpected response {tokens!r}")
-        return json.loads(body.decode("utf-8"))
+        reply = await self.transport.call("STATS")
+        if reply.status != "STATS":
+            raise ServerError(f"unexpected response {reply.status!r}")
+        return json.loads((reply.body or b"{}").decode("utf-8"))
 
     async def metrics(self) -> str:
         """The server's obs registry in Prometheus text format.
 
         Empty when the server runs with observability disabled.
         """
-        tokens, body = await self._request(b"METRICS\n")
-        if tokens[0] != "METRICS":
-            raise ServerError(f"unexpected response {tokens!r}")
-        return body.decode("utf-8")
+        reply = await self.transport.call("METRICS")
+        if reply.status != "METRICS":
+            raise ServerError(f"unexpected response {reply.status!r}")
+        return (reply.body or b"").decode("utf-8")
 
     async def trace(self) -> list:
         """Drain the server's trace ring; returns the events as dicts.
@@ -232,22 +210,22 @@ class CacheClient:
         on drain), so a collector polling several nodes never
         double-counts.  Empty list when tracing is disabled server-side.
         """
-        tokens, body = await self._request(b"TRACE\n")
-        if tokens[0] != "TRACE":
-            raise ServerError(f"unexpected response {tokens!r}")
-        text = body.decode("utf-8")
+        reply = await self.transport.call("TRACE")
+        if reply.status != "TRACE":
+            raise ServerError(f"unexpected response {reply.status!r}")
+        text = (reply.body or b"").decode("utf-8")
         return [json.loads(line) for line in text.splitlines() if line.strip()]
 
     async def ping(self) -> bool:
         """Round-trip health check."""
-        tokens, _ = await self._request(b"PING\n")
-        return tokens[0] == "PONG"
+        reply = await self.transport.call("PING")
+        return reply.status == "PONG"
 
     async def quit(self) -> bool:
         """Ask the server to close this connection after acking.
 
-        The server hangs up right after the ``BYE``; the pool's stale
-        check drops the dead connection on its next checkout.
+        The server hangs up right after the ``BYE``; the transport drops
+        the dead connection on its next checkout.
         """
-        tokens, _ = await self._request(b"QUIT\n")
-        return tokens[0] == "BYE"
+        reply = await self.transport.call("QUIT")
+        return reply.status == "BYE"

@@ -139,7 +139,18 @@ async def _replay_trace(
     sample_every: int,
 ) -> None:
     """One worker: issue the trace's read-through traffic back-to-back."""
-    for i, addr in enumerate(trace.addrs):
+    await _replay_addrs(client, trace.addrs, result, value_bytes, sample_every)
+
+
+async def _replay_addrs(
+    client,
+    addrs,
+    result: LoadResult,
+    value_bytes: int,
+    sample_every: int,
+) -> None:
+    """Issue one address stream's read-through traffic back-to-back."""
+    for i, addr in enumerate(addrs):
         key = key_of(addr)
         t0 = clock()
         value = await client.get(key)
@@ -231,6 +242,84 @@ async def replay_interleaved(
     return result
 
 
+async def _replay_addrs_batched(
+    client,
+    addrs,
+    result: LoadResult,
+    value_bytes: int,
+    batch: int,
+    sample_every: int,
+) -> None:
+    """Issue one address stream as MGET/MSET batches of ``batch`` refs.
+
+    Each chunk is one MGET for the keys followed by one MSET offering
+    values for the misses (read-through).  The store sees exactly the
+    sequential op order of :func:`_replay_addrs` chunk by chunk — v1
+    transports expand the batches to the same singles — so hit rates are
+    framing-independent while round trips drop by ~``batch``×.
+    """
+    for start in range(0, len(addrs), batch):
+        chunk = addrs[start:start + batch]
+        keys = [key_of(addr) for addr in chunk]
+        t0 = clock()
+        values = await client.mget(keys)
+        if (start // batch) % sample_every == 0:
+            result.latencies_s.append(clock() - t0)
+        result.gets += len(chunk)
+        result.ops += len(chunk)
+        misses = [(addr, key) for addr, key, value
+                  in zip(chunk, keys, values) if value is None]
+        result.hits += len(chunk) - len(misses)
+        if not misses:
+            continue
+        flags = await client.mset(
+            [(key, value_of(addr, value_bytes)) for addr, key in misses]
+        )
+        result.sets += len(misses)
+        result.ops += len(misses)
+        stored = sum(1 for flag in flags if flag)
+        result.sets_stored += stored
+        result.sets_tagged += len(misses) - stored
+
+
+def _interleaved_addrs(workload: Workload) -> list:
+    """The workload's refs in deterministic round-robin arrival order."""
+    streams = [(t.addrs, len(t.addrs)) for t in workload.traces]
+    longest = max(n for _, n in streams)
+    out = []
+    for i in range(longest):
+        for addrs, n in streams:
+            if i < n:
+                out.append(addrs[i])
+    return out
+
+
+async def replay_batched(
+    client,
+    workload: Workload,
+    value_bytes: int = VALUE_BYTES,
+    batch: int = 64,
+    sample_every: int = 1,
+) -> LoadResult:
+    """Replay ``workload`` as batch verbs in deterministic arrival order.
+
+    The batched twin of :func:`replay_interleaved`: one worker walks the
+    round-robin interleaved ref stream in MGET/MSET chunks of ``batch``.
+    Because the op order is pinned and batch emulation over v1 issues the
+    identical singles sequence, a v1 and a v2 run of this function report
+    *the same hit rate* — the parity gate ``bench-service`` relies on when
+    it quotes the v2 speedup.  The caller keeps ownership of the client.
+    """
+    result = LoadResult(name=workload.name)
+    start = clock()
+    await _replay_addrs_batched(
+        client, _interleaved_addrs(workload), result, value_bytes, batch,
+        sample_every,
+    )
+    result.wall_s = clock() - start
+    return result
+
+
 async def run_load(
     host: str,
     port: int,
@@ -239,6 +328,9 @@ async def run_load(
     value_bytes: int = VALUE_BYTES,
     sample_every: int = 1,
     fetch_server_stats: bool = True,
+    pipeline: int = 1,
+    batch: int = 1,
+    protocol: str = "auto",
 ) -> LoadResult:
     """Closed-loop run: one client (with ``pool_size`` connections) per trace.
 
@@ -247,6 +339,12 @@ async def run_load(
     soon as the previous response arrives (closed loop).  Client-side
     latency is sampled every ``sample_every`` GETs to bound memory on long
     runs.
+
+    ``pipeline`` splits each trace over N concurrent workers sharing the
+    trace's client (on v2 they multiplex one framed connection — many
+    requests in flight per socket); ``batch`` > 1 chunks each worker's
+    refs into MGET/MSET batch verbs; ``protocol`` pins the wire framing
+    (``auto``/``v1``/``v2``).
     """
     result = LoadResult(name=workload.name)
     log.debug(
@@ -254,15 +352,32 @@ async def run_load(
         workload.name, len(workload.traces), host, port,
     )
     clients = [
-        CacheClient(host, port, pool_size=pool_size)
+        CacheClient(host, port, pool_size=pool_size, protocol=protocol)
         for _ in workload.traces
     ]
     start = clock()
     try:
-        await asyncio.gather(*[
-            _replay_trace(client, trace, result, value_bytes, sample_every)
-            for client, trace in zip(clients, workload.traces)
-        ])
+        workers = []
+        for client, trace in zip(clients, workload.traces):
+            if pipeline <= 1:
+                slices = [trace.addrs]
+            else:
+                # stride slices: worker w takes refs w, w+N, w+2N, ... so
+                # every worker sees the trace's locality, not one segment
+                slices = [trace.addrs[w::pipeline] for w in range(pipeline)]
+            for addrs in slices:
+                if len(addrs) == 0:
+                    continue
+                if batch > 1:
+                    workers.append(_replay_addrs_batched(
+                        client, addrs, result, value_bytes, batch,
+                        sample_every,
+                    ))
+                else:
+                    workers.append(_replay_addrs(
+                        client, addrs, result, value_bytes, sample_every
+                    ))
+        await asyncio.gather(*workers)
         result.wall_s = clock() - start
         log.debug(
             "load %s: %d ops in %.2fs (hit rate %.4f)",

@@ -1,0 +1,432 @@
+"""Wire protocol v2: length-prefixed binary frames for :mod:`repro.service`.
+
+The v1 protocol is line-framed text — one request, one round trip, a
+fresh ``bytes`` per request.  v2 keeps the same verbs (plus batch verbs)
+but frames them as compact binary records so a connection can carry many
+requests in flight at once (pipelining) and both ends can reuse their
+encode buffers.
+
+Frame layout (big-endian, 12-byte header)::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------
+    0       1     magic      0xA8  (invalid UTF-8 start byte: a v1
+                             server answers "ERR request not utf-8"
+                             instead of hanging, which is what the
+                             negotiation handshake relies on)
+    1       1     version    2
+    2       1     verb id    requests: VERB_IDS; responses: STATUS_IDS
+    3       1     flags      bit 0 (FLAG_TRACE): payload starts with a
+                             u16-length-prefixed trace token
+                             ("<trace-id>/<span-id>", the same token v1
+                             carries as a trailing ``T=`` text field)
+    4       4     sequence   u32; responses echo the request's sequence,
+                             which is how a pipelining client matches
+                             interleaved responses to callers
+    8       4     length     u32 payload byte count (after the header)
+
+Payload fields are typed (see ``REQUEST_FIELDS``): strings are
+u16-length-prefixed UTF-8, values are u32-length-prefixed bytes, versions
+are u64, batches are u32-counted repetitions.  Responses are a status id
+plus either a raw blob (VALUE/STATS/METRICS/TRACE/ERR/CSTATUS bodies) or
+a typed batch payload (VALUES/STATUSES).
+
+Errors split by trust in the stream: :class:`FrameError` means the frame
+boundary itself is gone (bad magic, truncation, oversize) and the
+connection must drop; :class:`FieldError` means one well-framed payload
+was malformed — the server answers with an ERR frame and the connection
+stays usable, mirroring v1's ``ERR <reason>`` behaviour.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+
+#: hard cap on a single value accepted over the wire (16 MiB); v1's
+#: ``server.MAX_VALUE_BYTES`` re-exports this
+MAX_VALUE_BYTES = 16 * 1024 * 1024
+#: hard cap on one frame's payload (a batch of values plus framing)
+MAX_FRAME_PAYLOAD = 32 * 1024 * 1024
+#: hard cap on items in one MGET/MSET/MDEL frame
+MAX_BATCH_ITEMS = 4096
+
+MAGIC = 0xA8
+VERSION = 2
+HEADER = struct.Struct(">BBBBII")
+HEADER_SIZE = HEADER.size
+
+#: flags bit 0: payload begins with a u16-prefixed trace token
+FLAG_TRACE = 0x01
+
+# Request verb ids.  Plain literals on purpose: FLOW003 cross-checks these
+# keys against the version-aware protocol spec (devtools/flow).
+VERB_IDS = {
+    "HELLO": 1,
+    "GET": 2,
+    "SET": 3,
+    "DEL": 4,
+    "MGET": 5,
+    "MSET": 6,
+    "MDEL": 7,
+    "STATS": 8,
+    "METRICS": 9,
+    "TRACE": 10,
+    "PING": 11,
+    "QUIT": 12,
+    "REPL": 16,
+    "INVAL": 17,
+    "PUTS": 18,
+    "RGET": 19,
+    "CSTATUS": 20,
+    "DRAIN": 21,
+}
+
+# Response status ids (the verb-id byte of a response frame).
+STATUS_IDS = {
+    "HELLO": 1,
+    "VALUE": 2,
+    "MISS": 3,
+    "STORED": 4,
+    "TAGGED": 5,
+    "DELETED": 6,
+    "NOTFOUND": 7,
+    "PONG": 8,
+    "BYE": 9,
+    "ERR": 10,
+    "STATS": 11,
+    "METRICS": 12,
+    "TRACE": 13,
+    "VALUES": 14,
+    "STATUSES": 15,
+    "REPLICATED": 16,
+    "STALE": 17,
+    "INVALED": 18,
+    "OK": 19,
+    "CSTATUS": 20,
+    "DRAINING": 21,
+}
+
+VERB_NAMES = {v: k for k, v in VERB_IDS.items()}
+STATUS_NAMES = {v: k for k, v in STATUS_IDS.items()}
+
+#: typed payload schema per request verb.  Field kinds:
+#: ``key``/``peer`` — u16-prefixed UTF-8 string; ``value`` — u32-prefixed
+#: bytes; ``version`` — u64; ``keys`` — u32 count + strings; ``items`` —
+#: u32 count + (string, bytes) pairs; ``blob`` — the raw payload rest.
+REQUEST_FIELDS = {
+    "HELLO": ("blob",),
+    "GET": ("key",),
+    "SET": ("key", "value"),
+    "DEL": ("key",),
+    "MGET": ("keys",),
+    "MSET": ("items",),
+    "MDEL": ("keys",),
+    "STATS": (),
+    "METRICS": (),
+    "TRACE": (),
+    "PING": (),
+    "QUIT": (),
+    "REPL": ("key", "version", "value"),
+    "INVAL": ("key", "version"),
+    "PUTS": ("key", "peer"),
+    "RGET": ("key",),
+    "CSTATUS": (),
+    "DRAIN": (),
+}
+
+#: HELLO probe payload.  The trailing newline matters: sent to a v1
+#: server, the frame reads as one garbage "line" that *terminates*, so
+#: readline() returns, the server answers ``ERR request not utf-8`` and
+#: the connection stays usable for the v1 fallback.
+HELLO_PAYLOAD = b"v2\n"
+
+
+class CodecError(Exception):
+    """Base class for v2 framing/field errors."""
+
+
+class FrameError(CodecError):
+    """Frame boundary violated (bad magic/version, truncation, oversize).
+
+    The byte stream can no longer be trusted: drop the connection.
+    """
+
+
+class FieldError(CodecError):
+    """One well-framed payload was malformed; the connection survives."""
+
+
+class Frame:
+    """One decoded v2 frame: verb/status id, flags, sequence, payload."""
+
+    __slots__ = ("verb_id", "flags", "seq", "payload")
+
+    def __init__(self, verb_id: int, flags: int, seq: int, payload: bytes):
+        self.verb_id = verb_id
+        self.flags = flags
+        self.seq = seq
+        self.payload = payload
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        name = VERB_NAMES.get(self.verb_id) or STATUS_NAMES.get(self.verb_id)
+        return (f"Frame({name or self.verb_id}, flags={self.flags:#x}, "
+                f"seq={self.seq}, len={len(self.payload)})")
+
+
+class FrameEncoder:
+    """Builds outgoing frames into one reused ``bytearray``.
+
+    The buffer is cleared (not reallocated) per frame, so steady-state
+    encoding does zero per-request allocations beyond the final
+    ``bytes()`` snapshot handed to the transport.  Not task-safe: each
+    connection/writer owns its encoder.
+    """
+
+    __slots__ = ("_buf",)
+
+    def __init__(self, initial: int = 4096):
+        self._buf = bytearray(initial)
+        del self._buf[:]
+
+    def begin(self, verb_id: int, seq: int) -> bytearray:
+        """Start a frame; returns the buffer to append payload bytes to."""
+        buf = self._buf
+        del buf[:]
+        buf += HEADER.pack(MAGIC, VERSION, verb_id, 0, seq, 0)
+        return buf
+
+    def put_str(self, text: str) -> None:
+        raw = text.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise FieldError(f"string field too long ({len(raw)} bytes)")
+        buf = self._buf
+        buf += struct.pack(">H", len(raw))
+        buf += raw
+
+    def put_bytes(self, value: bytes) -> None:
+        if len(value) > MAX_VALUE_BYTES:
+            raise FieldError(f"value too large ({len(value)} bytes)")
+        buf = self._buf
+        buf += struct.pack(">I", len(value))
+        buf += value
+
+    def put_u8(self, value: int) -> None:
+        self._buf.append(value & 0xFF)
+
+    def put_u32(self, value: int) -> None:
+        self._buf += struct.pack(">I", value)
+
+    def put_u64(self, value: int) -> None:
+        self._buf += struct.pack(">Q", value)
+
+    def put_blob(self, raw: bytes) -> None:
+        self._buf += raw
+
+    def set_trace(self, token: str) -> None:
+        """Mark FLAG_TRACE and prepend the u16-prefixed trace token.
+
+        Must be called right after :meth:`begin`, before payload fields.
+        """
+        raw = token.encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise FieldError("trace token too long")
+        buf = self._buf
+        buf[3] |= FLAG_TRACE
+        buf += struct.pack(">H", len(raw))
+        buf += raw
+
+    def finish(self) -> bytes:
+        """Patch the payload length in and snapshot the frame."""
+        buf = self._buf
+        payload_len = len(buf) - HEADER_SIZE
+        if payload_len > MAX_FRAME_PAYLOAD:
+            raise FieldError(f"frame payload too large ({payload_len} bytes)")
+        struct.pack_into(">I", buf, 8, payload_len)
+        return bytes(buf)
+
+    def simple(self, verb_id: int, seq: int, payload: bytes = b"",
+               trace: "str | None" = None) -> bytes:
+        """One-call encode for frames whose payload is a ready blob."""
+        self.begin(verb_id, seq)
+        if trace is not None:
+            self.set_trace(trace)
+        self.put_blob(payload)
+        return self.finish()
+
+
+async def read_frame(reader, max_payload: int = MAX_FRAME_PAYLOAD,
+                     first_byte: bytes = b""):
+    """Read one v2 frame; ``None`` on clean EOF at a frame boundary.
+
+    ``first_byte`` lets the server's protocol sniffer hand back the byte
+    it peeked.  Truncation mid-frame, a wrong magic/version, or an
+    oversized payload raise :class:`FrameError` — the stream is
+    unframeable and the connection must drop.
+    """
+    want = HEADER_SIZE - len(first_byte)
+    try:
+        header = first_byte + await reader.readexactly(want)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial and not first_byte:
+            return None  # clean EOF between frames
+        raise FrameError("truncated frame header") from None
+    magic, version, verb_id, flags, seq, length = HEADER.unpack(header)
+    if magic != MAGIC:
+        raise FrameError(f"bad magic {magic:#x}")
+    if version != VERSION:
+        raise FrameError(f"unsupported protocol version {version}")
+    if length > max_payload:
+        raise FrameError(f"frame payload too large ({length} bytes)")
+    if length:
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise FrameError("truncated frame payload") from None
+    else:
+        payload = b""
+    return Frame(verb_id, flags, seq, payload)
+
+
+class PayloadReader:
+    """Sequential typed-field decoder over one frame's payload.
+
+    Wraps a ``memoryview`` so field extraction slices without copying;
+    only terminal ``bytes()``/``str`` conversions allocate.
+    """
+
+    __slots__ = ("_view", "_pos")
+
+    def __init__(self, payload: bytes):
+        self._view = memoryview(payload)
+        self._pos = 0
+
+    def _take(self, n: int) -> memoryview:
+        view, pos = self._view, self._pos
+        if pos + n > len(view):
+            raise FieldError("payload truncated")
+        self._pos = pos + n
+        return view[pos:pos + n]
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def u64(self) -> int:
+        return struct.unpack(">Q", self._take(8))[0]
+
+    def string(self) -> str:
+        raw = self._take(self.u16())
+        try:
+            return str(raw, "utf-8")
+        except UnicodeDecodeError:
+            raise FieldError("string field not utf-8") from None
+
+    def value(self) -> bytes:
+        length = self.u32()
+        if length > MAX_VALUE_BYTES:
+            raise FieldError(f"value too large ({length} bytes)")
+        return bytes(self._take(length))
+
+    def rest(self) -> bytes:
+        view = self._view[self._pos:]
+        self._pos = len(self._view)
+        return bytes(view)
+
+    @property
+    def exhausted(self) -> bool:
+        return self._pos >= len(self._view)
+
+
+def decode_trace(frame: Frame):
+    """Split a frame's trace token (if flagged) from its payload reader.
+
+    Returns ``(token_or_None, PayloadReader)`` positioned past the token.
+    """
+    rd = PayloadReader(frame.payload)
+    token = None
+    if frame.flags & FLAG_TRACE:
+        raw = rd._take(rd.u16())
+        try:
+            token = str(raw, "utf-8")
+        except UnicodeDecodeError:
+            raise FieldError("trace token not utf-8") from None
+    return token, rd
+
+
+def decode_request_fields(verb: str, rd: PayloadReader) -> list:
+    """Decode ``REQUEST_FIELDS[verb]`` from ``rd`` into a python list."""
+    fields = []
+    for kind in REQUEST_FIELDS[verb]:
+        if kind in ("key", "peer"):
+            fields.append(rd.string())
+        elif kind == "value":
+            fields.append(rd.value())
+        elif kind == "version":
+            fields.append(rd.u64())
+        elif kind == "keys":
+            count = rd.u32()
+            if count > MAX_BATCH_ITEMS:
+                raise FieldError(f"batch too large ({count} items)")
+            fields.append([rd.string() for _ in range(count)])
+        elif kind == "items":
+            count = rd.u32()
+            if count > MAX_BATCH_ITEMS:
+                raise FieldError(f"batch too large ({count} items)")
+            fields.append([(rd.string(), rd.value()) for _ in range(count)])
+        else:  # blob
+            fields.append(rd.rest())
+    return fields
+
+
+def encode_request(enc: FrameEncoder, verb: str, fields, seq: int,
+                   trace: "str | None" = None) -> bytes:
+    """Encode one request frame for ``verb`` with positional ``fields``."""
+    enc.begin(VERB_IDS[verb], seq)
+    if trace is not None:
+        enc.set_trace(trace)
+    kinds = REQUEST_FIELDS[verb]
+    if len(fields) != len(kinds):
+        raise FieldError(f"{verb} takes {len(kinds)} fields, got {len(fields)}")
+    for kind, field in zip(kinds, fields):
+        if kind in ("key", "peer"):
+            enc.put_str(field)
+        elif kind == "value":
+            enc.put_bytes(field)
+        elif kind == "version":
+            enc.put_u64(field)
+        elif kind == "keys":
+            if len(field) > MAX_BATCH_ITEMS:
+                raise FieldError(f"batch too large ({len(field)} items)")
+            enc.put_u32(len(field))
+            for key in field:
+                enc.put_str(key)
+        elif kind == "items":
+            if len(field) > MAX_BATCH_ITEMS:
+                raise FieldError(f"batch too large ({len(field)} items)")
+            enc.put_u32(len(field))
+            for key, value in field:
+                enc.put_str(key)
+                enc.put_bytes(value)
+        else:  # blob
+            enc.put_blob(field)
+    return enc.finish()
+
+
+def install_uvloop() -> bool:
+    """Install uvloop's event-loop policy if the package is available.
+
+    Purely optional: the container may not ship uvloop, so this gates on
+    ImportError and reports whether the fast loop is in effect.
+    """
+    try:
+        import uvloop  # type: ignore
+    except ImportError:
+        return False
+    uvloop.install()
+    return True

@@ -1,6 +1,10 @@
 """Asyncio TCP front end for a :class:`~repro.service.sharding.ShardedStore`.
 
-The wire protocol is line-framed with length-prefixed values (one request,
+The server speaks two framings, detected per connection from the first
+byte: the binary v2 frame protocol of :mod:`repro.service.protocol`
+(magic byte ``0xA8``; pipelined requests, batch verbs, typed trace
+field — see ``docs/protocol.md``) and the original v1 text protocol
+below.  v1 is line-framed with length-prefixed values (one request,
 one response; see ``docs/service.md``):
 
 ======================================  =========================================
@@ -66,6 +70,7 @@ from ..obs.dist import (
     SpanIds,
     current_context,
     leaf_args,
+    parse_token,
     pop_trace_token,
     span_args,
     use_context,
@@ -73,14 +78,28 @@ from ..obs.dist import (
 from ..obs.logging import get_logger
 from ..obs.prof import clock, process_resources
 from ..obs.tracing import CAT_REQUEST
+from .protocol import (
+    MAGIC,
+    MAX_FRAME_PAYLOAD,
+    MAX_VALUE_BYTES,  # noqa: F401  (re-export; the codec owns the cap now)
+    STATUS_IDS,
+    VERB_NAMES,
+    FieldError,
+    FrameEncoder,
+    FrameError,
+    decode_request_fields,
+    decode_trace,
+    read_frame,
+)
 from .sharding import ShardedStore
 
 log = get_logger(__name__)
 
-#: hard cap on value size accepted over the wire (16 MiB)
-MAX_VALUE_BYTES = 16 * 1024 * 1024
 #: hard cap on request-line length (fits any sane key)
 MAX_LINE_BYTES = 64 * 1024
+
+#: verbs whose first key records per-shard request latency
+_KEYED_VERBS = ("GET", "SET", "DEL", "MGET", "MSET", "MDEL")
 
 #: default span-id prefixes for servers not given one (cluster nodes pass
 #: their node name); a plain counter keeps ids deterministic per process
@@ -245,32 +264,16 @@ class CacheServer:
         log.debug("connection %d opened", conn_id)
         self._writers.add(writer)
         try:
-            while not self._stopping:
-                line = await reader.readline()
-                if not line:
-                    break
-                if len(line) > MAX_LINE_BYTES:
-                    writer.write(b"ERR line too long\n")
-                    await writer.drain()
-                    break
-                self._inflight += 1
-                try:
-                    await asyncio.wait_for(
-                        self._handle_request(line, reader, writer, conn_id),
-                        self.request_timeout,
-                    )
-                except asyncio.TimeoutError:
-                    log.warning("connection %d: request timed out, dropping", conn_id)
-                    writer.write(b"ERR timeout\n")
-                    await writer.drain()
-                    break
-                except ProtocolError as exc:
-                    writer.write(f"ERR {exc}\n".encode("utf-8"))
-                    await writer.drain()
-                except _Quit:
-                    break
-                finally:
-                    self._inflight -= 1
+            # protocol sniff: v2 frames open with the magic byte, which is
+            # an invalid UTF-8 start byte no v1 request line can begin with
+            first = await reader.read(1)
+            if first and first[0] == MAGIC:
+                await self._serve_v2_connection(reader, writer, conn_id, first)
+            elif first:
+                await self._serve_v1_connection(reader, writer, conn_id, first)
+        except FrameError as exc:
+            log.warning("connection %d: unframeable stream (%s), dropping",
+                        conn_id, exc)
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client vanished mid-request
         finally:
@@ -281,6 +284,78 @@ class CacheServer:
                 await writer.wait_closed()
             except (ConnectionError, OSError):
                 pass
+
+    async def _serve_v1_connection(self, reader, writer, conn_id: int,
+                                   first: bytes = b"") -> None:
+        """The v1 text request loop: one line-framed request at a time.
+
+        ``first`` is the byte the protocol sniffer consumed; it belongs
+        to the first request line.
+        """
+        while not self._stopping:
+            line = await reader.readline()
+            if first:
+                line, first = first + line, b""
+            if not line:
+                break
+            if len(line) > MAX_LINE_BYTES:
+                writer.write(b"ERR line too long\n")
+                await writer.drain()
+                break
+            self._inflight += 1
+            try:
+                await asyncio.wait_for(
+                    self._handle_request(line, reader, writer, conn_id),
+                    self.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                log.warning("connection %d: request timed out, dropping", conn_id)
+                writer.write(b"ERR timeout\n")
+                await writer.drain()
+                break
+            except ProtocolError as exc:
+                writer.write(f"ERR {exc}\n".encode("utf-8"))
+                await writer.drain()
+            except _Quit:
+                break
+            finally:
+                self._inflight -= 1
+
+    async def _serve_v2_connection(self, reader, writer, conn_id: int,
+                                   first: bytes = b"") -> None:
+        """The v2 frame loop: frames are handled as fast as they arrive.
+
+        Pipelining falls out of the framing: every request is fully read
+        before dispatch, so the loop never waits on the client mid-request
+        and many frames can be in flight per connection.  For the same
+        reason errors are gentler than v1 — a malformed payload or a
+        timed-out handler answers with an ERR frame and the connection
+        stays usable (the stream framing is still trusted); only an
+        unframeable byte stream (:class:`FrameError`) drops it.
+        """
+        enc = FrameEncoder()
+        frame = await read_frame(reader, MAX_FRAME_PAYLOAD, first)
+        while frame is not None and not self._stopping:
+            self._inflight += 1
+            try:
+                await asyncio.wait_for(
+                    self._handle_frame(frame, enc, writer, conn_id),
+                    self.request_timeout,
+                )
+            except asyncio.TimeoutError:
+                log.warning("connection %d: request timed out", conn_id)
+                writer.write(enc.simple(STATUS_IDS["ERR"], frame.seq,
+                                        b"timeout"))
+                await writer.drain()
+            except (ProtocolError, FieldError) as exc:
+                writer.write(enc.simple(STATUS_IDS["ERR"], frame.seq,
+                                        str(exc).encode("utf-8")))
+                await writer.drain()
+            except _Quit:
+                break
+            finally:
+                self._inflight -= 1
+            frame = await read_frame(reader)
 
     async def _handle_request(self, line: bytes, reader, writer,
                               conn_id: int = 0) -> None:
@@ -361,11 +436,7 @@ class CacheServer:
             writer.write(b"DELETED\n" if removed else b"NOTFOUND\n")
             return "deleted" if removed else "notfound"
         elif cmd == "STATS":
-            snapshot = self.store.stats_snapshot()
-            snapshot["process"] = {"pid": os.getpid(), **process_resources()}
-            if self.obs.registry.enabled:
-                snapshot["obs"] = self.obs.registry.snapshot()
-            payload = json.dumps(snapshot).encode("utf-8")
+            payload = self._stats_payload()
             writer.write(b"STATS %d\n" % len(payload))
             writer.write(payload)
             writer.write(b"\n")
@@ -389,12 +460,154 @@ class CacheServer:
             raise ProtocolError(f"unknown command {cmd!r}")
         return None
 
+    async def _handle_frame(self, frame, enc, writer, conn_id: int = 0) -> None:
+        """Frame one v2 request: decode, pop the trace field, dispatch, record.
+
+        The v2 analogue of :meth:`_handle_request`: the typed trace frame
+        field replaces the trailing ``T=`` text token, and the decoded
+        positional fields replace the split request line.  ``HELLO`` (the
+        negotiation probe) is answered here and deliberately left out of
+        tracing and request accounting, so trace topology and counters
+        are identical whether or not clients negotiated.
+        """
+        verb = VERB_NAMES.get(frame.verb_id)
+        if verb is None:
+            raise ProtocolError(f"unknown verb id {frame.verb_id}")
+        token, rd = decode_trace(frame)
+        fields = decode_request_fields(verb, rd)
+        if verb == "HELLO":
+            writer.write(enc.simple(STATUS_IDS["HELLO"], frame.seq, b"v2"))
+            await writer.drain()
+            return
+        wire_ctx = parse_token(token) if token is not None else None
+        start = clock()
+        tr = self.obs.tracer
+        if tr.enabled:
+            ctx = self._trace_ids.begin(wire_ctx)
+            with use_context(ctx):
+                outcome = await self._serve_frame(
+                    verb, fields, frame.seq, enc, writer, conn_id
+                )
+        else:
+            ctx = None
+            outcome = await self._serve_frame(
+                verb, fields, frame.seq, enc, writer, conn_id
+            )
+        await writer.drain()
+        parts = [verb]
+        first_key = _first_key(fields)
+        if first_key is not None:
+            parts.append(first_key)
+        self._record_request(
+            verb, parts, start, clock() - start, conn_id, ctx, outcome
+        )
+
+    async def _serve_frame(self, cmd: str, fields: list, seq: int, enc,
+                           writer, conn_id: int = 0):
+        """Dispatch one decoded v2 frame; returns the outcome label (or None).
+
+        ``cmd`` is the verb name resolved from the frame's verb id and
+        ``fields`` its typed payload fields (``REQUEST_FIELDS`` order).
+        FLOW003 extracts the v2-served verbs from the ``cmd`` comparisons
+        in this method, exactly as it reads :meth:`_serve_request` for v1
+        — a verb served in one framing but not the other is a finding.
+        """
+        if cmd == "GET":
+            value = self.store.get(fields[0])
+            if value is None:
+                writer.write(enc.simple(STATUS_IDS["MISS"], seq))
+                return "miss"
+            writer.write(enc.simple(STATUS_IDS["VALUE"], seq, value))
+            return "hit"
+        elif cmd == "SET":
+            stored = await self._apply_set(fields[0], fields[1])
+            writer.write(enc.simple(
+                STATUS_IDS["STORED" if stored else "TAGGED"], seq
+            ))
+            return "stored" if stored else "tagged"
+        elif cmd == "DEL":
+            removed = await self._apply_delete(fields[0])
+            writer.write(enc.simple(
+                STATUS_IDS["DELETED" if removed else "NOTFOUND"], seq
+            ))
+            return "deleted" if removed else "notfound"
+        elif cmd == "MGET":
+            keys = fields[0]
+            enc.begin(STATUS_IDS["VALUES"], seq)
+            enc.put_u32(len(keys))
+            for key in keys:
+                value = self.store.get(key)
+                if value is None:
+                    enc.put_u8(0)
+                else:
+                    enc.put_u8(1)
+                    enc.put_bytes(value)
+            writer.write(enc.finish())
+        elif cmd == "MSET":
+            items = fields[0]
+            flags = []
+            for key, value in items:
+                flags.append(await self._apply_set(key, value))
+            enc.begin(STATUS_IDS["STATUSES"], seq)
+            enc.put_u32(len(flags))
+            for flag in flags:
+                enc.put_u8(1 if flag else 0)
+            writer.write(enc.finish())
+        elif cmd == "MDEL":
+            keys = fields[0]
+            flags = []
+            for key in keys:
+                flags.append(await self._apply_delete(key))
+            enc.begin(STATUS_IDS["STATUSES"], seq)
+            enc.put_u32(len(flags))
+            for flag in flags:
+                enc.put_u8(1 if flag else 0)
+            writer.write(enc.finish())
+        elif cmd == "STATS":
+            writer.write(enc.simple(STATUS_IDS["STATS"], seq,
+                                    self._stats_payload()))
+        elif cmd == "METRICS":
+            writer.write(enc.simple(
+                STATUS_IDS["METRICS"], seq,
+                self.obs.registry.to_prometheus().encode("utf-8"),
+            ))
+        elif cmd == "TRACE":
+            writer.write(enc.simple(STATUS_IDS["TRACE"], seq,
+                                    self.obs.tracer.drain().encode("utf-8")))
+        elif cmd == "PING":
+            writer.write(enc.simple(STATUS_IDS["PONG"], seq))
+        elif cmd == "QUIT":
+            writer.write(enc.simple(STATUS_IDS["BYE"], seq))
+            await writer.drain()
+            raise _Quit
+        else:
+            raise ProtocolError(f"unknown command {cmd!r}")
+        return None
+
+    # -- write hooks (the cluster layer overrides these for coherence) --------
+
+    async def _apply_set(self, key: str, value: bytes) -> bool:
+        """Apply one SET; subclasses add cross-node invalidation."""
+        return self.store.set(key, value)
+
+    async def _apply_delete(self, key: str) -> bool:
+        """Apply one DEL; subclasses add cross-node invalidation."""
+        return self.store.delete(key)
+
+    def _stats_payload(self) -> bytes:
+        """The STATS JSON document, shared by both wire framings."""
+        snapshot = self.store.stats_snapshot()
+        snapshot["process"] = {"pid": os.getpid(), **process_resources()}
+        if self.obs.registry.enabled:
+            snapshot["obs"] = self.obs.registry.snapshot()
+        return json.dumps(snapshot).encode("utf-8")
+
     def _record_request(self, cmd: str, parts: list, start: float,
                         elapsed: float, conn_id: int, ctx, outcome) -> None:
         """Latency, counters and the request span for one answered request."""
         shard_idx = 0
         key = None
-        if cmd in ("GET", "SET", "DEL") and len(parts) > 1:
+        if cmd in _KEYED_VERBS and len(parts) > 1:
             key = parts[1]
             shard_idx = self.store.shard_of(key)
             self.store.shards[shard_idx].stats.record_latency(elapsed)
@@ -443,6 +656,26 @@ class CacheServer:
         if len(parts) != 2:
             raise ProtocolError(f"usage: {parts[0].upper()} <key>")
         return parts[1]
+
+
+def _first_key(fields: list):
+    """The first key named by a frame's fields, for latency attribution.
+
+    Batch payloads attribute the whole frame to their first key's shard —
+    the same approximation STATS already makes for per-shard latency.
+    """
+    if not fields:
+        return None
+    first = fields[0]
+    if isinstance(first, str):
+        return first
+    if isinstance(first, list) and first:
+        item = first[0]
+        if isinstance(item, tuple):
+            return item[0]
+        if isinstance(item, str):
+            return item
+    return None
 
 
 async def run_server(server: CacheServer) -> None:

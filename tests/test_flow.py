@@ -26,8 +26,12 @@ from repro.devtools.flow import (
 )
 from repro.devtools.flow.protocol_spec import (
     CLIENT_FILES,
+    CODEC_FILE,
     SPEC,
+    TRANSPORT_FILE,
     documented_verbs,
+    internal_verbs,
+    verbs_for_framing,
     verbs_for_layer,
 )
 from repro.devtools.lint.engine import format_json
@@ -428,6 +432,125 @@ class TestProtocolConformance:
     def test_real_tree_conforms(self):
         findings, _ = run_analyze([SRC_DIR], select={"FLOW003"})
         assert findings == []
+
+
+def fake_framed_server_source(v1_verbs, v2_verbs):
+    """A server dispatching ``v1_verbs`` in ``_serve_request`` and
+    ``v2_verbs`` in ``_serve_frame`` (framing-aware shape)."""
+    src = fake_server_source(v1_verbs)
+    lines = [
+        "    async def _serve_frame(self, cmd, fields, seq, enc, writer):",
+    ]
+    keyword = "if"
+    for verb in v2_verbs:
+        lines.append(f"        {keyword} cmd == {verb!r}:")
+        lines.append(f"            writer.write(b{verb!r})")
+        keyword = "elif"
+    return src + "\n".join(lines) + "\n"
+
+
+class TestFramingConformance:
+    """FLOW003's version-aware half: v1 vs v2 dispatch surfaces and the
+    VERB_IDS / V1_LINES framing tables."""
+
+    SERVER = "src/repro/service/server.py"
+    V1_VERBS = sorted(verbs_for_layer("service", "v1") - internal_verbs())
+    V2_VERBS = sorted(verbs_for_layer("service", "v2") - internal_verbs())
+
+    def test_spec_declares_batch_verbs_v2_only(self):
+        assert {"MGET", "MSET", "MDEL"} <= verbs_for_framing("v2")
+        assert not ({"MGET", "MSET", "MDEL"} & verbs_for_framing("v1"))
+        assert "HELLO" in internal_verbs()
+
+    def test_conforming_framed_server_is_silent(self):
+        sources = {
+            self.SERVER: fake_framed_server_source(
+                self.V1_VERBS, self.V2_VERBS
+            )
+        }
+        assert analyze_tree(sources, select={"FLOW003"}) == []
+
+    def test_verb_missing_from_v2_framing_fires(self):
+        # MGET declared for v2 but only the v1 loop grew... no arm: finding
+        v2 = [v for v in self.V2_VERBS if v != "MGET"]
+        sources = {
+            self.SERVER: fake_framed_server_source(self.V1_VERBS, v2)
+        }
+        findings = analyze_tree(sources, select={"FLOW003"})
+        assert codes(findings) == ["FLOW003"]
+        assert "'MGET'" in findings[0].message
+        assert "never dispatches" in findings[0].message
+        assert "v2" in findings[0].message
+
+    def test_v2_only_verb_in_v1_dispatch_fires(self):
+        # wiring a batch verb into the v1 line loop without declaring the
+        # framing in the spec is a finding
+        sources = {
+            self.SERVER: fake_framed_server_source(
+                self.V1_VERBS + ["MGET"], self.V2_VERBS
+            )
+        }
+        findings = analyze_tree(sources, select={"FLOW003"})
+        assert codes(findings) == ["FLOW003"]
+        assert "'MGET'" in findings[0].message
+        assert "v1" in findings[0].message
+        assert "add a spec entry" in findings[0].message
+
+    def test_call_sender_with_undocumented_verb_fires(self):
+        sources = {
+            self.SERVER: fake_framed_server_source(
+                self.V1_VERBS, self.V2_VERBS
+            ),
+            "src/repro/service/client.py": textwrap.dedent("""
+                class CacheClient:
+                    async def frob(self):
+                        return await self.transport.call("FROB", "k")
+            """),
+        }
+        findings = analyze_tree(sources, select={"FLOW003"})
+        assert codes(findings) == ["FLOW003"]
+        assert "'FROB'" in findings[0].message
+        assert "does not document" in findings[0].message
+
+    def _table_source(self, name, verbs):
+        entries = ", ".join(f"{v!r}: {i}" for i, v in enumerate(verbs))
+        return f"{name} = {{{entries}}}\n"
+
+    def test_codec_table_missing_verb_fires(self):
+        verbs = sorted(verbs_for_framing("v2") - {"MDEL"})
+        sources = {
+            "src/" + CODEC_FILE: self._table_source("VERB_IDS", verbs)
+        }
+        findings = analyze_tree(sources, select={"FLOW003"})
+        assert codes(findings) == ["FLOW003"]
+        assert "'MDEL'" in findings[0].message
+        assert "VERB_IDS" in findings[0].message
+
+    def test_codec_table_extra_verb_fires(self):
+        verbs = sorted(verbs_for_framing("v2")) + ["FROB"]
+        sources = {
+            "src/" + CODEC_FILE: self._table_source("VERB_IDS", verbs)
+        }
+        findings = analyze_tree(sources, select={"FLOW003"})
+        assert codes(findings) == ["FLOW003"]
+        assert "'FROB'" in findings[0].message
+
+    def test_v1_table_is_checked_in_transport(self):
+        verbs = sorted(verbs_for_framing("v1") - {"QUIT"})
+        sources = {
+            "src/" + TRANSPORT_FILE: self._table_source("V1_LINES", verbs)
+        }
+        findings = analyze_tree(sources, select={"FLOW003"})
+        assert codes(findings) == ["FLOW003"]
+        assert "'QUIT'" in findings[0].message
+        assert "V1_LINES" in findings[0].message
+
+    def test_stub_transport_without_table_is_silent(self):
+        # a partial tree (no V1_LINES dict at all) proves nothing
+        sources = {
+            "src/" + TRANSPORT_FILE: "class Transport:\n    pass\n"
+        }
+        assert analyze_tree(sources, select={"FLOW003"}) == []
 
 
 # -- engine mechanics ---------------------------------------------------------
