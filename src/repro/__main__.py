@@ -22,6 +22,7 @@ Serving mode (see ``docs/service.md``) lives under two extra subcommands
 dispatched to :mod:`repro.service.cli`::
 
     python -m repro serve --shards 4 --data-capacity 4096
+    python -m repro serve --obs-port 9900 --flight-dir ./flight
     python -m repro bench-service --refs 20000 --json BENCH_service.json
 
 Static checks (see ``docs/devtools.md``) live under three more
@@ -31,14 +32,17 @@ subcommands dispatched to :mod:`repro.devtools.cli`::
     python -m repro analyze src --baseline analyze-baseline.json
     python -m repro check-protocol --format json
 
-Observability (see ``docs/observability.md``) adds a live dashboard and
-trace export, dispatched to :mod:`repro.obs.cli`::
+Observability (see ``docs/observability.md``) adds a live dashboard,
+trace export and the continuous-telemetry tools, dispatched to
+:mod:`repro.obs.cli`::
 
     python -m repro top --port 9876
     python -m repro top --cluster --node node0=127.0.0.1:9876 ...
     python -m repro obs export --format chrome-trace --out trace.json
     python -m repro obs validate --causal trace.json
     python -m repro obs collect node0.jsonl node1.jsonl --out cluster.json
+    python -m repro obs flight flight-20260808-120000-sigusr2.json
+    python -m repro obs alert-replay --seed 2013 --json replay.json
     python -m repro explain --key storm:0 cluster-trace.json
 
 Performance baselines (see ``docs/perf.md``) dispatch to
@@ -52,6 +56,7 @@ Cluster mode (see ``docs/cluster.md``) dispatches to
 :mod:`repro.cluster.cli`::
 
     python -m repro cluster serve --nodes 3 --data-capacity 512
+    python -m repro cluster serve --nodes 3 --obs-port 9900
     python -m repro cluster bench --node-counts 1 2 3 --json BENCH_cluster.json
     python -m repro cluster smoke
     python -m repro cluster trace --nodes 3 --out cluster-trace.json

@@ -78,6 +78,16 @@ def build_cluster_parser() -> argparse.ArgumentParser:
                             "(0 = ephemeral)")
     serve.add_argument("--no-metrics", action="store_true",
                        help="disable the obs metrics registry")
+    serve.add_argument("--obs-port", type=int, default=None,
+                       help="base port for per-node telemetry HTTP "
+                            "endpoints (node i serves on obs-port+i); "
+                            "each answers /metrics /healthz /readyz "
+                            "/varz /history /alertz")
+    serve.add_argument("--obs-interval", type=float, default=1.0,
+                       help="telemetry sampling interval in seconds")
+    serve.add_argument("--flight-dir", metavar="DIR", default=".",
+                       help="directory for flight-recorder bundles "
+                            "(SIGUSR2 dumps one per node)")
 
     bench = sub.add_parser(
         "bench",
@@ -164,6 +174,45 @@ def _build_cluster(args, obs=None, host="127.0.0.1",
     )
 
 
+def _node_health(node):
+    """Health callable bound to one node's drain state and server."""
+
+    def health() -> dict:
+        serving = node.server._server is not None
+        draining = node.draining or node.server.draining
+        return {
+            "healthy": serving and not draining,
+            "ready": serving and not draining,
+            "draining": draining,
+            "node": node.name,
+            "uptime_s": node.server.uptime_s,
+        }
+
+    return health
+
+
+def _install_cluster_sigusr2(telemetries) -> None:
+    """One SIGUSR2 handler dumping a flight bundle per node.
+
+    ``add_signal_handler`` replaces rather than chains, so per-node
+    handlers would leave only the last node dumping.
+    """
+    if not telemetries:
+        return
+
+    def dump_all():
+        for telemetry in telemetries:
+            path = telemetry.dump_flight("sigusr2")
+            print(f"repro.cluster: flight bundle written to {path}")
+
+    try:
+        asyncio.get_running_loop().add_signal_handler(
+            signal.SIGUSR2, dump_all
+        )
+    except (NotImplementedError, RuntimeError, AttributeError, ValueError):
+        pass  # no SIGUSR2 on this platform
+
+
 async def _serve_cluster(args) -> None:
     obs = (Observability.disabled() if args.no_metrics
            else Observability.enabled())
@@ -184,9 +233,29 @@ async def _serve_cluster(args) -> None:
           f"{args.admission} admission")
     for name, (host, port) in sorted(cluster.addresses().items()):
         print(f"repro.cluster:   {name} @ {host}:{port}")
+    # one telemetry plane per node on consecutive ports; the in-process
+    # harness shares one registry (metrics are node-labelled), but health
+    # and /varz are bound to each node's own drain state and server
+    telemetries = []
+    if getattr(args, "obs_port", None) is not None:
+        from ..service.telemetry import ServiceTelemetry
+
+        for i, (name, node) in enumerate(sorted(cluster.nodes.items())):
+            telemetry = ServiceTelemetry(
+                node.server, port=args.obs_port + i,
+                interval=args.obs_interval, flight_dir=args.flight_dir,
+                health=_node_health(node), signal_handler=False,
+            )
+            await telemetry.start()
+            telemetries.append(telemetry)
+            print(f"repro.cluster:   {name} telemetry @ "
+                  f"http://{telemetry.http.host}:{telemetry.http.port}")
+        _install_cluster_sigusr2(telemetries)
     try:
         await stop.wait()
     finally:
+        for telemetry in telemetries:
+            await telemetry.stop()
         snapshot = cluster.status_snapshot()
         await cluster.stop()
         print(f"repro.cluster: drained and stopped "

@@ -979,6 +979,9 @@ class ClusterNode:
             ),
             "stale_rejects": self.replica_store.stale_rejects,
             "eventloop_lag_s": self.server.eventloop_lag,
+            "uptime_s": self.server.uptime_s,
+            "connections_v1": self.server.connections_v1,
+            "connections_v2": self.server.connections_v2,
             "peers": list(self.peer_names()),
             "replication_factor": self.replicas,
         }

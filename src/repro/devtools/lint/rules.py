@@ -600,6 +600,12 @@ class RawTransportRule(Rule):
     traffic invisible to METRICS.  Anything that needs bytes on the wire
     goes through :class:`~repro.service.client.CacheClient`,
     :class:`~repro.cluster.client.ClusterClient` or a server subclass.
+
+    One named exception: :mod:`repro.obs.http`, the read-only
+    observability endpoint.  It is itself part of the accountability
+    story (bounded request lines, per-path request counts, torn down by
+    ``ServiceTelemetry.stop``) and must stay dependency-free, so it is
+    a sanctioned second transport rather than a stray one.
     """
 
     id = "REP012"
@@ -620,6 +626,8 @@ class RawTransportRule(Rule):
     )
 
     def _allowed(self, ctx) -> bool:
+        if ctx.module == "repro.obs.http":  # the sanctioned obs endpoint
+            return True
         return any(
             ctx.module == pkg or ctx.module.startswith(pkg + ".")
             for pkg in ("repro.service", "repro.cluster")

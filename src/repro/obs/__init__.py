@@ -17,7 +17,18 @@ package is the one place both live:
   normalization and the per-key ``repro explain`` audit;
 * :mod:`repro.obs.top` — renders the live ``repro top`` dashboard (and
   its ``--cluster`` variant) from STATS/CSTATUS snapshots (the CLI loops
-  live in :mod:`repro.obs.cli`).
+  live in :mod:`repro.obs.cli`);
+* :mod:`repro.obs.timeseries` — delta-encoded, tier-downsampled history
+  of registry samples, queryable as ``(metric, labels) → [(t, value)]``;
+* :mod:`repro.obs.alerts` — declarative alert rules (threshold / delta /
+  rate / ratio over trailing windows, for-duration + hysteresis) driven
+  through a ``pending → firing → resolved`` lifecycle;
+* :mod:`repro.obs.http` — the dependency-free ``--obs-port`` HTTP
+  endpoint (``/metrics`` ``/healthz`` ``/readyz`` ``/varz`` ``/history``
+  ``/alertz``);
+* :mod:`repro.obs.flight` — the crash flight recorder: atomic forensic
+  bundles of time-series tail + trace ring + stats, rendered by
+  ``repro obs flight``.
 
 :class:`Observability` bundles one registry and one tracer so constructors
 thread a single handle.  The disabled bundle is a true no-op: null metrics,
@@ -32,6 +43,7 @@ request path of :mod:`repro.service`.  See ``docs/observability.md``.
 
 from __future__ import annotations
 
+from .alerts import AlertEngine, AlertRule, AlertState, builtin_rules
 from .dist import (
     ADMISSION_DENIED,
     ADMITTED,
@@ -47,6 +59,8 @@ from .dist import (
     trace_topology,
     use_context,
 )
+from .flight import FlightRecorder, load_flight, render_flight
+from .http import ObsHTTPServer
 from .prof import (
     NULL_PHASE_TIMER,
     DeterministicSampler,
@@ -67,6 +81,12 @@ from .registry import (
     format_prometheus,
     log_bounds,
     merge_registry_snapshots,
+)
+from .timeseries import (
+    DEFAULT_TIERS,
+    TelemetrySampler,
+    Tier,
+    TimeSeriesStore,
 )
 from .tracing import (
     COHERENCE_TRANSITION,
@@ -125,6 +145,18 @@ __all__ = [
     "UPDATED",
     "DELETED",
     "REPLICA_INVALIDATED",
+    "TimeSeriesStore",
+    "TelemetrySampler",
+    "Tier",
+    "DEFAULT_TIERS",
+    "AlertRule",
+    "AlertEngine",
+    "AlertState",
+    "builtin_rules",
+    "ObsHTTPServer",
+    "FlightRecorder",
+    "load_flight",
+    "render_flight",
 ]
 
 

@@ -1,0 +1,337 @@
+"""Declarative alerting over :mod:`repro.obs.timeseries` windows.
+
+An :class:`AlertRule` is a predicate over a trailing time-series window —
+threshold on the latest value, delta across the window, per-second rate,
+or a ratio of counter deltas — plus the temporal shaping that separates a
+page from noise: ``for_s`` (the condition must hold that long before the
+alert fires) and hysteresis (``resolve_threshold`` lets the resolve bound
+sit away from the firing bound so a metric hovering at the line doesn't
+flap).
+
+The :class:`AlertEngine` evaluates every rule against a
+:class:`~repro.obs.timeseries.TimeSeriesStore` at the times it is given —
+never a wall clock it reads itself — and drives each rule through the
+``ok → pending → firing → resolved`` lifecycle, appending every
+transition to an append-only ``timeline``.  Fed a deterministic history
+and a logical clock (as ``repro obs alert-replay`` and the tests do), two
+runs produce byte-identical timelines.
+
+:func:`builtin_rules` encodes the degradations this repo actually
+exhibits: windowed hit-rate collapse (the scan-flood signature selective
+allocation exists to resist), pending-INVAL debt growth on cluster
+nodes, event-loop lag, and the PR 8 SLO burn rates.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "AlertRule",
+    "AlertEngine",
+    "AlertState",
+    "builtin_rules",
+]
+
+_KINDS = ("threshold", "delta", "rate", "ratio")
+_OPS = {
+    ">": lambda value, bound: value > bound,
+    "<": lambda value, bound: value < bound,
+}
+
+
+class AlertState:
+    """Lifecycle states (plain strings so timelines are JSON-safe)."""
+
+    OK = "ok"
+    PENDING = "pending"
+    FIRING = "firing"
+    RESOLVED = "resolved"
+
+
+class AlertRule:
+    """One declarative predicate over a trailing metric window.
+
+    kind
+        ``threshold`` — compare the window's newest value;
+        ``delta`` — compare ``newest - oldest`` across the window;
+        ``rate`` — compare the delta divided by the window's time span;
+        ``ratio`` — compare ``delta(metric) / sum(delta(d) for d in
+        divisors)`` (e.g. hits over hits+misses).  A zero-total ratio
+        window is *healthy*: no traffic is not a degradation.
+    op, threshold
+        The comparison that means "bad": ``op(value, threshold)`` true
+        starts the pending timer.
+    resolve_threshold
+        Hysteresis bound: once firing, the alert resolves only when
+        ``op(value, resolve_threshold)`` is false.  Defaults to
+        ``threshold`` (no hysteresis).  For ``<`` rules it must be >=
+        threshold, for ``>`` rules <= threshold.
+    for_s
+        The condition must hold continuously this long before firing.
+    window_s
+        Length of the trailing window the value is computed over.
+    """
+
+    __slots__ = ("name", "metric", "kind", "op", "threshold",
+                 "resolve_threshold", "window_s", "for_s", "labels",
+                 "divisors", "severity", "description")
+
+    def __init__(self, name, metric, kind="threshold", op=">", threshold=0.0,
+                 resolve_threshold=None, window_s=60.0, for_s=0.0,
+                 labels=None, divisors=(), severity="warning",
+                 description=""):
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if op not in _OPS:
+            raise ValueError(f"op must be one of {tuple(_OPS)}, got {op!r}")
+        if kind == "ratio" and not divisors:
+            raise ValueError("ratio rules need at least one divisor metric")
+        if window_s <= 0:
+            raise ValueError(f"window_s must be positive, got {window_s}")
+        if for_s < 0:
+            raise ValueError(f"for_s must be >= 0, got {for_s}")
+        self.name = name
+        self.metric = metric
+        self.kind = kind
+        self.op = op
+        self.threshold = float(threshold)
+        self.resolve_threshold = (
+            self.threshold if resolve_threshold is None
+            else float(resolve_threshold)
+        )
+        if op == "<" and self.resolve_threshold < self.threshold:
+            raise ValueError(
+                f"{name}: resolve_threshold {self.resolve_threshold} must be "
+                f">= threshold {self.threshold} for op '<'"
+            )
+        if op == ">" and self.resolve_threshold > self.threshold:
+            raise ValueError(
+                f"{name}: resolve_threshold {self.resolve_threshold} must be "
+                f"<= threshold {self.threshold} for op '>'"
+            )
+        self.window_s = float(window_s)
+        self.for_s = float(for_s)
+        self.labels = dict(labels) if labels else None
+        self.divisors = tuple(divisors)
+        self.severity = severity
+        self.description = description
+
+    def value(self, store, now):
+        """The rule's current value over its window, or None (no data)."""
+        points = store.window(self.metric, self.labels, self.window_s, now=now)
+        if not points:
+            return None
+        if self.kind == "threshold":
+            return points[-1][1]
+        if len(points) < 2:
+            return None  # a delta needs two points
+        delta = points[-1][1] - points[0][1]
+        if self.kind == "delta":
+            return delta
+        if self.kind == "rate":
+            span = points[-1][0] - points[0][0]
+            return delta / span if span > 0 else None
+        total = delta
+        for name in self.divisors:
+            dpoints = store.window(name, self.labels, self.window_s, now=now)
+            if len(dpoints) >= 2:
+                total += dpoints[-1][1] - dpoints[0][1]
+        if self.kind == "ratio" and self.metric in self.divisors:
+            total -= delta  # metric already counted via divisors
+        if total <= 0:
+            return None  # no traffic in the window: healthy, not 0/0
+        return delta / total
+
+    def breaches(self, value) -> bool:
+        return value is not None and _OPS[self.op](value, self.threshold)
+
+    def recovered(self, value) -> bool:
+        """True when a firing alert may resolve (hysteresis bound)."""
+        return value is None or not _OPS[self.op](value, self.resolve_threshold)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "metric": self.metric,
+            "kind": self.kind,
+            "op": self.op,
+            "threshold": self.threshold,
+            "resolve_threshold": self.resolve_threshold,
+            "window_s": self.window_s,
+            "for_s": self.for_s,
+            "labels": self.labels,
+            "divisors": list(self.divisors),
+            "severity": self.severity,
+            "description": self.description,
+        }
+
+
+class _RuleState:
+    __slots__ = ("state", "pending_since", "fired_at", "last_value")
+
+    def __init__(self):
+        self.state = AlertState.OK
+        self.pending_since = None
+        self.fired_at = None
+        self.last_value = None
+
+
+class AlertEngine:
+    """Drives rules through ok → pending → firing → resolved.
+
+    ``evaluate(now)`` is the only mutator; it touches no clock of its
+    own, so callers control time entirely.  Transitions are returned and
+    appended to ``timeline``; ``on_transition(fn)`` hooks (the serving
+    stack logs from one) see each transition as it happens.
+    """
+
+    def __init__(self, store, rules=()):
+        self.store = store
+        self.rules = list(rules)
+        self._states = {r.name: _RuleState() for r in self.rules}
+        #: append-only [{"t","alert","from","to","value","severity"}]
+        self.timeline = []
+        self._hooks = []
+
+    def add_rule(self, rule: AlertRule) -> None:
+        if rule.name in self._states:
+            raise ValueError(f"duplicate alert rule {rule.name!r}")
+        self.rules.append(rule)
+        self._states[rule.name] = _RuleState()
+
+    def on_transition(self, fn) -> None:
+        """Register ``fn(transition_dict)`` to run on every transition."""
+        self._hooks.append(fn)
+
+    def _transition(self, rule, st, to, now):
+        event = {
+            "t": now,
+            "alert": rule.name,
+            "from": st.state,
+            "to": to,
+            "value": st.last_value,
+            "severity": rule.severity,
+        }
+        st.state = to
+        self.timeline.append(event)
+        for fn in self._hooks:
+            fn(event)
+        return event
+
+    def evaluate(self, now=None):
+        """Evaluate every rule at ``now``; returns this pass's transitions."""
+        t = self.store.now() if now is None else now
+        transitions = []
+        for rule in self.rules:
+            st = self._states[rule.name]
+            value = rule.value(self.store, t)
+            st.last_value = value
+            breaching = rule.breaches(value)
+            if st.state in (AlertState.OK, AlertState.RESOLVED):
+                if breaching:
+                    st.pending_since = t
+                    if rule.for_s <= 0:
+                        st.fired_at = t
+                        transitions.append(
+                            self._transition(rule, st, AlertState.FIRING, t))
+                    else:
+                        transitions.append(
+                            self._transition(rule, st, AlertState.PENDING, t))
+            elif st.state == AlertState.PENDING:
+                if not breaching:
+                    st.pending_since = None
+                    transitions.append(
+                        self._transition(rule, st, AlertState.OK, t))
+                elif t - st.pending_since >= rule.for_s:
+                    st.fired_at = t
+                    transitions.append(
+                        self._transition(rule, st, AlertState.FIRING, t))
+            elif st.state == AlertState.FIRING:
+                if rule.recovered(value):
+                    st.pending_since = None
+                    st.fired_at = None
+                    transitions.append(
+                        self._transition(rule, st, AlertState.RESOLVED, t))
+        return transitions
+
+    def states(self) -> list:
+        """JSON-safe per-rule status, rule order preserved."""
+        out = []
+        for rule in self.rules:
+            st = self._states[rule.name]
+            out.append({
+                "alert": rule.name,
+                "state": st.state,
+                "value": st.last_value,
+                "since": st.fired_at if st.state == AlertState.FIRING
+                else st.pending_since,
+                "severity": rule.severity,
+                "description": rule.description,
+            })
+        return out
+
+    def firing(self) -> list:
+        return [s for s in self.states() if s["state"] == AlertState.FIRING]
+
+    def to_dict(self) -> dict:
+        return {
+            "rules": [r.to_dict() for r in self.rules],
+            "states": self.states(),
+            "timeline": list(self.timeline),
+        }
+
+
+def builtin_rules(window_s=30.0, slo_burn_threshold=10.0):
+    """The degradations this repo is built to exhibit, as alert rules.
+
+    * ``hit_rate_drop`` — windowed hit rate (delta hits over delta
+      hits+misses across all shards) under 20%, resolving above 40%.
+      A scan flood drags this down even while selective allocation
+      protects the resident hot set; sustained breach means the cache
+      is no longer absorbing the working set.
+    * ``pending_inval_debt`` — the cluster coherence queue grew over the
+      window: owners are producing INVALs faster than replicas ack.
+    * ``eventloop_lag`` — the server's measured loop lag (PR 8 gauge)
+      above 100ms: the asyncio loop is starving.
+    * ``slo_burn`` — any published SLO burn-rate gauge above
+      ``slo_burn_threshold`` (10x budget ≈ page-now in SRE practice).
+    """
+    return [
+        AlertRule(
+            "hit_rate_drop",
+            metric="repro_service_shard_hits",
+            kind="ratio",
+            divisors=("repro_service_shard_hits", "repro_service_shard_misses"),
+            op="<", threshold=0.20, resolve_threshold=0.40,
+            window_s=window_s, for_s=min(5.0, window_s / 2),
+            severity="critical",
+            description="windowed hit rate collapsed (scan flood signature)",
+        ),
+        AlertRule(
+            "pending_inval_debt",
+            metric="repro_cluster_pending_invals",
+            kind="delta",
+            op=">", threshold=0.0,
+            window_s=window_s, for_s=min(5.0, window_s / 2),
+            severity="warning",
+            description="coherence pending-INVAL debt grew over the window",
+        ),
+        AlertRule(
+            "eventloop_lag",
+            metric="repro_service_eventloop_lag_seconds",
+            kind="threshold",
+            op=">", threshold=0.100, resolve_threshold=0.050,
+            window_s=window_s, for_s=min(3.0, window_s / 2),
+            severity="warning",
+            description="asyncio event-loop lag above 100ms",
+        ),
+        AlertRule(
+            "slo_burn",
+            metric="repro_slo_burn_rate",
+            kind="threshold",
+            op=">", threshold=slo_burn_threshold,
+            resolve_threshold=1.0,
+            window_s=window_s, for_s=min(5.0, window_s / 2),
+            severity="critical",
+            description="an SLO is burning error budget at page-now rate",
+        ),
+    ]

@@ -29,6 +29,21 @@ it prints the key's cross-node lifecycle — tag-only allocation, reuse
 detection, admission verdicts, eviction, replication and invalidation —
 glossed against the paper's I/TO/S state machine.
 
+``obs flight`` pretty-prints a flight-recorder bundle (written by a
+serving node on SIGUSR2 or a fatal error — see
+:mod:`repro.obs.flight`): firing alerts, the alert timeline, sparklined
+metric tails, the trace-ring summary and per-shard stats.
+
+``obs alert-replay`` is the deterministic incident rehearsal: it drives
+a seeded hot-set → scan-flood → hot-set traffic pattern through an
+in-process :class:`~repro.service.sharding.ShardedStore` under a
+*logical* clock, sampling the registry and evaluating the built-in alert
+rules each tick.  The scan flood collapses the windowed hit rate, the
+``hit_rate_drop`` alert fires, the hot set returns, the alert resolves —
+and because no wall clock ever enters a decision path, two runs with the
+same seed emit byte-identical alert timelines (the CI gate ``cmp``-s
+exactly that).
+
 This module sits at the CLI layer (it imports the simulator, the service
 client and the cluster client); the rest of :mod:`repro.obs` stays
 importable from layer 1.
@@ -48,9 +63,12 @@ from ..hierarchy.system import System
 from ..service.client import CacheClient
 from ..workloads.mixes import EXAMPLE_MIX, build_workload
 from . import Observability
+from .alerts import AlertEngine, builtin_rules
 from .dist import explain_key, format_explain, merge_node_traces
+from .flight import load_flight, render_flight
 from .logging import configure as configure_logging
 from .registry import MetricsRegistry, SLOTracker
+from .timeseries import TimeSeriesStore
 from .tracing import validate_chrome_trace
 from .top import CLEAR_SCREEN, render_cluster_dashboard, render_dashboard
 
@@ -128,6 +146,27 @@ def build_obs_parser() -> argparse.ArgumentParser:
     collect.add_argument("--out", metavar="FILE", default="cluster-trace.json",
                          help="merged Chrome trace output path")
 
+    flight = obs_sub.add_parser(
+        "flight", help="pretty-print a flight-recorder bundle"
+    )
+    flight.add_argument("file", help="flight bundle JSON (written on "
+                                     "SIGUSR2 or a fatal server error)")
+    flight.add_argument("--width", type=int, default=72,
+                        help="render width in columns")
+
+    replay = obs_sub.add_parser(
+        "alert-replay",
+        help="deterministic hit-rate-collapse rehearsal: seeded scan "
+             "flood under a logical clock; the hit_rate_drop alert must "
+             "fire and resolve identically every run",
+    )
+    replay.add_argument("--seed", type=int, default=2013)
+    replay.add_argument("--ticks", type=int, default=90,
+                        help="logical seconds to simulate")
+    replay.add_argument("--ops-per-tick", type=int, default=50)
+    replay.add_argument("--json", metavar="FILE", default=None,
+                        help="write the full timeline/state report here")
+
     explain = sub.add_parser(
         "explain", help="per-key lifecycle audit from a collected trace"
     )
@@ -141,15 +180,56 @@ def build_obs_parser() -> argparse.ArgumentParser:
 # -- repro top ---------------------------------------------------------------
 
 
+#: sparkline history shown by ``repro top`` (seconds of trailing window)
+_SPARK_WINDOW_S = 60.0
+
+
+def _spark_feed(history: TimeSeriesStore, snapshot, prev, interval, t):
+    """Record windowed hit rate + ops/s into the local history store.
+
+    The loop keeps its own :class:`TimeSeriesStore` under a *logical*
+    clock (frame number × interval), derived entirely from STATS counter
+    deltas — so the sparklines show recent behaviour, not lifetime
+    averages, and the renderer stays pure.
+    """
+    if prev is None or not interval:
+        return
+    total = snapshot.get("total", {})
+    prev_total = prev.get("total", {})
+    d_hits = total.get("hits", 0) - prev_total.get("hits", 0)
+    d_misses = total.get("misses", 0) - prev_total.get("misses", 0)
+    if d_hits + d_misses > 0:
+        history.record("hit_rate", {}, d_hits / (d_hits + d_misses), now=t)
+    d_gets = total.get("gets", 0) - prev_total.get("gets", 0)
+    d_sets = (total.get("reuse_admissions", 0) + total.get("tag_only_sets", 0)
+              - prev_total.get("reuse_admissions", 0)
+              - prev_total.get("tag_only_sets", 0))
+    history.record("ops_per_s", {},
+                   max(0.0, (d_gets + d_sets) / interval), now=t)
+
+
+def _spark_columns(history: TimeSeriesStore, t) -> dict:
+    spark = {}
+    for label in ("hit_rate", "ops_per_s"):
+        points = history.window(label, {}, duration=_SPARK_WINDOW_S, now=t)
+        if points:
+            spark[label] = [v for _, v in points]
+    return spark
+
+
 async def _top_loop(args) -> int:
     client = CacheClient(args.host, args.port)
     prev = None
     frames = 0
+    history = TimeSeriesStore(clock=lambda: 0.0)
     try:
         while True:
             snapshot = await client.stats()
+            t = frames * args.interval
+            _spark_feed(history, snapshot, prev, args.interval, t)
             frame = render_dashboard(
-                snapshot, prev, interval=args.interval if prev else None
+                snapshot, prev, interval=args.interval if prev else None,
+                spark=_spark_columns(history, t),
             )
             if not args.no_clear:
                 sys.stdout.write(CLEAR_SCREEN)
@@ -221,20 +301,18 @@ async def _top_cluster_loop(args) -> int:
                 stats = await client.stats()
             except (ConnectionError, asyncio.TimeoutError, OSError):
                 stats = None  # mid-drain node: skip the hit-rate line
-            burn = {
-                "availability": slos["availability"].observe(
-                    polls_ok, polls_total
-                ),
-            }
+            # display the *windowed* burn (this poll's delta): a healthy
+            # window shows 0.0x even if the lifetime ratio is scarred
+            slos["availability"].observe(polls_ok, polls_total)
+            burn = {"availability": slos["availability"].window_burn}
             if stats is not None:
                 total = stats.get("total", {})
                 lookups = total.get("hits", 0) + total.get("misses", 0)
                 fenced = min(
                     summary["totals"].get("stale_rejects", 0), lookups
                 )
-                burn["freshness"] = slos["freshness"].observe(
-                    lookups - fenced, lookups
-                )
+                slos["freshness"].observe(lookups - fenced, lookups)
+                burn["freshness"] = slos["freshness"].window_burn
             frame = render_cluster_dashboard(
                 summary, stats=stats,
                 interval=args.interval if frames else None, burn=burn,
@@ -375,6 +453,90 @@ def cmd_collect(args) -> int:
     return 0
 
 
+# -- repro obs flight / alert-replay ------------------------------------------
+
+
+def cmd_flight(args) -> int:
+    """Render one flight-recorder bundle for human eyes."""
+    try:
+        bundle = load_flight(args.file)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        print(f"repro obs flight: {args.file}: {exc}", file=sys.stderr)
+        return 1
+    sys.stdout.write(render_flight(bundle, width=args.width))
+    return 0
+
+
+def cmd_alert_replay(args) -> int:
+    """Seeded hit-rate-collapse rehearsal under a logical clock.
+
+    Three acts over ``--ticks`` logical seconds: a hot set the reuse
+    cache learns, a scan flood of never-repeating keys (the adversarial
+    pattern the paper's selective allocation defends the data array
+    against — but which still collapses the *observed* hit rate), then
+    the hot set again.  The built-in ``hit_rate_drop`` rule must fire
+    during the flood and resolve after it; exit is non-zero otherwise.
+    All randomness is ``random.Random(--seed)``, all time is the tick
+    counter, so the emitted timeline is byte-identical across runs.
+    """
+    import random
+
+    from ..service.sharding import ShardedStore
+
+    obs = Observability.enabled()
+    store = ShardedStore(
+        num_shards=2, data_capacity=128, admission="reuse",
+        seed=args.seed, obs=obs,
+    )
+    ts = TimeSeriesStore(registry=obs.registry, clock=lambda: 0.0)
+    engine = AlertEngine(ts, builtin_rules(window_s=30.0))
+    rng = random.Random(args.seed)
+    hot_keys = [f"hot:{i}" for i in range(64)]
+    scan_next = 0
+    act_len = max(1, args.ticks // 3)
+    for tick in range(args.ticks):
+        scanning = act_len <= tick < 2 * act_len
+        for _ in range(args.ops_per_tick):
+            if scanning:
+                key = f"scan:{scan_next}"
+                scan_next += 1
+            else:
+                key = rng.choice(hot_keys)
+            if store.get(key) is None:
+                store.set(key, b"v" * 32)
+        t = float(tick + 1)
+        ts.sample(now=t)
+        engine.evaluate(now=t)
+    fired = any(e["alert"] == "hit_rate_drop" and e["to"] == "firing"
+                for e in engine.timeline)
+    resolved = any(e["alert"] == "hit_rate_drop" and e["to"] == "resolved"
+                   for e in engine.timeline)
+    report = {
+        "seed": args.seed,
+        "ticks": args.ticks,
+        "ops_per_tick": args.ops_per_tick,
+        "fired": fired,
+        "resolved": resolved,
+        "timeline": engine.timeline,
+        "states": engine.states(),
+    }
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    for event in engine.timeline:
+        print(f"t={event['t']:<6g} {event['alert']:<22} "
+              f"{event['from']} -> {event['to']} "
+              f"(value={event['value']})")
+    verdict = ("fired and resolved" if fired and resolved
+               else "fired only" if fired else "never fired")
+    alerts_seen = len({e["alert"] for e in engine.timeline})
+    print(f"hit_rate_drop: {verdict} "
+          f"({len(engine.timeline)} transition(s), {alerts_seen} alert(s))")
+    return 0 if fired and resolved else 1
+
+
 # -- repro explain ------------------------------------------------------------
 
 
@@ -405,4 +567,8 @@ def main(argv) -> int:
         return cmd_export(args)
     if args.obs_command == "collect":
         return cmd_collect(args)
+    if args.obs_command == "flight":
+        return cmd_flight(args)
+    if args.obs_command == "alert-replay":
+        return cmd_alert_replay(args)
     return cmd_validate(args)

@@ -1,0 +1,218 @@
+"""Crash flight recorder: atomic forensic bundles for post-incident work.
+
+When a node degrades or dies, the telemetry that explains *why* is in
+process memory — the time-series tail, the trace ring, per-shard stats,
+which alerts were firing.  The :class:`FlightRecorder` freezes all of it
+into one JSON bundle (format tag ``repro-flight/1``) and writes it
+atomically (tmp file + :func:`os.replace`), so a bundle on disk is always
+complete — never a torn write from a dying process.
+
+Triggers are wired by :class:`repro.service.telemetry.ServiceTelemetry`:
+``SIGUSR2`` (operator-requested snapshot of a live node) and fatal server
+errors (last-gasp dump on the way down).  ``repro obs flight <bundle>``
+pretty-prints a bundle: header, firing alerts, alert timeline, sparklined
+metric tails, trace-ring summary, per-shard stats.
+
+Reading state is non-destructive: the recorder snapshots
+``tracer.events()`` (not ``drain()``), so dumping a bundle never clears
+the live ring.  Filenames carry a wall-clock stamp plus the trigger
+reason — the one place wall time belongs, since bundles exist to be
+correlated with external logs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from ..metrics.textplot import sparkline
+
+__all__ = ["FlightRecorder", "load_flight", "render_flight"]
+
+FLIGHT_FORMAT = "repro-flight/1"
+
+#: series worth sparklining first when rendering (most diagnostic value)
+_RENDER_PRIORITY = (
+    "repro_service_shard_hits",
+    "repro_service_shard_misses",
+    "repro_service_shard_hit_rate",
+    "repro_service_requests_total",
+    "repro_service_eventloop_lag_seconds",
+    "repro_cluster_pending_invals",
+    "repro_slo_burn_rate",
+)
+
+
+class FlightRecorder:
+    """Bundles process telemetry into atomic, timestamped JSON dumps.
+
+    Every collaborator is optional — a recorder with only a time-series
+    store still produces a useful bundle.  ``stats_fn`` is a zero-arg
+    callable returning the server's STATS payload (JSON-safe dict).
+    """
+
+    def __init__(self, out_dir=".", timeseries=None, tracer=None,
+                 alerts=None, stats_fn=None, window_s=300.0, clock=None):
+        self.out_dir = out_dir
+        self.timeseries = timeseries
+        self.tracer = tracer
+        self.alerts = alerts
+        self.stats_fn = stats_fn
+        self.window_s = float(window_s)
+        self._clock = clock
+        #: paths of bundles written by this recorder, oldest first
+        self.dumped = []
+
+    def bundle(self, reason="manual", now=None) -> dict:
+        """Assemble the in-memory bundle (no I/O)."""
+        if now is None:
+            if self._clock is not None:
+                now = self._clock()
+            elif self.timeseries is not None:
+                now = self.timeseries.now()
+        out = {
+            "format": FLIGHT_FORMAT,
+            "reason": reason,
+            "window_s": self.window_s,
+            "t": now,
+        }
+        if self.timeseries is not None:
+            out["timeseries"] = self.timeseries.to_dict(
+                window_s=self.window_s, now=now
+            )
+            out["samples_taken"] = self.timeseries.samples_taken
+        if self.tracer is not None:
+            events = self.tracer.events()
+            scale = getattr(self.tracer, "_ts_scale", 1.0)
+            out["trace"] = {
+                "events": [e.to_dict(scale) for e in events],
+                "dropped": getattr(self.tracer, "dropped", 0),
+            }
+        if self.alerts is not None:
+            out["alerts"] = self.alerts.to_dict()
+        if self.stats_fn is not None:
+            try:
+                out["stats"] = self.stats_fn()
+            except Exception as exc:  # a dying server must still dump
+                out["stats"] = {"error": repr(exc)}
+        return out
+
+    def dump(self, reason="manual", now=None) -> str:
+        """Write one bundle atomically; returns its path."""
+        data = self.bundle(reason=reason, now=now)
+        # wall stamp for filename correlation with external logs only —
+        # nothing inside the bundle derives from it
+        stamp = time.strftime("%Y%m%d-%H%M%S")
+        safe_reason = "".join(
+            c if c.isalnum() or c in "-_" else "-" for c in reason
+        )
+        base = f"flight-{stamp}-{safe_reason}.json"
+        path = os.path.join(self.out_dir, base)
+        n = 1
+        while os.path.exists(path):  # same-second dumps must not clobber
+            path = os.path.join(self.out_dir, f"flight-{stamp}-{safe_reason}.{n}.json")
+            n += 1
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self.dumped.append(path)
+        return path
+
+
+def load_flight(path: str) -> dict:
+    """Load and format-check a bundle written by :class:`FlightRecorder`."""
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    fmt = data.get("format")
+    if fmt != FLIGHT_FORMAT:
+        raise ValueError(
+            f"{path}: not a flight bundle (format {fmt!r}, "
+            f"expected {FLIGHT_FORMAT!r})"
+        )
+    return data
+
+
+def _series_order(timeseries: dict) -> list:
+    names = list(timeseries)
+    prio = {name: i for i, name in enumerate(_RENDER_PRIORITY)}
+    return sorted(names, key=lambda n: (prio.get(n, len(prio)), n))
+
+
+def render_flight(bundle: dict, width: int = 72, max_series: int = 16) -> str:
+    """Human-readable rendering of a flight bundle (pure function)."""
+    lines = []
+    reason = bundle.get("reason", "?")
+    lines.append(f"flight bundle · reason={reason} · t={bundle.get('t')}")
+    lines.append("=" * width)
+
+    alerts = bundle.get("alerts") or {}
+    states = alerts.get("states") or []
+    firing = [s for s in states if s["state"] == "firing"]
+    lines.append(f"alerts: {len(firing)} firing / {len(states)} rules")
+    for s in states:
+        marker = "!!" if s["state"] == "firing" else "  "
+        value = s.get("value")
+        shown = f"{value:.4g}" if isinstance(value, (int, float)) else "-"
+        lines.append(
+            f" {marker} {s['alert']:<22} {s['state']:<9} value={shown}"
+            f"  [{s.get('severity', '?')}]"
+        )
+    timeline = alerts.get("timeline") or []
+    if timeline:
+        lines.append(f"timeline ({len(timeline)} transitions):")
+        for ev in timeline[-20:]:
+            lines.append(
+                f"   t={ev['t']:<10.4g} {ev['alert']:<22} "
+                f"{ev['from']} -> {ev['to']}"
+            )
+
+    timeseries = bundle.get("timeseries") or {}
+    if timeseries:
+        lines.append("-" * width)
+        lines.append(
+            f"time-series tail ({bundle.get('window_s')}s window, "
+            f"{len(timeseries)} metrics):"
+        )
+        for name in _series_order(timeseries)[:max_series]:
+            entries = timeseries[name]
+            # sum across label sets for the overview sparkline
+            summed = {}
+            for entry in entries:
+                for t, v in entry["points"]:
+                    summed[t] = summed.get(t, 0) + v
+            values = [summed[t] for t in sorted(summed)]
+            if not values:
+                continue
+            lines.append(
+                f"  {name:<44} last={values[-1]:.6g}"
+            )
+            lines.append(f"    {sparkline(values, width=min(60, width - 6))}")
+        if len(timeseries) > max_series:
+            lines.append(f"  … {len(timeseries) - max_series} more metrics")
+
+    trace = bundle.get("trace") or {}
+    events = trace.get("events") or []
+    if trace:
+        lines.append("-" * width)
+        lines.append(
+            f"trace ring: {len(events)} events retained, "
+            f"{trace.get('dropped', 0)} dropped"
+        )
+        by_cat = {}
+        for ev in events:
+            by_cat[ev.get("cat", "?")] = by_cat.get(ev.get("cat", "?"), 0) + 1
+        for cat in sorted(by_cat):
+            lines.append(f"   {cat:<20} {by_cat[cat]}")
+
+    stats = bundle.get("stats")
+    if stats:
+        lines.append("-" * width)
+        lines.append("server stats:")
+        for line in json.dumps(stats, indent=2, sort_keys=True).splitlines():
+            lines.append(f"  {line}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,214 @@
+"""Dependency-free asyncio HTTP endpoint for live observability.
+
+A deliberately small HTTP/1.0-style server (every response carries
+``Connection: close``) that makes a running node scrapeable by standard
+tooling — Prometheus, Grafana agents, ``curl``, a k8s liveness probe —
+without adding a web framework.  Routes:
+
+===========  ==============================================================
+path         payload
+===========  ==============================================================
+/metrics     Prometheus text exposition — byte-identical to
+             :func:`repro.obs.registry.MetricsRegistry.to_prometheus`
+/healthz     liveness: 200 ``{"healthy": true}`` / 503 when down/draining
+/readyz      readiness: 200 only when serving and not draining
+/varz        JSON snapshot: server info + registry snapshot + alert states
+/history     time-series query: ``?metric=NAME[&label.k=v][&window=SECS]``
+/alertz      alert rules, current states, and the transition timeline
+===========  ==============================================================
+
+Only ``GET`` (and ``HEAD``) are served: the endpoint is strictly
+read-only, so exposing it is safe even on nodes doing real traffic.
+
+The routing core is :meth:`ObsHTTPServer.handle_path`, a pure function
+from path to ``(status, content-type, body)`` — tests exercise every
+route without opening a socket.  The asyncio wrapper around it is the
+only raw-transport user outside ``repro.service``/``repro.cluster`` and
+is allow-listed by REP012 as such.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = ["ObsHTTPServer"]
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    503: "Service Unavailable",
+}
+
+#: Prometheus text exposition content type
+_PROM_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON_TYPE = "application/json; charset=utf-8"
+
+_MAX_REQUEST_BYTES = 8192
+
+
+def _json_body(obj) -> bytes:
+    return (json.dumps(obj, sort_keys=True) + "\n").encode("utf-8")
+
+
+class ObsHTTPServer:
+    """Read-only observability endpoint over a registry + telemetry stack.
+
+    Every collaborator is optional: a missing piece turns its routes
+    into 404s rather than crashing the server, so the endpoint works
+    identically for a bare server, a telemetry-enabled one, and tests
+    that fake single pieces.
+
+    ``health`` is a zero-arg callable returning a dict with at least
+    ``healthy`` and ``ready`` booleans (extra keys pass through to the
+    response body) — the serving stack binds it to live server state so
+    DRAIN flips ``/healthz`` without any polling.
+    """
+
+    def __init__(self, registry=None, timeseries=None, alerts=None,
+                 health=None, varz=None, host="127.0.0.1", port=0):
+        self.registry = registry
+        self.timeseries = timeseries
+        self.alerts = alerts
+        self._health = health
+        self._varz = varz
+        self.host = host
+        self.port = port
+        self._server = None
+        #: requests served, by path (for /varz and tests)
+        self.requests_served = {}
+
+    # -- routing (pure: no sockets, fully unit-testable) ----------------------
+
+    def health_snapshot(self) -> dict:
+        if self._health is None:
+            return {"healthy": True, "ready": True}
+        return dict(self._health())
+
+    def handle_path(self, path: str):
+        """Route one request path → ``(status, content_type, body_bytes)``."""
+        split = urlsplit(path)
+        route = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        if route == "/metrics":
+            if self.registry is None:
+                return 404, _JSON_TYPE, _json_body({"error": "no registry"})
+            return 200, _PROM_TYPE, self.registry.to_prometheus().encode("utf-8")
+        if route == "/healthz":
+            health = self.health_snapshot()
+            status = 200 if health.get("healthy") else 503
+            return status, _JSON_TYPE, _json_body(health)
+        if route == "/readyz":
+            health = self.health_snapshot()
+            status = 200 if health.get("ready") else 503
+            return status, _JSON_TYPE, _json_body(health)
+        if route == "/varz":
+            return 200, _JSON_TYPE, _json_body(self._varz_payload())
+        if route == "/history":
+            return self._history(query)
+        if route == "/alertz":
+            if self.alerts is None:
+                return 404, _JSON_TYPE, _json_body({"error": "no alert engine"})
+            return 200, _JSON_TYPE, _json_body(self.alerts.to_dict())
+        if route == "/":
+            routes = ["/metrics", "/healthz", "/readyz", "/varz",
+                      "/history", "/alertz"]
+            return 200, _JSON_TYPE, _json_body({"routes": routes})
+        return 404, _JSON_TYPE, _json_body({"error": f"no route {route}"})
+
+    def _varz_payload(self) -> dict:
+        payload = {"health": self.health_snapshot()}
+        if self._varz is not None:
+            payload["server"] = self._varz()
+        if self.registry is not None and getattr(self.registry, "enabled", False):
+            payload["metrics"] = self.registry.snapshot()
+        if self.timeseries is not None:
+            payload["timeseries"] = {
+                "samples_taken": self.timeseries.samples_taken,
+                "series": len(self.timeseries.series()),
+            }
+        if self.alerts is not None:
+            payload["alerts"] = self.alerts.states()
+        payload["requests_served"] = dict(self.requests_served)
+        return payload
+
+    def _history(self, query):
+        if self.timeseries is None:
+            return 404, _JSON_TYPE, _json_body({"error": "no time-series store"})
+        metric = query.get("metric", [None])[0]
+        if not metric:
+            return 400, _JSON_TYPE, _json_body(
+                {"error": "missing ?metric=", "series": self.timeseries.series()}
+            )
+        labels = {
+            key[len("label."):]: values[0]
+            for key, values in query.items() if key.startswith("label.")
+        } or None
+        try:
+            window = float(query.get("window", ["60"])[0])
+        except ValueError:
+            return 400, _JSON_TYPE, _json_body({"error": "bad window"})
+        points = self.timeseries.window(metric, labels, duration=window)
+        return 200, _JSON_TYPE, _json_body(
+            {"metric": metric, "labels": labels, "window_s": window,
+             "points": points}
+        )
+
+    # -- asyncio transport -----------------------------------------------------
+
+    def respond(self, request_line: str):
+        """Full response bytes for one request line (pure helper)."""
+        parts = request_line.split()
+        if len(parts) < 2 or parts[0] not in ("GET", "HEAD"):
+            status, ctype, body = 405, _JSON_TYPE, _json_body(
+                {"error": "only GET is served"})
+        else:
+            status, ctype, body = self.handle_path(parts[1])
+            path = urlsplit(parts[1]).path.rstrip("/") or "/"
+            self.requests_served[path] = self.requests_served.get(path, 0) + 1
+        head = (
+            f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("ascii")
+        if parts and parts[0] == "HEAD":
+            return head
+        return head + body
+
+    async def _handle(self, reader, writer):
+        try:
+            request_line = await reader.readline()
+            if not request_line or len(request_line) > _MAX_REQUEST_BYTES:
+                return
+            # drain headers so well-behaved clients aren't reset mid-send
+            while True:
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            writer.write(self.respond(request_line.decode("ascii", "replace")))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        # swap before the first await so a concurrent stop() sees None
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+            await server.wait_closed()

@@ -319,12 +319,19 @@ class SLOTracker:
     rate divided by the budgeted error rate, so ``1.0`` means the budget
     is being consumed exactly on schedule, ``>1`` means faster (a burn
     rate of 10 exhausts a 30-day budget in 3 days), and ``0`` means no
-    errors at all.  With a ``registry`` the current rate is published as
+    errors at all.  With a ``registry`` the *windowed* rate — computed
+    from the delta between consecutive observations — is published as
     the gauge ``repro_slo_burn_rate{slo=<name>}``, which is what the
-    ``repro top --cluster`` burn-gauge line reads.
+    ``repro top --cluster`` burn-gauge line and the ``slo_burn`` alert
+    read.  A window with no new requests publishes ``0.0`` (healthy):
+    quiet is not burning, and carrying a stale lifetime ratio forward
+    would hold an alert firing forever after traffic stops.
+    :meth:`observe` still *returns* the lifetime rate, which is the
+    end-of-run summary number.
     """
 
-    __slots__ = ("name", "objective", "good", "total", "_gauge")
+    __slots__ = ("name", "objective", "good", "total", "_gauge",
+                 "_prev_good", "_prev_total", "window_burn")
 
     def __init__(self, name: str, objective: float, registry=None, **labels):
         if not 0.0 < objective < 1.0:
@@ -335,6 +342,11 @@ class SLOTracker:
         self.objective = objective
         self.good = 0
         self.total = 0
+        self._prev_good = 0
+        self._prev_total = 0
+        #: burn rate of the most recent observation window (0.0 when the
+        #: window saw no traffic)
+        self.window_burn = 0.0
         self._gauge = None
         if registry is not None:
             self._gauge = registry.gauge(
@@ -352,12 +364,21 @@ class SLOTracker:
         """
         if total < good:
             raise ValueError(f"good ({good}) cannot exceed total ({total})")
+        self._prev_good, self._prev_total = self.good, self.total
         self.good = good
         self.total = total
-        rate = self.burn_rate
+        window_total = max(0, total - self._prev_total)
+        window_good = max(0, good - self._prev_good)
+        if window_total == 0:
+            self.window_burn = 0.0  # zero-request window: healthy
+        else:
+            window_bad = window_total - min(window_good, window_total)
+            self.window_burn = (
+                (window_bad / window_total) / (1.0 - self.objective)
+            )
         if self._gauge is not None:
-            self._gauge.set(rate)
-        return rate
+            self._gauge.set(self.window_burn)
+        return self.burn_rate
 
     @property
     def error_rate(self) -> float:

@@ -1,0 +1,332 @@
+"""In-process metric time-series: sampled registry history with retention.
+
+Every view the repo had before this module was point-in-time — a STATS
+poll, a METRICS scrape, one ``repro top`` frame.  :class:`TimeSeriesStore`
+retains *history*: it periodically samples a
+:class:`~repro.obs.registry.MetricsRegistry` snapshot into per-series
+windows and answers ``(metric, labels) -> [(t, value)]`` queries, which is
+what windowed alerting (:mod:`repro.obs.alerts`), the ``/history`` HTTP
+endpoint (:mod:`repro.obs.http`), the flight recorder
+(:mod:`repro.obs.flight`) and the ``repro top`` sparklines read.
+
+Design constraints, in order:
+
+1. **bounded memory** — samples land in tiered windows
+   (:data:`DEFAULT_TIERS`: one second of resolution for five minutes, ten
+   seconds for an hour) and each tier keeps *the last sample per
+   resolution bucket*, so retention is a hard cap independent of sample
+   rate;
+2. **cheap storage** — within a window only the first point is stored
+   absolute; every later point is a ``(dt, dv)`` delta against its
+   predecessor (timestamps march by the sampling interval and counters
+   move by small increments, so deltas stay tiny), and trimming the
+   oldest point just folds its delta into the base;
+3. **deterministic by injection** — the store never reads a wall clock on
+   its own behalf unless asked: :meth:`TimeSeriesStore.sample` and
+   :meth:`TimeSeriesStore.record` take an explicit ``now``, and the
+   fallback ``clock`` is injected at construction (defaulting to the
+   sanctioned :func:`repro.obs.prof.clock`).  Tests and the deterministic
+   alert replay drive logical time and get byte-identical histories.
+
+Histogram families sample as two derived series, ``<name>_count`` and
+``<name>_sum`` — the Prometheus convention, and enough to derive windowed
+rates and means.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque, namedtuple
+
+from .prof import clock as _wall_clock
+
+#: one retention tier: keep ``length`` samples at ``resolution_s`` spacing
+Tier = namedtuple("Tier", ("resolution_s", "length"))
+
+#: 1s resolution for 5 minutes, 10s resolution for 1 hour
+DEFAULT_TIERS = (Tier(1.0, 300), Tier(10.0, 360))
+
+
+class _TierWindow:
+    """One bounded, delta-encoded window of ``(t, value)`` points.
+
+    Downsampling is *keep-last-per-bucket*: a sample landing in the same
+    ``resolution_s`` bucket as the window's newest point replaces it, so
+    the coarse tiers always hold the freshest value each bucket saw.
+    """
+
+    __slots__ = ("resolution", "length", "_t0", "_v0", "_dts", "_dvs",
+                 "_last_t", "_last_v", "_last_bucket")
+
+    def __init__(self, tier: Tier):
+        self.resolution = float(tier.resolution_s)
+        self.length = int(tier.length)
+        self._t0 = None  # base point, stored absolute
+        self._v0 = None
+        self._dts = deque()  # deltas between consecutive points
+        self._dvs = deque()
+        self._last_t = None  # newest point, decoded (avoids re-summing)
+        self._last_v = None
+        self._last_bucket = None
+
+    def __len__(self) -> int:
+        return 0 if self._t0 is None else 1 + len(self._dts)
+
+    @property
+    def span_s(self) -> float:
+        """Seconds of history this tier can hold when full."""
+        return self.resolution * self.length
+
+    def record(self, t: float, value) -> None:
+        bucket = int(t // self.resolution)
+        if self._t0 is None:
+            self._t0 = self._v0 = None  # keep slots symmetric
+            self._t0, self._v0 = t, value
+            self._last_t, self._last_v = t, value
+            self._last_bucket = bucket
+            return
+        if bucket == self._last_bucket:
+            # same bucket: replace the newest point in place
+            if not self._dts:
+                self._t0, self._v0 = t, value
+            else:
+                prev_t = self._last_t - self._dts[-1]
+                prev_v = self._last_v - self._dvs[-1]
+                self._dts[-1] = t - prev_t
+                self._dvs[-1] = value - prev_v
+            self._last_t, self._last_v = t, value
+            return
+        self._dts.append(t - self._last_t)
+        self._dvs.append(value - self._last_v)
+        self._last_t, self._last_v = t, value
+        self._last_bucket = bucket
+        while 1 + len(self._dts) > self.length:
+            # trim oldest: fold its delta into the base point
+            self._t0 += self._dts.popleft()
+            self._v0 += self._dvs.popleft()
+
+    def points(self, since=None) -> list:
+        """Decoded ``[t, value]`` pairs, oldest first."""
+        if self._t0 is None:
+            return []
+        out = []
+        t, v = self._t0, self._v0
+        if since is None or t >= since:
+            out.append([t, v])
+        for dt, dv in zip(self._dts, self._dvs):
+            t += dt
+            v += dv
+            if since is None or t >= since:
+                out.append([t, v])
+        return out
+
+    def latest(self):
+        """``(t, value)`` of the newest point, or ``None``."""
+        if self._t0 is None:
+            return None
+        return (self._last_t, self._last_v)
+
+
+class _Series:
+    """One ``(metric, labels)`` identity across every retention tier."""
+
+    __slots__ = ("labels", "windows")
+
+    def __init__(self, labels: dict, tiers):
+        self.labels = labels
+        self.windows = [_TierWindow(t) for t in tiers]
+
+    def record(self, t: float, value) -> None:
+        for window in self.windows:
+            window.record(t, value)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class TimeSeriesStore:
+    """Tiered history of registry samples, queryable per (metric, labels).
+
+    ``registry`` is optional: :meth:`record` accepts points directly, so
+    the store also serves derived series (the ``repro top`` loop feeds it
+    hit-rate and request-rate numbers it computes from STATS deltas).
+    """
+
+    def __init__(self, registry=None, tiers=DEFAULT_TIERS, clock=None):
+        if not tiers:
+            raise ValueError("need at least one retention tier")
+        self.registry = registry
+        self.tiers = tuple(Tier(float(r), int(n)) for r, n in tiers)
+        self._clock = clock if clock is not None else _wall_clock
+        self._series = {}  # (name, label_key) -> _Series
+        #: samples taken (sample() calls), for /varz and tests
+        self.samples_taken = 0
+
+    # -- ingest ---------------------------------------------------------------
+
+    def now(self) -> float:
+        """The injected clock (wall by default, logical under test)."""
+        return self._clock()
+
+    def record(self, name: str, labels: dict, value, now=None) -> None:
+        """Record one explicit point for ``(name, labels)``."""
+        t = self.now() if now is None else now
+        key = (name, _label_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = _Series(
+                {str(k): str(v) for k, v in labels.items()}, self.tiers
+            )
+        series.record(t, value)
+
+    def sample(self, now=None) -> float:
+        """Sample the attached registry once; returns the sample time.
+
+        Counter and gauge series record their value; histogram series
+        record ``<name>_count`` and ``<name>_sum``.  A disabled (or
+        absent) registry samples nothing but still advances
+        ``samples_taken`` so callers can assert liveness.
+        """
+        t = self.now() if now is None else now
+        self.samples_taken += 1
+        if self.registry is None or not getattr(self.registry, "enabled", False):
+            return t
+        snapshot = self.registry.snapshot()
+        for name, family in snapshot.items():
+            for series in family["series"]:
+                labels = series["labels"]
+                if "buckets" in series:
+                    self.record(name + "_count", labels, series["count"], now=t)
+                    self.record(name + "_sum", labels, series["sum"], now=t)
+                else:
+                    self.record(name, labels, series["value"], now=t)
+        return t
+
+    # -- query ----------------------------------------------------------------
+
+    def series(self) -> list:
+        """Sorted ``(name, labels)`` identities currently retained."""
+        return [
+            (name, self._series[(name, key)].labels)
+            for name, key in sorted(self._series)
+        ]
+
+    def _matching(self, name: str, labels) -> list:
+        if labels is not None:
+            series = self._series.get((name, _label_key(labels)))
+            return [series] if series is not None else []
+        return [s for (n, _), s in sorted(self._series.items()) if n == name]
+
+    def query(self, name: str, labels=None, tier: int = 0, since=None) -> list:
+        """``[[t, value], ...]`` for a metric, oldest first.
+
+        With ``labels`` the exact series is returned; without, every
+        series of the family is summed pointwise by timestamp (all series
+        of one sample share its ``t``), which is the natural reading for
+        per-shard and per-node counters.
+        """
+        matching = self._matching(name, labels)
+        if not matching:
+            return []
+        if len(matching) == 1:
+            return matching[0].windows[tier].points(since)
+        summed = {}
+        for series in matching:
+            for t, v in series.windows[tier].points(since):
+                summed[t] = summed.get(t, 0) + v
+        return [[t, summed[t]] for t in sorted(summed)]
+
+    def window(self, name: str, labels=None, duration=60.0, now=None) -> list:
+        """Points from the last ``duration`` seconds, finest tier that
+        covers it (falling back to the coarsest)."""
+        t = self.now() if now is None else now
+        tier = len(self.tiers) - 1
+        for i, spec in enumerate(self.tiers):
+            if spec.resolution_s * spec.length >= duration:
+                tier = i
+                break
+        return self.query(name, labels, tier=tier, since=t - duration)
+
+    def latest(self, name: str, labels=None):
+        """The newest value of a metric (summed across series), or None."""
+        matching = self._matching(name, labels)
+        newest = [s.windows[0].latest() for s in matching]
+        newest = [p for p in newest if p is not None]
+        if not newest:
+            return None
+        return sum(v for _, v in newest)
+
+    # -- export ---------------------------------------------------------------
+
+    def to_dict(self, window_s=None, now=None, tier: int = 0) -> dict:
+        """JSON-safe dump ``{name: [{labels, points}, ...]}``.
+
+        ``window_s`` bounds the dump to the trailing window (what the
+        flight recorder persists); ``None`` dumps the whole tier.
+        """
+        t = self.now() if now is None else now
+        since = None if window_s is None else t - window_s
+        out = {}
+        for (name, _), series in sorted(self._series.items()):
+            points = series.windows[tier].points(since)
+            if not points:
+                continue
+            out.setdefault(name, []).append(
+                {"labels": series.labels, "points": points}
+            )
+        return out
+
+    def to_json(self, window_s=None, now=None) -> str:
+        return json.dumps(self.to_dict(window_s=window_s, now=now))
+
+
+class TelemetrySampler:
+    """Async loop feeding a :class:`TimeSeriesStore` (and optional hooks).
+
+    ``on_sample(t)`` callbacks run after each sample — the serving stack
+    hangs alert evaluation there, so alerting advances in lockstep with
+    the history it reads.
+    """
+
+    def __init__(self, store: TimeSeriesStore, interval: float = 1.0):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.store = store
+        self.interval = interval
+        self._hooks = []
+        self._task = None
+
+    def on_sample(self, fn) -> None:
+        """Register ``fn(t)`` to run after every sample."""
+        self._hooks.append(fn)
+
+    def tick(self, now=None) -> float:
+        """One synchronous sample + hook pass (what the loop repeats)."""
+        t = self.store.sample(now=now)
+        for fn in self._hooks:
+            fn(t)
+        return t
+
+    async def run(self) -> None:
+        """Sample forever at ``interval``; cancellation stops cleanly."""
+        import asyncio
+
+        try:
+            while True:
+                await asyncio.sleep(self.interval)
+                self.tick()
+        except asyncio.CancelledError:
+            pass
+
+    def start(self) -> None:
+        """Spawn the sampling task on the running loop."""
+        import asyncio
+
+        if self._task is None:
+            self._task = asyncio.ensure_future(self.run())
+
+    def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None

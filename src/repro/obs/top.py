@@ -14,7 +14,7 @@ occupancy, evictions, request rate) and a hit-rate bar chart per shard
 
 from __future__ import annotations
 
-from ..metrics.textplot import bar_chart
+from ..metrics.textplot import bar_chart, sparkline
 
 #: ANSI sequence that clears the screen and homes the cursor
 CLEAR_SCREEN = "\x1b[2J\x1b[H"
@@ -34,16 +34,28 @@ def _fmt_bytes(n: float) -> str:
     return f"{n:.1f}GiB"
 
 
+def _fmt_uptime(seconds: float) -> str:
+    seconds = int(max(0, seconds))
+    h, rem = divmod(seconds, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}"
+
+
 def render_dashboard(
     snapshot: dict,
     prev: dict | None = None,
     interval: float | None = None,
     width: int = 36,
+    spark: dict | None = None,
 ) -> str:
     """One dashboard frame for a ``stats_snapshot()`` dict.
 
     ``prev``/``interval`` (the snapshot one poll earlier and the seconds
     between polls) turn monotonic counters into rates; both default to off.
+    ``spark`` maps series label -> recent values (the ``repro top`` loop
+    feeds windowed hit rate and req/s from its local
+    :class:`~repro.obs.timeseries.TimeSeriesStore`); each renders as a
+    sparkline row, newest value printed alongside.
     """
     shards = snapshot.get("shards", [])
     total = snapshot.get("total", {})
@@ -106,6 +118,30 @@ def render_dashboard(
                 title="hit rate by shard",
             )
         )
+    server = snapshot.get("server")
+    if server is not None:
+        total_conns = (server.get("connections_v1", 0)
+                       + server.get("connections_v2", 0))
+        lines.append("")
+        lines.append(
+            f"uptime {_fmt_uptime(server.get('uptime_s', 0.0))} · "
+            f"conns {total_conns} "
+            f"(v1 {server.get('connections_v1', 0)} / "
+            f"v2 {server.get('connections_v2', 0)}, "
+            f"open {server.get('connections_open', 0)})"
+            + (" · DRAINING" if server.get("draining") else "")
+        )
+    if spark:
+        lines.append("")
+        label_w = max(len(label) for label in spark)
+        for label in sorted(spark):
+            values = list(spark[label])
+            if not values:
+                continue
+            lines.append(
+                f"{label:>{label_w}} {sparkline(values, width=width):<{width}}"
+                f" {values[-1]:.4g}"
+            )
     process = snapshot.get("process")
     if process is not None:
         lines.append("")
@@ -191,14 +227,15 @@ def render_cluster_dashboard(
     lines.append("")
     lines.append(
         f"{'node':>8} {'state':>9} {'stored':>12} {'repl':>6} {'pendI':>6} "
-        f"{'stale':>6} {'races':>6} {'loop ms':>8}"
+        f"{'stale':>6} {'races':>6} {'loop ms':>8} {'wire v1/v2':>11} "
+        f"{'up':>8}"
     )
     for name in sorted(nodes):
         block = nodes[name]
         if block.get("unreachable") and "stored" not in block:
             # down before we ever got a CSTATUS: nothing cached to show
             lines.append(f"{name:>8} {'DOWN':>9} {'-':>12} {'-':>6} {'-':>6} "
-                         f"{'-':>6} {'-':>6} {'-':>8}")
+                         f"{'-':>6} {'-':>6} {'-':>8} {'-':>11} {'-':>8}")
             continue
         if block.get("unreachable"):
             state = f"DOWN*{block.get('stale_polls', 0)}"
@@ -207,13 +244,17 @@ def render_cluster_dashboard(
         else:
             state = "ok"
         stored = f"{block.get('stored', 0)}/{block.get('data_capacity', 0)}"
+        wire = (f"{block.get('connections_v1', 0)}"
+                f"/{block.get('connections_v2', 0)}")
         lines.append(
             f"{name:>8} {state:>9} {stored:>12} "
             f"{block.get('replicas_held', 0):>6} "
             f"{block.get('pending_invals', 0):>6} "
             f"{block.get('stale_rejects', 0):>6} "
             f"{block.get('protocol_races', 0):>6} "
-            f"{block.get('eventloop_lag_s', 0.0) * 1e3:>8.2f}"
+            f"{block.get('eventloop_lag_s', 0.0) * 1e3:>8.2f} "
+            f"{wire:>11} "
+            f"{_fmt_uptime(block.get('uptime_s', 0.0)):>8}"
         )
     if unreachable:
         lines.append("")

@@ -6,6 +6,13 @@ drain — stop accepting, let in-flight requests finish — followed by a
 final stats flush: the closing hit/admission summary is printed (and the
 full STATS snapshot written, with ``--final-stats-json``), so supervised
 deployments (systemd, Kubernetes) keep the run's numbers on termination.
+With ``--obs-port`` the node additionally runs the continuous-telemetry
+plane (:class:`~repro.service.telemetry.ServiceTelemetry`): a scrapeable
+HTTP endpoint (``/metrics`` ``/healthz`` ``/readyz`` ``/varz``
+``/history`` ``/alertz``), per-second registry sampling into a
+time-series store, the built-in alert rules, and a flight recorder that
+dumps a forensic bundle into ``--flight-dir`` on SIGUSR2 or a fatal
+server error.
 
 ``bench-service`` is the serving twin of the figure benchmarks: it replays
 one synthetic workload twice against in-process servers that differ *only*
@@ -75,6 +82,16 @@ def build_service_parser() -> argparse.ArgumentParser:
     serve.add_argument("--final-stats-json", metavar="FILE", default=None,
                        help="write the final STATS snapshot (plus obs "
                             "registry) on shutdown")
+    serve.add_argument("--obs-port", type=int, default=None,
+                       help="serve the telemetry HTTP endpoint on this "
+                            "port (/metrics /healthz /readyz /varz "
+                            "/history /alertz); enables continuous "
+                            "sampling + the built-in alert rules")
+    serve.add_argument("--obs-interval", type=float, default=1.0,
+                       help="telemetry sampling interval in seconds")
+    serve.add_argument("--flight-dir", metavar="DIR", default=".",
+                       help="directory for flight-recorder bundles "
+                            "(SIGUSR2 or fatal error; needs --obs-port)")
     serve.add_argument("--uvloop", action="store_true",
                        help="use uvloop's event loop if installed "
                             "(silently ignored when unavailable)")
@@ -182,6 +199,19 @@ async def _serve(args) -> None:
           f"listening on {server.host}:{server.port}")
     if not args.no_metrics:
         print("repro.service: metrics on — `repro top` or the METRICS verb")
+    telemetry = None
+    if args.obs_port is not None:
+        from .telemetry import ServiceTelemetry
+
+        telemetry = ServiceTelemetry(
+            server, port=args.obs_port, interval=args.obs_interval,
+            flight_dir=args.flight_dir,
+        )
+        await telemetry.start()
+        print(f"repro.service: telemetry on "
+              f"http://{telemetry.http.host}:{telemetry.http.port} "
+              f"(/metrics /healthz /readyz /varz /history /alertz; "
+              f"SIGUSR2 dumps a flight bundle to {args.flight_dir})")
     serve_task = asyncio.ensure_future(server.serve_forever())
     try:
         stop_wait = asyncio.ensure_future(stop.wait())
@@ -189,8 +219,18 @@ async def _serve(args) -> None:
             (serve_task, stop_wait), return_when=asyncio.FIRST_COMPLETED
         )
         stop_wait.cancel()
+        # a serve_forever that *raised* (not cancelled/stopped) is a fatal
+        # server error: capture the last N minutes before going down
+        if serve_task.done() and not serve_task.cancelled():
+            exc = serve_task.exception()
+            if exc is not None and telemetry is not None:
+                path = telemetry.dump_flight("fatal-error")
+                print(f"repro.service: fatal error ({exc!r}); "
+                      f"flight bundle written to {path}")
     finally:
         serve_task.cancel()
+        if telemetry is not None:
+            await telemetry.stop()
         await server.stop()
         if args.trace_file:
             obs.tracer.write(args.trace_file, fmt="chrome-trace")

@@ -138,6 +138,12 @@ class CacheServer:
         #: most recent event-loop lag sample (0.0 until measured); CSTATUS
         #: surfaces it so ``repro top --cluster`` can show saturation
         self.eventloop_lag = 0.0
+        #: clock() at bind time (None before start()); STATS reports uptime
+        self.started_at = None
+        #: connections accepted per framing, so the v1/v2 negotiation mix
+        #: is observable from outside (STATS/CSTATUS and ``repro top``)
+        self.connections_v1 = 0
+        self.connections_v2 = 0
         if (self.obs.tracer.enabled
                 and hasattr(store, "set_decision_listener")):
             store.set_decision_listener(self._on_store_decision)
@@ -174,6 +180,7 @@ class CacheServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        self.started_at = clock()
         if self.obs.registry.enabled:
             self._lag_task = asyncio.ensure_future(self._measure_eventloop_lag())
         log.info("serving on %s:%d (%d shards, admission=%s)",
@@ -240,6 +247,22 @@ class CacheServer:
         return len(self._writers)
 
     @property
+    def draining(self) -> bool:
+        """True once :meth:`stop` began: rejecting new work, draining old.
+
+        ``/healthz`` and ``/readyz`` (:mod:`repro.obs.http`) read this so
+        a load balancer stops routing to a node the moment it drains.
+        """
+        return self._stopping
+
+    @property
+    def uptime_s(self) -> float:
+        """Seconds since the listener bound (0.0 before :meth:`start`)."""
+        if self.started_at is None:
+            return 0.0
+        return max(0.0, clock() - self.started_at)
+
+    @property
     def inflight(self) -> int:
         """Number of requests currently being processed."""
         return self._inflight
@@ -268,8 +291,12 @@ class CacheServer:
             # an invalid UTF-8 start byte no v1 request line can begin with
             first = await reader.read(1)
             if first and first[0] == MAGIC:
+                self.connections_v2 += 1
+                self._count_framing("v2")
                 await self._serve_v2_connection(reader, writer, conn_id, first)
             elif first:
+                self.connections_v1 += 1
+                self._count_framing("v1")
                 await self._serve_v1_connection(reader, writer, conn_id, first)
         except FrameError as exc:
             log.warning("connection %d: unframeable stream (%s), dropping",
@@ -594,10 +621,30 @@ class CacheServer:
         """Apply one DEL; subclasses add cross-node invalidation."""
         return self.store.delete(key)
 
+    def _count_framing(self, framing: str) -> None:
+        if self.obs.registry.enabled:
+            self.obs.registry.counter(
+                "repro_service_connections_framing_total",
+                help="connections accepted, by negotiated wire framing",
+                framing=framing,
+            ).inc()
+
+    def server_info(self) -> dict:
+        """The ``"server"`` block of STATS: uptime and connection mix."""
+        return {
+            "uptime_s": self.uptime_s,
+            "connections_open": len(self._writers),
+            "connections_v1": self.connections_v1,
+            "connections_v2": self.connections_v2,
+            "draining": self._stopping,
+            "eventloop_lag_s": self.eventloop_lag,
+        }
+
     def _stats_payload(self) -> bytes:
         """The STATS JSON document, shared by both wire framings."""
         snapshot = self.store.stats_snapshot()
         snapshot["process"] = {"pid": os.getpid(), **process_resources()}
+        snapshot["server"] = self.server_info()
         if self.obs.registry.enabled:
             snapshot["obs"] = self.obs.registry.snapshot()
         return json.dumps(snapshot).encode("utf-8")
